@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFaithfulIsSafe(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-budget", "50000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "no ablation active") {
+		t.Errorf("faithful banner missing:\n%s", got)
+	}
+	if !strings.Contains(got, "validation passed") {
+		t.Errorf("faithful algorithm should validate:\n%s", got)
+	}
+}
+
+func TestRunMarginOneBreaks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-margin", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "agreement violation") {
+		t.Errorf("margin 1 should yield a violation witness:\n%s", got)
+	}
+	if !strings.Contains(got, "load-bearing") {
+		t.Errorf("verdict missing:\n%s", got)
+	}
+}
+
+func TestRunObjectAblationBreaks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-objects", "1", "-n", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "agreement violation") {
+		t.Errorf("one object for three processes should break:\n%s", out.String())
+	}
+}
+
+func TestRunTieBreakSafe(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tiebreak", "highest", "-budget", "50000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "validation passed") {
+		t.Errorf("tie-break ablation should be safe:\n%s", out.String())
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tiebreak", "sideways"}, &out); err == nil {
+		t.Error("unknown tie-break must fail")
+	}
+	if err := run([]string{"-n", "1"}, &out); err == nil {
+		t.Error("n <= k must fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Command lbcheck runs the paper's lower-bound constructions and prints
+// their traces:
+//
+//	lbcheck -figure1 [-n 6]        Lemma 9 induction against Algorithm 1
+//	lbcheck -theorem10 [-n 6 -k 2] full Theorem 10 induction
+//	lbcheck -counterexample        agreement violation of the 2-process
+//	                               swap consensus run with 3 processes
+//	lbcheck -covering [-n 4]       covering scan + Lemma 13 γ search on a
+//	                               bounded-domain protocol
+//	lbcheck -forbidden [-n 6]      Lemma 20 forbidden-value ledger run
+//	                               (Figure 6)
+//	lbcheck -lemma16 [-n 4]        Lemma 16 X/Y covering induction
+//	                               (Figures 2-5)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// errUsage reports that no mode flag was given.
+var errUsage = errors.New("no mode selected; pass one of -figure1 -theorem10 -counterexample -covering -forbidden -lemma16")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcheck:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbcheck", flag.ContinueOnError)
+	n := fs.Int("n", 6, "number of processes")
+	k := fs.Int("k", 2, "agreement parameter")
+	figure1 := fs.Bool("figure1", false, "run the Lemma 9 construction (Figure 1)")
+	theorem10 := fs.Bool("theorem10", false, "run the full Theorem 10 induction")
+	counter := fs.Bool("counterexample", false, "find the 3-process violation of the pair consensus")
+	covering := fs.Bool("covering", false, "covering scan and Lemma 13 γ search")
+	forbidden := fs.Bool("forbidden", false, "Lemma 20 ledger run (Figure 6)")
+	lemma16 := fs.Bool("lemma16", false, "Lemma 16 X/Y covering induction (Figures 2-5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ran := false
+
+	if *figure1 {
+		ran = true
+		p := core.MustNew(core.Params{N: *n, K: 1, M: 2})
+		res, err := lowerbound.ConsensusCertificate(p, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s (%d objects)\n", p.Name(), len(p.Objects()))
+		fmt.Fprint(out, trace.Figure1(res))
+	}
+
+	if *theorem10 {
+		ran = true
+		p := core.MustNew(core.Params{N: *n, K: *k, M: *k + 1})
+		cert, err := lowerbound.Theorem10Driver(p, *k,
+			lowerbound.SearchLimits{MaxConfigs: 60000, MaxDepth: 48}, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s (%d objects)\n", p.Name(), len(p.Objects()))
+		fmt.Fprint(out, trace.Theorem10(cert))
+	}
+
+	if *counter {
+		ran = true
+		p := baseline.NewPairConsensus(2).WithProcesses(3)
+		w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, lowerbound.SearchLimits{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s (1 swap object, correct only for n=2)\n", p.Name())
+		fmt.Fprint(out, trace.Witness("agreement violation with 3 processes", w))
+		if w == nil {
+			return errors.New("no violation found (unexpected: one must exist)")
+		}
+	}
+
+	if *covering {
+		ran = true
+		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		if err != nil {
+			return err
+		}
+		inputs := make([]int, *n)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		scan, err := lowerbound.CoveringScan(p, inputs, lowerbound.SearchLimits{MaxConfigs: 50000, MaxDepth: 24})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s\n", p.Name())
+		fmt.Fprint(out, trace.Covering(scan))
+
+		// Lemma 13 demonstration on the same protocol: Q = {0, 1},
+		// S = the covering processes found by the scan.
+		c, err := model.NewConfig(p, inputs)
+		if err != nil {
+			return err
+		}
+		var s []int
+		for _, pid := range scan.CoverMap {
+			if pid != 0 && pid != 1 {
+				s = append(s, pid)
+			}
+		}
+		if len(s) > 0 {
+			res, err := lowerbound.Lemma13Gamma(p, c, []int{0, 1}, s,
+				lowerbound.SearchLimits{MaxConfigs: 5000, MaxDepth: 12},
+				lowerbound.SearchLimits{MaxConfigs: 20000, MaxDepth: 40})
+			if err != nil {
+				fmt.Fprintf(out, "Lemma 13 search: %v\n", err)
+			} else {
+				fmt.Fprintf(out, "Lemma 13: γ = %v (tried %d prefixes); Q bivalent after block swap, witnesses decide %v\n",
+					res.Gamma, res.Tried, res.Bivalence.Values)
+			}
+		}
+	}
+
+	if *forbidden {
+		ran = true
+		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		if err != nil {
+			return err
+		}
+		inputs := make([]int, *n)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		ledgerRun, err := lowerbound.RunLedger(p, inputs, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s\n", p.Name())
+		fmt.Fprint(out, trace.Ledger(ledgerRun))
+	}
+
+	if *lemma16 {
+		ran = true
+		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		if err != nil {
+			return err
+		}
+		res, err := lowerbound.Lemma16Run(p, lowerbound.SearchLimits{MaxConfigs: 150000, MaxDepth: 64})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "protocol: %s\n", p.Name())
+		fmt.Fprint(out, trace.Lemma16(res))
+	}
+
+	if !ran {
+		return errUsage
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

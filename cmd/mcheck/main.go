@@ -1,0 +1,134 @@
+// Command mcheck model-checks a built-in protocol instance: it explores
+// the reachable configuration space from a chosen input assignment,
+// verifies k-agreement across all visited configurations, classifies the
+// valency of the initial configuration for a chosen process pair, and
+// reports coverage statistics.
+//
+// Usage:
+//
+//	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
+//
+// Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
+// pairing, register-kset, toybit, ablation-margin1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ablation"
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// errViolation distinguishes a detected agreement violation (exit 1) from
+// usage errors (exit 2).
+var errViolation = errors.New("agreement violation")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errViolation):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "mcheck:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcheck", flag.ContinueOnError)
+	proto := fs.String("proto", "algorithm1", "protocol: algorithm1|algorithm1-readable|racing|readable|pair|pairing|register-kset|toybit|ablation-margin1")
+	n := fs.Int("n", 3, "processes")
+	k := fs.Int("k", 1, "agreement parameter")
+	m := fs.Int("m", 2, "input domain")
+	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: pid % m)")
+	maxConfigs := fs.Int("max", 200000, "configuration budget")
+	maxDepth := fs.Int("depth", 0, "depth cap (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := buildProtocol(*proto, *n, *k, *m)
+	if err != nil {
+		return err
+	}
+
+	inputs := make([]int, p.NumProcesses())
+	if *inputsFlag == "" {
+		for i := range inputs {
+			inputs[i] = i % *m
+		}
+	} else {
+		parts := strings.Split(*inputsFlag, ",")
+		if len(parts) != p.NumProcesses() {
+			return fmt.Errorf("%d inputs for %d processes", len(parts), p.NumProcesses())
+		}
+		for i, s := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			inputs[i] = v
+		}
+	}
+
+	c, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return err
+	}
+	all := make([]int, p.NumProcesses())
+	for i := range all {
+		all[i] = i
+	}
+
+	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
+	res := check.Explore(p, c, all, *k, check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth})
+	fmt.Fprintf(out, "explored %d configurations (complete: %v)\n", res.Visited, res.Complete)
+	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
+		res.DecidedValues, res.MaxDecidedTogether)
+	if res.AgreementViolation != nil {
+		fmt.Fprintf(out, "AGREEMENT VIOLATION: configuration with decided %v\n",
+			res.AgreementViolation.DecidedValues(p))
+		return errViolation
+	}
+	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *k)
+
+	val := check.ClassifyValency(p, c, all, check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth})
+	fmt.Fprintf(out, "initial configuration valency (all processes): %s (values %v, complete %v)\n",
+		val.Class, val.Values, val.Complete)
+	return nil
+}
+
+func buildProtocol(name string, n, k, m int) (model.Protocol, error) {
+	switch name {
+	case "algorithm1":
+		return core.New(core.Params{N: n, K: k, M: m})
+	case "algorithm1-readable":
+		return core.New(core.Params{N: n, K: k, M: m, Readable: true})
+	case "racing":
+		return baseline.NewRacingCounters(n, m)
+	case "readable":
+		return baseline.NewReadableRace(n, m)
+	case "pair":
+		return baseline.NewPairConsensus(m).WithProcesses(n), nil
+	case "pairing":
+		return baseline.NewPairing(n, k, m)
+	case "register-kset":
+		return baseline.NewRegisterKSet(n, k, m)
+	case "toybit":
+		return baseline.NewToyBitRace(n, n)
+	case "ablation-margin1":
+		return ablation.New(n, k, m, ablation.Options{Margin: 1})
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunPairConsensusComplete(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-proto", "pair", "-n", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"pair-consensus", "complete: true",
+		"k-agreement (k=1) holds", "bivalent",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDetectsViolation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-proto", "pair", "-n", "3"}, &out)
+	if !errors.Is(err, errViolation) {
+		t.Fatalf("err = %v, want errViolation", err)
+	}
+	if !strings.Contains(out.String(), "AGREEMENT VIOLATION") {
+		t.Error("violation not reported")
+	}
+}
+
+func TestRunAblationMargin1Violates(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-proto", "ablation-margin1", "-n", "3", "-max", "400000"}, &out)
+	if !errors.Is(err, errViolation) {
+		t.Fatalf("err = %v, want errViolation for margin-1 variant", err)
+	}
+}
+
+func TestRunExplicitInputs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-proto", "pair", "-n", "2", "-inputs", "1,1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "inputs [1 1]") {
+		t.Errorf("inputs not echoed:\n%s", got)
+	}
+	if !strings.Contains(got, "univalent") {
+		t.Errorf("unanimous inputs should be univalent:\n%s", got)
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-proto", "nope"}, &out); err == nil {
+		t.Error("unknown protocol must fail")
+	}
+	if err := run([]string{"-proto", "pair", "-n", "2", "-inputs", "1"}, &out); err == nil {
+		t.Error("wrong input arity must fail")
+	}
+	if err := run([]string{"-proto", "pair", "-n", "2", "-inputs", "x,y"}, &out); err == nil {
+		t.Error("non-numeric inputs must fail")
+	}
+}
+
+func TestBuildProtocolAllNames(t *testing.T) {
+	for _, name := range []string{
+		"algorithm1", "algorithm1-readable", "racing", "readable",
+		"pair", "pairing", "register-kset", "toybit", "ablation-margin1",
+	} {
+		n, k := 4, 2
+		if name == "pair" {
+			n, k = 2, 1
+		}
+		if _, err := buildProtocol(name, n, k, k+1); err != nil {
+			t.Errorf("buildProtocol(%q): %v", name, err)
+		}
+	}
+}

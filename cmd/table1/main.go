@@ -1,0 +1,95 @@
+// Command table1 regenerates the paper's Table 1 for a chosen n and k:
+// for every row it instantiates the implemented algorithm, validates
+// agreement and validity across adversarial schedules, measures its object
+// count against the paper's upper-bound formula, and — for the rows whose
+// lower bounds are this paper's contributions — runs the executable
+// Lemma 9 / Theorem 10 constructions to certify the lower bound.
+//
+// Usage:
+//
+//	table1 [-n 8] [-k 2] [-schedules 25] [-solo] [-sweep]
+//
+// -solo additionally runs the Lemma 8 solo step-complexity census for
+// Algorithm 1. -sweep prints the Theorem 10 certificate across an (n, k)
+// grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of processes")
+	k := fs.Int("k", 2, "agreement parameter for the k-set rows")
+	schedules := fs.Int("schedules", 25, "adversarial schedules per validation")
+	seed := fs.Int64("seed", 1, "schedule seed")
+	solo := fs.Bool("solo", false, "run the Lemma 8 solo step census")
+	sweep := fs.Bool("sweep", false, "sweep Theorem 10 certificates over an (n,k) grid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *n <= *k || *k < 1 {
+		return fmt.Errorf("need n > k >= 1 (got n=%d k=%d)", *n, *k)
+	}
+
+	rows, err := harness.Table1(*n, *k, harness.ValidateOptions{Schedules: *schedules, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Table 1 (Ovens, PODC 2022) regenerated for n=%d, k=%d\n\n", *n, *k)
+	fmt.Fprint(out, harness.RenderTable(rows))
+
+	if *solo {
+		fmt.Fprintf(out, "\nLemma 8 solo step census (bound 8(n-k)):\n")
+		for _, kk := range []int{1, *k} {
+			if kk >= *n {
+				continue
+			}
+			params := core.Params{N: *n, K: kk, M: kk + 1}
+			p := core.MustNew(params)
+			census, err := harness.MeasureSolo(p, kk, 200, params.SoloStepBound(), *seed)
+			if err != nil {
+				return fmt.Errorf("solo census: %w", err)
+			}
+			fmt.Fprintf(out, "  n=%d k=%d: max %d solo swaps over %d trials (bound %d)\n",
+				*n, kk, census.MaxSteps, census.Trials, params.SoloStepBound())
+		}
+	}
+
+	if *sweep {
+		fmt.Fprintf(out, "\nTheorem 10 certificates (certified vs ⌈n/k⌉-1):\n")
+		for nn := 3; nn <= *n; nn++ {
+			for kk := 1; kk < nn && kk <= *k; kk++ {
+				p := core.MustNew(core.Params{N: nn, K: kk, M: kk + 1})
+				cert, err := lowerbound.Theorem10Driver(p, kk,
+					lowerbound.SearchLimits{MaxConfigs: 40000, MaxDepth: 40}, 0)
+				if err != nil {
+					fmt.Fprintf(out, "  n=%d k=%d: FAILED: %v\n", nn, kk, err)
+					continue
+				}
+				ok := "OK"
+				if cert.Objects < cert.Bound {
+					ok = "SHORT"
+				}
+				fmt.Fprintf(out, "  n=%2d k=%d: certified %2d, bound %2d  %s\n", nn, kk, cert.Objects, cert.Bound, ok)
+			}
+		}
+	}
+	return nil
+}

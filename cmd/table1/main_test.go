@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRendersTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-k", "2", "-schedules", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Table 1 (Ovens, PODC 2022) regenerated for n=4, k=2",
+		"Consensus", "Swap objects", "2-set agreement",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(got, "FAILED") {
+		t.Errorf("table reports a failure:\n%s", got)
+	}
+}
+
+func TestRunSoloCensus(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-k", "2", "-schedules", "1", "-solo"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Lemma 8 solo step census") {
+		t.Error("missing solo census section")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-k", "2", "-schedules", "1", "-sweep"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Theorem 10 certificates") {
+		t.Error("missing sweep section")
+	}
+	if strings.Contains(got, "SHORT") || strings.Contains(got, "FAILED") {
+		t.Errorf("sweep fell short of the bound:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "2", "-k", "2"}, &out); err == nil {
+		t.Error("n == k must be rejected")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag must be rejected")
+	}
+}

@@ -1,0 +1,83 @@
+// Crash-tolerance demo: n workers run Algorithm 1 on real goroutines, but
+// f of them "crash" before proposing (they never participate at all). The
+// survivors still decide — obstruction-free progress needs no cooperation
+// from crashed processes, only eventual solo running, which the Go
+// scheduler provides once the crashed goroutines are gone. Contrast with
+// deterministic wait-free consensus, which FLP-style results rule out for
+// historyless objects (Section 1 of the paper).
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const (
+		n = 8
+		f = 5 // processes that crash before taking any step
+	)
+	inst, err := core.NewSetAgreement(core.Params{N: n, K: 1, M: 2}, core.Options{Backoff: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	fmt.Printf("%d workers, %d crash before proposing; inputs %v\n", n, f, inputs)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		decided  = map[int]int{}
+		survived []int
+	)
+	for pid := f; pid < n; pid++ {
+		survived = append(survived, pid)
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			v, err := inst.Propose(pid, inputs[pid])
+			if err != nil {
+				log.Printf("p%d: %v", pid, err)
+				return
+			}
+			mu.Lock()
+			decided[pid] = v
+			mu.Unlock()
+		}(pid)
+	}
+	wg.Wait()
+
+	vals := map[int]bool{}
+	for _, pid := range survived {
+		v, ok := decided[pid]
+		if !ok {
+			log.Fatalf("survivor p%d never decided", pid)
+		}
+		vals[v] = true
+		fmt.Printf("survivor p%d decided %d\n", pid, v)
+	}
+	if len(vals) != 1 {
+		log.Fatalf("agreement violated among survivors: %v", vals)
+	}
+	for v := range vals {
+		valid := false
+		for _, pid := range survived {
+			if inputs[pid] == v {
+				valid = true
+			}
+		}
+		if !valid {
+			log.Fatalf("decided %d is not a survivor's input", v)
+		}
+		fmt.Printf("all %d survivors agreed on %d despite %d crash-stop failures\n", len(survived), v, f)
+	}
+}

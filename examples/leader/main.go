@@ -1,0 +1,95 @@
+// Leader election for a worker pool, built on Algorithm 1 consensus: every
+// worker proposes its own id (input domain m = n), the consensus decides a
+// single winner, and the winner coordinates the pool — the losers become
+// followers of whichever id was decided. Validity guarantees the leader is
+// a real worker; agreement guarantees exactly one.
+//
+//	go run ./examples/leader
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// worker simulates a pool member: it elects, then either serves (leader)
+// or submits work (follower).
+type worker struct {
+	id      int
+	elected int
+	served  int
+}
+
+func main() {
+	const (
+		n     = 12
+		tasks = 480
+	)
+	inst, err := core.NewSetAgreement(core.Params{N: n, K: 1, M: n}, core.Options{Backoff: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: election. Every worker proposes itself.
+	workers := make([]*worker, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		workers[id] = &worker{id: id}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			leader, err := inst.Propose(w.id, w.id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.elected = leader
+		}(workers[id])
+	}
+	wg.Wait()
+
+	leader := workers[0].elected
+	for _, w := range workers {
+		if w.elected != leader {
+			log.Fatalf("split brain: worker %d follows %d, worker 0 follows %d", w.id, w.elected, leader)
+		}
+	}
+	fmt.Printf("%d workers elected leader %d (validity: leader is a real worker id)\n", n, leader)
+
+	// Phase 2: the leader serializes a shared counter; followers submit
+	// increments through a channel owned by the leader.
+	requests := make(chan int, tasks)
+	var processed atomic.Int64
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() { // the leader's serving loop
+		defer serveWG.Done()
+		for range requests {
+			workers[leader].served++
+			processed.Add(1)
+		}
+	}()
+
+	var submitWG sync.WaitGroup
+	for _, w := range workers {
+		if w.id == leader {
+			continue
+		}
+		submitWG.Add(1)
+		go func(w *worker) {
+			defer submitWG.Done()
+			for t := 0; t < tasks/(n-1); t++ {
+				requests <- w.id
+			}
+		}(w)
+	}
+	submitWG.Wait()
+	close(requests)
+	serveWG.Wait()
+
+	fmt.Printf("leader %d served %d requests from %d followers; total processed %d\n",
+		leader, workers[leader].served, n-1, processed.Load())
+}

@@ -1,0 +1,57 @@
+// Quickstart: n goroutines reach consensus through Algorithm 1 of Ovens
+// (PODC 2022), using n-1 swap objects backed by hardware atomic exchange.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const n = 8 // processes
+	params := core.Params{
+		N: n,
+		K: 1, // consensus = 1-set agreement
+		M: 2, // binary inputs
+	}
+	inst, err := core.NewSetAgreement(params, core.Options{Backoff: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := make([]int, n)
+	decided := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2 // half propose 0, half propose 1
+	}
+
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			v, err := inst.Propose(pid, inputs[pid])
+			if err != nil {
+				log.Fatal(err)
+			}
+			decided[pid] = v
+		}(pid)
+	}
+	wg.Wait()
+
+	fmt.Printf("inputs:  %v\n", inputs)
+	fmt.Printf("decided: %v\n", decided)
+	for pid := 1; pid < n; pid++ {
+		if decided[pid] != decided[0] {
+			log.Fatalf("agreement violated: p0 decided %d, p%d decided %d", decided[0], pid, decided[pid])
+		}
+	}
+	st := inst.Stats()
+	fmt.Printf("all %d processes agreed on %d using %d swap objects (%d swaps, %d laps)\n",
+		n, decided[0], params.NumObjects(), st.Swaps.Load(), st.Laps.Load())
+}

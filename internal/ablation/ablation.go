@@ -1,0 +1,278 @@
+// Package ablation implements parameterized variants of the paper's
+// Algorithm 1 that ablate its design choices one at a time, turning the
+// proof's load-bearing ingredients into executable experiments:
+//
+//   - Margin: the "2 laps ahead" decision threshold of line 16. The
+//     agreement proof (Lemma 6) consumes exactly this margin — every
+//     contradiction derives from chains of U[v] >= U[v'] + 2. Margin = 1
+//     breaks agreement, and the counterexample finder exhibits a schedule;
+//     Margin >= 2 preserves it (larger margins only delay decisions).
+//
+//   - Objects: the number of swap objects. The paper proves ⌈n/k⌉-1 are
+//     necessary (Theorem 10) and n-k sufficient (Algorithm 1). Running the
+//     consensus instance (k = 1) with n-2 objects instead of n-1 must
+//     break: the ablation demonstrates the lower bound's content from the
+//     other side.
+//
+//   - ConflictReset: lines 4-5 restart the pass with conflict := False
+//     after a conflicted pass. Skipping the conflict check entirely
+//     (treating every pass as clean) destroys the ⟨V,p⟩-totality structure
+//     behind Observation 2 and with it agreement.
+//
+//   - TieBreak: line 15 picks the *smallest* value among the leaders. Any
+//     deterministic tie-break preserves correctness (the proof only uses
+//     "a component with maximal value is incremented"); TieBreakHighest
+//     exists to demonstrate that empirically.
+//
+// The experiments live in the package tests and in
+// BenchmarkAblation* of the root benchmark harness.
+package ablation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TieBreak selects among multiple leading values on line 15.
+type TieBreak int
+
+const (
+	// TieBreakLowest is the paper's choice: the smallest leading value.
+	TieBreakLowest TieBreak = iota + 1
+	// TieBreakHighest picks the largest leading value instead; safety is
+	// preserved (the proof does not depend on which leader is chosen).
+	TieBreakHighest
+)
+
+// String implements fmt.Stringer.
+func (t TieBreak) String() string {
+	switch t {
+	case TieBreakLowest:
+		return "lowest"
+	case TieBreakHighest:
+		return "highest"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(t))
+	}
+}
+
+// Options selects the ablations. The zero value (normalized by
+// withDefaults) reproduces Algorithm 1 exactly.
+type Options struct {
+	// Margin is the decision threshold of line 16: decide v when
+	// U[v] >= U[j] + Margin for all j != v. The paper uses 2.
+	Margin int
+	// Objects is the number of swap objects; 0 means the paper's n-k.
+	Objects int
+	// DisableConflictReset, when true, ignores the conflict flag: every
+	// completed pass counts as a lap regardless of what the swaps
+	// returned (ablates lines 5, 8-9, 13).
+	DisableConflictReset bool
+	// TieBreak is the line 15 rule; default TieBreakLowest.
+	TieBreak TieBreak
+}
+
+func (o Options) withDefaults(n, k int) Options {
+	if o.Margin == 0 {
+		o.Margin = 2
+	}
+	if o.Objects == 0 {
+		o.Objects = n - k
+	}
+	if o.TieBreak == 0 {
+		o.TieBreak = TieBreakLowest
+	}
+	return o
+}
+
+// Variant is a parameterized Algorithm 1 over plain swap objects.
+type Variant struct {
+	n, k, m int
+	opts    Options
+	specs   []model.ObjectSpec
+}
+
+var (
+	_ model.Protocol      = (*Variant)(nil)
+	_ model.InputDomainer = (*Variant)(nil)
+)
+
+// New constructs an n-process, m-valued k-set agreement variant.
+func New(n, k, m int, opts Options) (*Variant, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("ablation: need n > k >= 1, got n=%d k=%d", n, k)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("ablation: need m >= 2, got %d", m)
+	}
+	opts = opts.withDefaults(n, k)
+	if opts.Margin < 1 {
+		return nil, fmt.Errorf("ablation: margin %d < 1", opts.Margin)
+	}
+	if opts.Objects < 1 {
+		return nil, fmt.Errorf("ablation: objects %d < 1", opts.Objects)
+	}
+	if opts.TieBreak != TieBreakLowest && opts.TieBreak != TieBreakHighest {
+		return nil, fmt.Errorf("ablation: unknown tie break %d", int(opts.TieBreak))
+	}
+	init := model.Pair{First: make(model.Vec, m), Second: model.Nil{}}
+	specs := make([]model.ObjectSpec, opts.Objects)
+	for i := range specs {
+		specs[i] = model.ObjectSpec{Type: model.SwapType{}, Init: init}
+	}
+	return &Variant{n: n, k: k, m: m, opts: opts, specs: specs}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(n, k, m int, opts Options) *Variant {
+	v, err := New(n, k, m, opts)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Options returns the normalized options.
+func (v *Variant) Options() Options { return v.opts }
+
+// Faithful reports whether the variant is option-for-option the paper's
+// Algorithm 1 (no ablation active).
+func (v *Variant) Faithful() bool {
+	return v.opts.Margin == 2 && v.opts.Objects == v.n-v.k &&
+		!v.opts.DisableConflictReset && v.opts.TieBreak == TieBreakLowest
+}
+
+// Name implements model.Protocol.
+func (v *Variant) Name() string {
+	return fmt.Sprintf("ablation(n=%d,k=%d,m=%d,margin=%d,objs=%d,conflict=%t,tie=%s)",
+		v.n, v.k, v.m, v.opts.Margin, v.opts.Objects, !v.opts.DisableConflictReset, v.opts.TieBreak)
+}
+
+// NumProcesses implements model.Protocol.
+func (v *Variant) NumProcesses() int { return v.n }
+
+// InputDomain implements model.InputDomainer.
+func (v *Variant) InputDomain() int { return v.m }
+
+// Objects implements model.Protocol.
+func (v *Variant) Objects() []model.ObjectSpec { return v.specs }
+
+// vstate mirrors core's state machine.
+type vstate struct {
+	u        model.Vec
+	idx      int
+	conflict bool
+	decided  int
+}
+
+var _ model.State = vstate{}
+
+// Key implements model.State.
+func (s vstate) Key() string {
+	var b strings.Builder
+	b.WriteString(s.u.Key())
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.idx))
+	if s.conflict {
+		b.WriteString("/c")
+	}
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.decided))
+	return b.String()
+}
+
+// Init implements model.Protocol (lines 2-3).
+func (v *Variant) Init(pid, input int) model.State {
+	u := make(model.Vec, v.m)
+	u[input] = 1
+	return vstate{u: u, decided: -1}
+}
+
+// Poised implements model.Protocol (line 7).
+func (v *Variant) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(vstate)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	return model.Op{
+		Object: s.idx,
+		Kind:   model.OpSwap,
+		Arg:    model.Pair{First: s.u, Second: model.Int(pid)},
+	}, true
+}
+
+// Observe implements model.Protocol (lines 8-20 with ablations applied).
+func (v *Variant) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(vstate)
+	pair, ok := resp.(model.Pair)
+	if !ok {
+		panic(fmt.Sprintf("ablation: process %d: response %T is not a pair", pid, resp))
+	}
+	respU, ok := pair.First.(model.Vec)
+	if !ok {
+		panic(fmt.Sprintf("ablation: process %d: counter field %T", pid, pair.First))
+	}
+
+	next := s
+	mine := pair.Second != nil && model.ValuesEqual(pair.Second, model.Int(pid)) && respU.Equal(s.u)
+	if !mine {
+		next.conflict = true
+		if !respU.Equal(s.u) {
+			next.u = s.u.Clone().MaxInto(respU)
+		}
+	}
+
+	if s.idx+1 < v.opts.Objects {
+		next.idx = s.idx + 1
+		return next
+	}
+
+	next.idx = 0
+	if next.conflict && !v.opts.DisableConflictReset {
+		next.conflict = false
+		return next
+	}
+	next.conflict = false
+
+	// Lines 14-15 with the configured tie-break.
+	u := next.u
+	c := u.Max()
+	lead := -1
+	for j := range u {
+		if u[j] != c {
+			continue
+		}
+		if lead == -1 || v.opts.TieBreak == TieBreakHighest {
+			lead = j
+		}
+	}
+
+	// Line 16 with the configured margin.
+	ahead := true
+	for j := range u {
+		if j != lead && u[lead] < u[j]+v.opts.Margin {
+			ahead = false
+			break
+		}
+	}
+	if ahead {
+		next.decided = lead
+		return next
+	}
+	u2 := u.Clone()
+	u2[lead] = c + 1
+	next.u = u2
+	return next
+}
+
+// Decision implements model.Protocol.
+func (v *Variant) Decision(st model.State) (int, bool) {
+	s := st.(vstate)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}

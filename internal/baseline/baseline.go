@@ -1,0 +1,223 @@
+// Package baseline implements the algorithms the paper compares against
+// or builds upon, each as a model.Protocol so that the same schedulers,
+// model checker and lower-bound machinery drive them:
+//
+//   - PairConsensus: the folklore wait-free 2-process consensus from one
+//     swap object initialized to ⊥ (Section 1 of the paper).
+//   - Pairing: the Chaudhuri–Reiners-style wait-free n-process k-set
+//     agreement from n-k swap objects for k >= ⌈n/2⌉ (Section 1).
+//   - RacingCounters: obstruction-free n-process consensus from n
+//     single-writer registers, the Aspnes–Herlihy-style racing-counters
+//     algorithm referenced throughout the paper (Table 1 row
+//     "Consensus / Registers").
+//   - ReadableRace: obstruction-free n-process consensus from n-1
+//     readable swap objects in the style of Ellen, Gelashvili, Shavit and
+//     Zhu [15] (Table 1 row "Consensus / Readable swap, unbounded").
+//   - RegisterKSet: the simple obstruction-free k-set agreement from
+//     n-k+1 registers (n-k+1 processes run consensus, the other k-1
+//     decide their inputs), described in the paper's introduction.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// PairConsensus is the wait-free 2-process consensus algorithm from a
+// single swap object (Section 1): the object initially holds ⊥; both
+// processes swap their input in; the process that gets ⊥ back decides its
+// own input, the other decides the value it received.
+//
+// It is correct only for n = 2. Instantiating it with more processes (via
+// WithProcesses) yields a protocol that violates agreement, which the
+// counterexample finder in internal/lowerbound demonstrates — the reason
+// more objects are needed as n grows.
+type PairConsensus struct {
+	n int
+	m int
+}
+
+var (
+	_ model.Protocol      = (*PairConsensus)(nil)
+	_ model.InputDomainer = (*PairConsensus)(nil)
+)
+
+// NewPairConsensus returns the 2-process instance with input domain m.
+func NewPairConsensus(m int) *PairConsensus {
+	if m < 1 {
+		panic(fmt.Sprintf("baseline: m = %d", m))
+	}
+	return &PairConsensus{n: 2, m: m}
+}
+
+// WithProcesses returns a (deliberately incorrect for n > 2) n-process
+// instance sharing the same single swap object, used by the lower-bound
+// counterexample experiments.
+func (p *PairConsensus) WithProcesses(n int) *PairConsensus {
+	if n < 1 {
+		panic(fmt.Sprintf("baseline: n = %d", n))
+	}
+	return &PairConsensus{n: n, m: p.m}
+}
+
+// Name implements model.Protocol.
+func (p *PairConsensus) Name() string { return fmt.Sprintf("pair-consensus(n=%d,m=%d)", p.n, p.m) }
+
+// NumProcesses implements model.Protocol.
+func (p *PairConsensus) NumProcesses() int { return p.n }
+
+// InputDomain implements model.InputDomainer.
+func (p *PairConsensus) InputDomain() int { return p.m }
+
+// Objects implements model.Protocol: one swap object holding ⊥.
+func (p *PairConsensus) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: model.SwapType{}, Init: model.Nil{}}}
+}
+
+// pairState is the local state: input, and decided value (-1 = none).
+type pairState struct {
+	input   int
+	decided int
+}
+
+var _ model.State = pairState{}
+
+// Key implements model.State.
+func (s pairState) Key() string { return fmt.Sprintf("i%d/d%d", s.input, s.decided) }
+
+// Init implements model.Protocol.
+func (p *PairConsensus) Init(pid int, input int) model.State {
+	return pairState{input: input, decided: -1}
+}
+
+// Poised implements model.Protocol.
+func (p *PairConsensus) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(pairState)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	return model.Op{Object: 0, Kind: model.OpSwap, Arg: model.Int(s.input)}, true
+}
+
+// Observe implements model.Protocol: ⊥ back means "first", decide own
+// input; otherwise decide the received value.
+func (p *PairConsensus) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(pairState)
+	if _, isNil := resp.(model.Nil); isNil {
+		s.decided = s.input
+		return s
+	}
+	s.decided = int(resp.(model.Int))
+	return s
+}
+
+// Decision implements model.Protocol.
+func (p *PairConsensus) Decision(st model.State) (int, bool) {
+	s := st.(pairState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}
+
+// Pairing is the wait-free n-process k-set agreement from n-k swap
+// objects for k >= ⌈n/2⌉ described in Section 1: n-k disjoint pairs of
+// processes each run PairConsensus on their own swap object, and the
+// remaining 2k-n processes decide their own inputs immediately.
+//
+// Processes 2i and 2i+1 share object i for i < n-k; processes with pid >=
+// 2(n-k) are the free ones.
+type Pairing struct {
+	n, k, m int
+}
+
+var (
+	_ model.Protocol      = (*Pairing)(nil)
+	_ model.InputDomainer = (*Pairing)(nil)
+)
+
+// NewPairing constructs the pairing protocol. It requires n > k >= ⌈n/2⌉
+// (below ⌈n/2⌉ the construction does not apply, as the paper notes).
+func NewPairing(n, k, m int) (*Pairing, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("baseline: pairing needs n > k >= 1, got n=%d k=%d", n, k)
+	}
+	if 2*k < n {
+		return nil, fmt.Errorf("baseline: pairing needs k >= ⌈n/2⌉, got n=%d k=%d", n, k)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m = %d", m)
+	}
+	return &Pairing{n: n, k: k, m: m}, nil
+}
+
+// Name implements model.Protocol.
+func (p *Pairing) Name() string { return fmt.Sprintf("pairing(n=%d,k=%d,m=%d)", p.n, p.k, p.m) }
+
+// NumProcesses implements model.Protocol.
+func (p *Pairing) NumProcesses() int { return p.n }
+
+// InputDomain implements model.InputDomainer.
+func (p *Pairing) InputDomain() int { return p.m }
+
+// Objects implements model.Protocol: n-k swap objects holding ⊥.
+func (p *Pairing) Objects() []model.ObjectSpec {
+	specs := make([]model.ObjectSpec, p.n-p.k)
+	for i := range specs {
+		specs[i] = model.ObjectSpec{Type: model.SwapType{}, Init: model.Nil{}}
+	}
+	return specs
+}
+
+// pairingState reuses pairState plus the object assignment (-1 for free
+// processes, which decide instantly).
+type pairingState struct {
+	input   int
+	obj     int
+	decided int
+}
+
+var _ model.State = pairingState{}
+
+// Key implements model.State.
+func (s pairingState) Key() string { return fmt.Sprintf("i%d/o%d/d%d", s.input, s.obj, s.decided) }
+
+// Init implements model.Protocol.
+func (p *Pairing) Init(pid int, input int) model.State {
+	pairs := p.n - p.k
+	if pid >= 2*pairs {
+		// Free process: decides its own input without taking steps.
+		return pairingState{input: input, obj: -1, decided: input}
+	}
+	return pairingState{input: input, obj: pid / 2, decided: -1}
+}
+
+// Poised implements model.Protocol.
+func (p *Pairing) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(pairingState)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	return model.Op{Object: s.obj, Kind: model.OpSwap, Arg: model.Int(s.input)}, true
+}
+
+// Observe implements model.Protocol.
+func (p *Pairing) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(pairingState)
+	if _, isNil := resp.(model.Nil); isNil {
+		s.decided = s.input
+		return s
+	}
+	s.decided = int(resp.(model.Int))
+	return s
+}
+
+// Decision implements model.Protocol.
+func (p *Pairing) Decision(st model.State) (int, bool) {
+	s := st.(pairingState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}

@@ -1,0 +1,453 @@
+package baseline_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// --- PairConsensus: wait-free 2-process consensus from one swap object ---
+
+func TestNewPairConsensusObjects(t *testing.T) {
+	p := baseline.NewPairConsensus(2)
+	specs := p.Objects()
+	if len(specs) != 1 {
+		t.Fatalf("pair consensus uses %d objects, want 1", len(specs))
+	}
+	if _, ok := specs[0].Type.(model.SwapType); !ok {
+		t.Fatalf("pair consensus object is %s, want plain swap", specs[0].Type.Name())
+	}
+	if !model.SwapOnly(p) {
+		t.Fatal("pair consensus should be swap-only")
+	}
+}
+
+// TestPairConsensusExhaustive explores every interleaving of the
+// 2-process protocol for every input pair and checks wait-freedom (the
+// exploration is finite and every maximal execution decides), agreement,
+// and validity.
+func TestPairConsensusExhaustive(t *testing.T) {
+	p := baseline.NewPairConsensus(2)
+	for in0 := 0; in0 < 2; in0++ {
+		for in1 := 0; in1 < 2; in1++ {
+			c := model.MustNewConfig(p, []int{in0, in1})
+			res := check.Explore(p, c, []int{0, 1}, 1, check.ExploreLimits{})
+			if !res.Complete {
+				t.Fatalf("inputs (%d,%d): exploration incomplete — protocol not wait-free?", in0, in1)
+			}
+			if res.AgreementViolation != nil {
+				t.Fatalf("inputs (%d,%d): agreement violation:\n%v", in0, in1, res.AgreementViolation)
+			}
+			for _, v := range res.DecidedValues {
+				if v != in0 && v != in1 {
+					t.Fatalf("inputs (%d,%d): decided %d violates validity", in0, in1, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPairConsensusIsWaitFree checks that every schedule terminates in
+// exactly one step per process (the algorithm is a single swap).
+func TestPairConsensusIsWaitFree(t *testing.T) {
+	p := baseline.NewPairConsensus(2)
+	for _, order := range [][]int{{0, 1}, {1, 0}} {
+		c := model.MustNewConfig(p, []int{0, 1})
+		res, err := check.Run(p, c, &sched.Replay{Pids: order}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps != 2 {
+			t.Fatalf("order %v: took %d steps, want 2 (one swap each)", order, res.Steps)
+		}
+		if len(res.Decisions) != 2 {
+			t.Fatalf("order %v: %d processes decided, want 2", order, len(res.Decisions))
+		}
+	}
+}
+
+// TestPairConsensusFirstSwapperWins pins the algorithm's semantics: the
+// process that receives ⊥ decides its own input, the other adopts it.
+func TestPairConsensusFirstSwapperWins(t *testing.T) {
+	p := baseline.NewPairConsensus(2)
+	c := model.MustNewConfig(p, []int{0, 1})
+	res, err := check.Run(p, c, &sched.Replay{Pids: []int{1, 0}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0] != 1 || res.Decisions[1] != 1 {
+		t.Fatalf("p1 swapped first with input 1; decisions = %v, want both 1", res.Decisions)
+	}
+}
+
+// TestPairConsensusBreaksAtThree reproduces experiment X3: the same
+// protocol run with three processes violates agreement, demonstrating why
+// one swap object cannot solve consensus for n >= 3 and motivating the
+// n-1 lower bound (Theorem 10 base case).
+func TestPairConsensusBreaksAtThree(t *testing.T) {
+	p := baseline.NewPairConsensus(2).WithProcesses(3)
+	w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, lowerbound.SearchLimits{})
+	if err != nil {
+		t.Fatalf("expected an agreement violation with 3 processes: %v", err)
+	}
+	if w == nil {
+		t.Fatal("no witness returned")
+	}
+	if len(w.Decided) < 2 {
+		t.Fatalf("witness decided %v, want >= 2 distinct values", w.Decided)
+	}
+}
+
+// --- Pairing: wait-free k-set agreement from n-k swaps, k >= ⌈n/2⌉ ---
+
+func TestNewPairingValidation(t *testing.T) {
+	tests := []struct {
+		n, k, m int
+		ok      bool
+	}{
+		{4, 2, 3, true},  // k = n/2 exactly
+		{5, 3, 4, true},  // k = ⌈5/2⌉
+		{5, 2, 3, false}, // k < ⌈n/2⌉: pairing construction does not apply
+		{4, 4, 5, false}, // n <= k
+		{4, 0, 1, false}, // k < 1
+		{4, 2, 0, false}, // m < 1
+		{2, 1, 2, true},  // degenerate: one pair
+		{8, 4, 2, true},  // all processes paired
+		{9, 5, 6, true},  // one free process
+	}
+	for _, tt := range tests {
+		_, err := baseline.NewPairing(tt.n, tt.k, tt.m)
+		if (err == nil) != tt.ok {
+			t.Errorf("NewPairing(%d,%d,%d) err=%v, want ok=%v", tt.n, tt.k, tt.m, err, tt.ok)
+		}
+	}
+}
+
+func TestPairingObjectCount(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{4, 2}, {6, 3}, {7, 4}, {8, 5}} {
+		p, err := baseline.NewPairing(tt.n, tt.k, tt.k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(p.Objects()), tt.n-tt.k; got != want {
+			t.Errorf("pairing(n=%d,k=%d): %d objects, want n-k = %d", tt.n, tt.k, got, want)
+		}
+		if !model.SwapOnly(p) {
+			t.Errorf("pairing(n=%d,k=%d) should be swap-only", tt.n, tt.k)
+		}
+	}
+}
+
+// TestPairingExhaustive explores the full interleaving space of small
+// instances: the protocol is wait-free (finite space, all executions
+// decide) and never exceeds k decided values.
+func TestPairingExhaustive(t *testing.T) {
+	for _, tt := range []struct {
+		n, k   int
+		inputs []int
+	}{
+		{4, 2, []int{0, 1, 2, 0}},
+		{4, 2, []int{0, 0, 0, 0}},
+		{5, 3, []int{0, 1, 2, 3, 0}},
+		{3, 2, []int{0, 1, 2}},
+	} {
+		p, err := baseline.NewPairing(tt.n, tt.k, tt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.MustNewConfig(p, tt.inputs)
+		pids := make([]int, tt.n)
+		for i := range pids {
+			pids[i] = i
+		}
+		res := check.Explore(p, c, pids, tt.k, check.ExploreLimits{MaxConfigs: 500000})
+		if !res.Complete {
+			t.Fatalf("pairing(n=%d,k=%d): exploration incomplete", tt.n, tt.k)
+		}
+		if res.AgreementViolation != nil {
+			t.Fatalf("pairing(n=%d,k=%d): >%d values decided together:\n%v",
+				tt.n, tt.k, tt.k, res.AgreementViolation)
+		}
+		for _, v := range res.DecidedValues {
+			valid := false
+			for _, in := range tt.inputs {
+				if in == v {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("pairing(n=%d,k=%d): decided %d not an input of %v", tt.n, tt.k, v, tt.inputs)
+			}
+		}
+	}
+}
+
+// TestPairingAdversarial validates larger instances under the harness's
+// adversarial-schedule validator.
+func TestPairingAdversarial(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{6, 3}, {8, 4}, {9, 5}} {
+		p, err := baseline.NewPairing(tt.n, tt.k, tt.k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := harness.ValidateProtocol(p, tt.k, harness.ValidateOptions{Schedules: 15, Seed: 7}); err != nil {
+			t.Errorf("pairing(n=%d,k=%d): %v", tt.n, tt.k, err)
+		}
+	}
+}
+
+// --- RacingCounters: obstruction-free consensus from n registers ---
+
+func TestNewRacingCountersValidation(t *testing.T) {
+	if _, err := baseline.NewRacingCounters(0, 2); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+	if _, err := baseline.NewRacingCounters(2, 0); err == nil {
+		t.Error("m=0 should be rejected")
+	}
+}
+
+func TestRacingCountersObjectCount(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		rc, err := baseline.NewRacingCounters(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(rc.Objects()); got != n {
+			t.Errorf("n=%d: %d objects, want n registers", n, got)
+		}
+		if !model.HistorylessOnly(rc) {
+			t.Errorf("n=%d: registers are historyless; HistorylessOnly should hold", n)
+		}
+		if model.SwapOnly(rc) {
+			t.Errorf("n=%d: registers are not swap objects", n)
+		}
+	}
+}
+
+func TestRacingCountersAdversarial(t *testing.T) {
+	for _, tt := range []struct{ n, m int }{{2, 2}, {3, 2}, {3, 3}, {5, 2}} {
+		rc, err := baseline.NewRacingCounters(tt.n, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := harness.ValidateProtocol(rc, 1, harness.ValidateOptions{Schedules: 15, Seed: 3}); err != nil {
+			t.Errorf("racing(n=%d,m=%d): %v", tt.n, tt.m, err)
+		}
+	}
+}
+
+// TestRacingCountersSoloDecidesOwnInput: from an initial configuration, a
+// solo runner faces no contention and must decide its own input.
+func TestRacingCountersSoloDecidesOwnInput(t *testing.T) {
+	rc, err := baseline.NewRacingCounters(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 4; pid++ {
+		inputs := []int{1, 2, 1, 2}
+		c := model.MustNewConfig(rc, inputs)
+		res, err := check.SoloRun(rc, c, pid, 4096)
+		if err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if got := res.Decisions[pid]; got != inputs[pid] {
+			t.Errorf("pid %d decided %d solo, want its input %d", pid, got, inputs[pid])
+		}
+	}
+}
+
+// --- ReadableRace: EGSZ-style consensus from n-1 readable swaps ---
+
+func TestNewReadableRaceValidation(t *testing.T) {
+	if _, err := baseline.NewReadableRace(1, 2); err == nil {
+		t.Error("n=1 should be rejected (needs n >= 2)")
+	}
+	if _, err := baseline.NewReadableRace(3, 0); err == nil {
+		t.Error("m=0 should be rejected")
+	}
+}
+
+func TestReadableRaceObjectCount(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		rr, err := baseline.NewReadableRace(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(rr.Objects()); got != n-1 {
+			t.Errorf("n=%d: %d objects, want n-1 = %d (Table 1 UB [15])", n, got, n-1)
+		}
+		for i, spec := range rr.Objects() {
+			rs, ok := spec.Type.(model.ReadableSwapType)
+			if !ok || rs.Domain != 0 {
+				t.Errorf("n=%d object %d: %s, want unbounded readable swap", n, i, spec.Type.Name())
+			}
+		}
+	}
+}
+
+func TestReadableRaceAdversarial(t *testing.T) {
+	for _, tt := range []struct{ n, m int }{{2, 2}, {3, 2}, {4, 3}} {
+		rr, err := baseline.NewReadableRace(tt.n, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := harness.ValidateProtocol(rr, 1, harness.ValidateOptions{Schedules: 15, Seed: 11}); err != nil {
+			t.Errorf("readable-race(n=%d,m=%d): %v", tt.n, tt.m, err)
+		}
+	}
+}
+
+func TestReadableRaceSoloDecidesOwnInput(t *testing.T) {
+	rr, err := baseline.NewReadableRace(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 3; pid++ {
+		inputs := []int{0, 1, 0}
+		c := model.MustNewConfig(rr, inputs)
+		res, err := check.SoloRun(rr, c, pid, 4096)
+		if err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if got := res.Decisions[pid]; got != inputs[pid] {
+			t.Errorf("pid %d decided %d solo, want %d", pid, got, inputs[pid])
+		}
+	}
+}
+
+// --- RegisterKSet: obstruction-free k-set agreement from n-k+1 registers ---
+
+func TestNewRegisterKSetValidation(t *testing.T) {
+	if _, err := baseline.NewRegisterKSet(3, 3, 4); err == nil {
+		t.Error("n <= k should be rejected")
+	}
+	if _, err := baseline.NewRegisterKSet(3, 0, 2); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+}
+
+func TestRegisterKSetObjectCount(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{4, 2}, {5, 2}, {6, 3}, {7, 1}} {
+		p, err := baseline.NewRegisterKSet(tt.n, tt.k, tt.k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(p.Objects()), tt.n-tt.k+1; got != want {
+			t.Errorf("registerKSet(n=%d,k=%d): %d objects, want n-k+1 = %d", tt.n, tt.k, got, want)
+		}
+	}
+}
+
+func TestRegisterKSetAdversarial(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{4, 2}, {5, 3}, {6, 2}} {
+		p, err := baseline.NewRegisterKSet(tt.n, tt.k, tt.k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := harness.ValidateProtocol(p, tt.k, harness.ValidateOptions{Schedules: 15, Seed: 5}); err != nil {
+			t.Errorf("registerKSet(n=%d,k=%d): %v", tt.n, tt.k, err)
+		}
+	}
+}
+
+// TestRegisterKSetFreeProcessesDecideInstantly: the k-1 processes outside
+// the consensus cohort decide their own input in one step with no shared
+// accesses.
+func TestRegisterKSetFreeProcessesDecideInstantly(t *testing.T) {
+	p, err := baseline.NewRegisterKSet(5, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1, 2, 3, 1}
+	// Processes n-k+1 .. n-1 are free: pids 3 and 4.
+	for _, pid := range []int{3, 4} {
+		c := model.MustNewConfig(p, inputs)
+		res, err := check.SoloRun(p, c, pid, 8)
+		if err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if got := res.Decisions[pid]; got != inputs[pid] {
+			t.Errorf("free pid %d decided %d, want its input %d", pid, got, inputs[pid])
+		}
+	}
+}
+
+// --- ToyBitRace: the deliberately broken bounded-domain protocol ---
+
+func TestNewToyBitRaceValidation(t *testing.T) {
+	if _, err := baseline.NewToyBitRace(0, 3); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+	if _, err := baseline.NewToyBitRace(3, 0); err == nil {
+		t.Error("bits=0 should be rejected")
+	}
+}
+
+func TestToyBitRaceObjectsAreBinary(t *testing.T) {
+	tb, err := baseline.NewToyBitRace(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.Objects()); got != 4 {
+		t.Fatalf("%d objects, want 4", got)
+	}
+	for i, spec := range tb.Objects() {
+		rs, ok := spec.Type.(model.ReadableSwapType)
+		if !ok || rs.Domain != 2 {
+			t.Errorf("object %d: %s, want readable swap with domain 2", i, spec.Type.Name())
+		}
+	}
+}
+
+func TestToyBitRaceSoloTerminates(t *testing.T) {
+	tb, err := baseline.NewToyBitRace(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 3; pid++ {
+		c := model.MustNewConfig(tb, []int{1, 0, 1})
+		res, err := check.SoloRun(tb, c, pid, 256)
+		if err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		want := []int{1, 0, 1}[pid]
+		if got := res.Decisions[pid]; got != want {
+			t.Errorf("pid %d decided %d solo, want %d", pid, got, want)
+		}
+	}
+}
+
+// TestToyBitRaceIsBroken documents that the toy protocol is NOT a correct
+// consensus algorithm: the counterexample finder exhibits an agreement
+// violation, confirming the lower-bound machinery detects broken
+// bounded-domain protocols (its intended role).
+func TestToyBitRaceIsBroken(t *testing.T) {
+	tb, err := baseline.NewToyBitRace(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1, 1}
+	w, err := lowerbound.FindAgreementViolation(tb, inputs, 1, lowerbound.SearchLimits{MaxConfigs: 300000})
+	if err != nil {
+		t.Fatalf("expected to find an agreement violation: %v", err)
+	}
+	if len(w.Decided) < 2 {
+		t.Fatalf("witness decided %v, want two distinct values", w.Decided)
+	}
+	// Replay the witness schedule and confirm it reproduces the violation.
+	c := model.MustNewConfig(tb, inputs)
+	res, err := check.Run(tb, c, &sched.Replay{Pids: w.Schedule}, len(w.Schedule)+1)
+	if err != nil && !errors.Is(err, check.ErrStepLimit) {
+		t.Fatal(err)
+	}
+	if got := res.DecidedValues(); len(got) < 2 {
+		t.Fatalf("replayed witness decided %v, want the original violation %v", got, w.Decided)
+	}
+}

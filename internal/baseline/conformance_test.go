@@ -1,0 +1,130 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestProtocolConformance drives every baseline protocol through a
+// uniform battery: non-empty Name, consistent object specs, distinct
+// state keys as the execution progresses, and a clean short run. This
+// complements the per-protocol semantic tests with interface-contract
+// coverage.
+func TestProtocolConformance(t *testing.T) {
+	pairing, err := baseline.NewPairing(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	racing, err := baseline.NewRacingCounters(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readable, err := baseline.NewReadableRace(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rks, err := baseline.NewRegisterKSet(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toybit, err := baseline.NewToyBitRace(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := []struct {
+		p        model.Protocol
+		wantName string
+	}{
+		{baseline.NewPairConsensus(2), "pair-consensus"},
+		{pairing, "pairing"},
+		{racing, "racing"},
+		{readable, "readable-race"},
+		{rks, "register-kset"},
+		{toybit, "toy-bit-race"},
+	}
+	for _, tt := range protos {
+		t.Run(tt.p.Name(), func(t *testing.T) {
+			if !strings.Contains(tt.p.Name(), tt.wantName) {
+				t.Errorf("Name = %q, want substring %q", tt.p.Name(), tt.wantName)
+			}
+			if len(tt.p.Objects()) == 0 {
+				t.Fatal("no objects")
+			}
+			for i, spec := range tt.p.Objects() {
+				if spec.Type == nil {
+					t.Fatalf("object %d has no type", i)
+				}
+				if spec.String() == "" {
+					t.Fatalf("object %d renders empty", i)
+				}
+			}
+			n := tt.p.NumProcesses()
+			m := model.InputDomain(tt.p)
+			if m < 2 {
+				t.Fatalf("input domain %d", m)
+			}
+			inputs := make([]int, n)
+			for i := range inputs {
+				inputs[i] = i % m
+			}
+			c := model.MustNewConfig(tt.p, inputs)
+
+			// State keys must change as processes take steps (otherwise
+			// exploration dedup would be unsound).
+			before := c.StateKey([]int{0})
+			if _, err := model.Apply(tt.p, c, 0); err != nil {
+				t.Fatal(err)
+			}
+			after := c.StateKey([]int{0})
+			if before == after {
+				t.Error("p0's state key unchanged after a step")
+			}
+
+			// A short random run followed by replay must not error.
+			if _, err := check.Run(tt.p, c, sched.NewRandom(1), 3*n); err != nil && res(err) {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// res filters the expected step-limit error.
+func res(err error) bool {
+	return err != nil && !isStepLimit(err)
+}
+
+func isStepLimit(err error) bool {
+	return err == check.ErrStepLimit || strings.Contains(err.Error(), "step limit")
+}
+
+// TestPassLength exposes the racing counters pass structure used in the
+// solo census arithmetic: one write plus n reads.
+func TestPassLength(t *testing.T) {
+	rc, err := baseline.NewRacingCounters(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rc.PassLength(), 6; got != want {
+		t.Fatalf("PassLength = %d, want 1+n = %d", got, want)
+	}
+}
+
+// TestWithProcessesKeepsObjectLayout: the overloaded pair consensus keeps
+// its single object (that is the point of the counterexample).
+func TestWithProcessesKeepsObjectLayout(t *testing.T) {
+	p := baseline.NewPairConsensus(3).WithProcesses(5)
+	if p.NumProcesses() != 5 {
+		t.Fatalf("NumProcesses = %d", p.NumProcesses())
+	}
+	if len(p.Objects()) != 1 {
+		t.Fatalf("objects = %d, want 1", len(p.Objects()))
+	}
+	if p.InputDomain() != 3 {
+		t.Fatalf("InputDomain = %d, want 3", p.InputDomain())
+	}
+}

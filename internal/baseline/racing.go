@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// RacingCounters is the Aspnes–Herlihy-style obstruction-free m-valued
+// consensus from n single-writer registers, the algorithm behind the
+// Table 1 row "Consensus / Registers" (upper bound n, [3, 12]).
+//
+// Register j is written only by process j and holds a ⟨preference, round⟩
+// pair. A process writes its current preference and round, then reads all
+// n registers one at a time; if its preferred value's maximum round is at
+// least two ahead of every other value's, it decides; otherwise it adopts
+// the leading value (ties broken toward the smaller value) and re-enters
+// the race one round above the maximum it saw.
+//
+// A solo runner increases its own value's lead by one per pass and decides
+// after at most three passes, so the algorithm is obstruction-free. Under
+// contention the race can continue indefinitely, as obstruction-freedom
+// permits.
+type RacingCounters struct {
+	n, m int
+}
+
+var (
+	_ model.Protocol      = (*RacingCounters)(nil)
+	_ model.InputDomainer = (*RacingCounters)(nil)
+)
+
+// NewRacingCounters constructs the n-process, m-valued instance.
+func NewRacingCounters(n, m int) (*RacingCounters, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: racing counters needs n >= 1, got %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m = %d", m)
+	}
+	return &RacingCounters{n: n, m: m}, nil
+}
+
+// Name implements model.Protocol.
+func (rc *RacingCounters) Name() string {
+	return fmt.Sprintf("racing-counters(n=%d,m=%d)", rc.n, rc.m)
+}
+
+// NumProcesses implements model.Protocol.
+func (rc *RacingCounters) NumProcesses() int { return rc.n }
+
+// InputDomain implements model.InputDomainer.
+func (rc *RacingCounters) InputDomain() int { return rc.m }
+
+// Objects implements model.Protocol: n registers, initially ⊥ (unwritten).
+func (rc *RacingCounters) Objects() []model.ObjectSpec {
+	specs := make([]model.ObjectSpec, rc.n)
+	for i := range specs {
+		specs[i] = model.ObjectSpec{Type: model.RegisterType{}, Init: model.Nil{}}
+	}
+	return specs
+}
+
+// racingState is the per-process state machine. A pass consists of one
+// Write step followed by n Read steps; maxima over the scan accumulate in
+// seen.
+type racingState struct {
+	pref    int
+	round   int
+	phase   int // 0 = about to write; 1..n = about to read register phase-1
+	seen    model.Vec
+	decided int
+}
+
+var _ model.State = racingState{}
+
+// Key implements model.State.
+func (s racingState) Key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(s.pref))
+	b.WriteByte('@')
+	b.WriteString(strconv.Itoa(s.round))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.phase))
+	b.WriteByte('/')
+	b.WriteString(s.seen.Key())
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.decided))
+	return b.String()
+}
+
+// Init implements model.Protocol.
+func (rc *RacingCounters) Init(pid int, input int) model.State {
+	return racingState{pref: input, round: 1, phase: 0, seen: make(model.Vec, rc.m), decided: -1}
+}
+
+// Poised implements model.Protocol.
+func (rc *RacingCounters) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(racingState)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	if s.phase == 0 {
+		return model.Op{
+			Object: pid,
+			Kind:   model.OpWrite,
+			Arg:    model.Pair{First: model.Int(s.pref), Second: model.Int(s.round)},
+		}, true
+	}
+	return model.Op{Object: s.phase - 1, Kind: model.OpRead}, true
+}
+
+// Observe implements model.Protocol.
+func (rc *RacingCounters) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(racingState)
+	next := s
+	switch {
+	case s.phase == 0:
+		// Write acknowledged; start the scan with a fresh maxima vector.
+		next.seen = make(model.Vec, rc.m)
+		next.phase = 1
+		return next
+	default:
+		// Merge the read into the scan maxima.
+		if p, ok := resp.(model.Pair); ok {
+			w := int(p.First.(model.Int))
+			r := int(p.Second.(model.Int))
+			if r > s.seen[w] {
+				next.seen = s.seen.Clone()
+				next.seen[w] = r
+			}
+		}
+		if s.phase < rc.n {
+			next.phase = s.phase + 1
+			return next
+		}
+	}
+
+	// Scan complete: decide or adopt-and-advance.
+	seen := next.seen
+	lead := seen.ArgMax()
+	top := seen[lead]
+	ahead := true
+	for w := range seen {
+		if w != lead && top < seen[w]+2 {
+			ahead = false
+			break
+		}
+	}
+	if ahead && top >= 1 {
+		next.decided = lead
+		return next
+	}
+	next.pref = lead
+	next.round = top + 1
+	next.phase = 0
+	return next
+}
+
+// Decision implements model.Protocol.
+func (rc *RacingCounters) Decision(st model.State) (int, bool) {
+	s := st.(racingState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}
+
+// PassLength returns the number of steps in one write-scan pass (1 + n).
+func (rc *RacingCounters) PassLength() int { return 1 + rc.n }

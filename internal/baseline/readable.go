@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ReadableRace is an obstruction-free, m-valued consensus algorithm from
+// n-1 readable swap objects in the style of Ellen, Gelashvili, Shavit and
+// Zhu [15] (Table 1 row "Consensus / Readable swap objects with unbounded
+// domain", upper bound n-1). The paper's Algorithm 1 is itself modelled on
+// this algorithm; ReadableRace differs by exploiting the Read operation:
+// each pass begins by reading every object and merging any lap counters
+// seen (a cheap catch-up that modifies nothing), followed by the same
+// claim-by-swap pass as Algorithm 1 with the usual conflict detection.
+//
+// Completing a lap still requires observing the process's own ⟨U, pid⟩ as
+// the response of all n-1 swaps, so the ⟨V, p⟩-totality structure behind
+// Algorithm 1's agreement proof (Observation 2 of the paper) is preserved;
+// the read pass only merges information and cannot manufacture a lap.
+type ReadableRace struct {
+	n, m  int
+	specs []model.ObjectSpec
+}
+
+var (
+	_ model.Protocol      = (*ReadableRace)(nil)
+	_ model.InputDomainer = (*ReadableRace)(nil)
+)
+
+// NewReadableRace constructs the n-process, m-valued instance over n-1
+// readable swap objects.
+func NewReadableRace(n, m int) (*ReadableRace, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: readable race needs n >= 2, got %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m = %d", m)
+	}
+	init := model.Pair{First: make(model.Vec, m), Second: model.Nil{}}
+	specs := make([]model.ObjectSpec, n-1)
+	for i := range specs {
+		specs[i] = model.ObjectSpec{Type: model.ReadableSwapType{}, Init: init}
+	}
+	return &ReadableRace{n: n, m: m, specs: specs}, nil
+}
+
+// Name implements model.Protocol.
+func (rr *ReadableRace) Name() string { return fmt.Sprintf("readable-race(n=%d,m=%d)", rr.n, rr.m) }
+
+// NumProcesses implements model.Protocol.
+func (rr *ReadableRace) NumProcesses() int { return rr.n }
+
+// InputDomain implements model.InputDomainer.
+func (rr *ReadableRace) InputDomain() int { return rr.m }
+
+// Objects implements model.Protocol.
+func (rr *ReadableRace) Objects() []model.ObjectSpec { return rr.specs }
+
+// rrState: reading phase covers objects [0, n-1), then swapping phase.
+type rrState struct {
+	u        model.Vec
+	idx      int
+	swapping bool
+	conflict bool
+	decided  int
+}
+
+var _ model.State = rrState{}
+
+// Key implements model.State.
+func (s rrState) Key() string {
+	var b strings.Builder
+	b.WriteString(s.u.Key())
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.idx))
+	if s.swapping {
+		b.WriteString("/s")
+	}
+	if s.conflict {
+		b.WriteString("/c")
+	}
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.decided))
+	return b.String()
+}
+
+// Init implements model.Protocol.
+func (rr *ReadableRace) Init(pid int, input int) model.State {
+	u := make(model.Vec, rr.m)
+	u[input] = 1
+	return rrState{u: u, decided: -1}
+}
+
+// Poised implements model.Protocol.
+func (rr *ReadableRace) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(rrState)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	if !s.swapping {
+		return model.Op{Object: s.idx, Kind: model.OpRead}, true
+	}
+	return model.Op{
+		Object: s.idx,
+		Kind:   model.OpSwap,
+		Arg:    model.Pair{First: s.u, Second: model.Int(pid)},
+	}, true
+}
+
+// Observe implements model.Protocol.
+func (rr *ReadableRace) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(rrState)
+	next := s
+	p, ok := resp.(model.Pair)
+	if !ok {
+		panic(fmt.Sprintf("baseline: readable race: response %T", resp))
+	}
+	respU := p.First.(model.Vec)
+	respID := p.Second
+
+	if !s.swapping {
+		// Read pass: merge only.
+		if !respU.Equal(s.u) {
+			next.u = s.u.Clone().MaxInto(respU)
+		}
+		if s.idx+1 < rr.n-1 {
+			next.idx = s.idx + 1
+			return next
+		}
+		next.idx = 0
+		next.swapping = true
+		next.conflict = false
+		return next
+	}
+
+	// Swap pass: Algorithm 1's conflict detection and merge.
+	mine := model.ValuesEqual(respID, model.Int(pid)) && respU.Equal(s.u)
+	if !mine {
+		next.conflict = true
+		if !respU.Equal(s.u) {
+			next.u = s.u.Clone().MaxInto(respU)
+		}
+	}
+	if s.idx+1 < rr.n-1 {
+		next.idx = s.idx + 1
+		return next
+	}
+
+	// Pass complete.
+	next.idx = 0
+	next.swapping = false
+	if next.conflict {
+		next.conflict = false
+		return next
+	}
+	u := next.u
+	lead := u.ArgMax()
+	top := u[lead]
+	ahead := true
+	for j := range u {
+		if j != lead && top < u[j]+2 {
+			ahead = false
+			break
+		}
+	}
+	if ahead {
+		next.decided = lead
+		return next
+	}
+	u2 := u.Clone()
+	u2[lead] = top + 1
+	next.u = u2
+	return next
+}
+
+// Decision implements model.Protocol.
+func (rr *ReadableRace) Decision(st model.State) (int, bool) {
+	s := st.(rrState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// RegisterKSet is the simple obstruction-free k-set agreement from n-k+1
+// registers described in the paper's introduction: processes 0..n-k (that
+// is, n-k+1 of them) solve consensus using the n-k+1 registers via
+// RacingCounters, and the remaining k-1 processes decide their own inputs
+// without taking any steps. At most (k-1)+1 = k values are decided.
+type RegisterKSet struct {
+	n, k, m int
+	inner   *RacingCounters
+}
+
+var (
+	_ model.Protocol      = (*RegisterKSet)(nil)
+	_ model.InputDomainer = (*RegisterKSet)(nil)
+)
+
+// NewRegisterKSet constructs the n-process, m-valued, k-set agreement
+// instance from n-k+1 registers.
+func NewRegisterKSet(n, k, m int) (*RegisterKSet, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("baseline: register k-set needs n > k >= 1, got n=%d k=%d", n, k)
+	}
+	inner, err := NewRacingCounters(n-k+1, m)
+	if err != nil {
+		return nil, err
+	}
+	return &RegisterKSet{n: n, k: k, m: m, inner: inner}, nil
+}
+
+// Name implements model.Protocol.
+func (p *RegisterKSet) Name() string {
+	return fmt.Sprintf("register-kset(n=%d,k=%d,m=%d)", p.n, p.k, p.m)
+}
+
+// NumProcesses implements model.Protocol.
+func (p *RegisterKSet) NumProcesses() int { return p.n }
+
+// InputDomain implements model.InputDomainer.
+func (p *RegisterKSet) InputDomain() int { return p.m }
+
+// Objects implements model.Protocol: the inner consensus's n-k+1 registers.
+func (p *RegisterKSet) Objects() []model.ObjectSpec { return p.inner.Objects() }
+
+// freeState is the state of a free process, which decides its input with
+// no shared-memory steps.
+type freeState struct{ decided int }
+
+var _ model.State = freeState{}
+
+// Key implements model.State.
+func (s freeState) Key() string { return fmt.Sprintf("free/d%d", s.decided) }
+
+// Init implements model.Protocol.
+func (p *RegisterKSet) Init(pid int, input int) model.State {
+	if pid >= p.inner.NumProcesses() {
+		return freeState{decided: input}
+	}
+	return p.inner.Init(pid, input)
+}
+
+// Poised implements model.Protocol.
+func (p *RegisterKSet) Poised(pid int, st model.State) (model.Op, bool) {
+	if _, free := st.(freeState); free {
+		return model.Op{}, false
+	}
+	return p.inner.Poised(pid, st)
+}
+
+// Observe implements model.Protocol.
+func (p *RegisterKSet) Observe(pid int, st model.State, resp model.Value) model.State {
+	return p.inner.Observe(pid, st, resp)
+}
+
+// Decision implements model.Protocol.
+func (p *RegisterKSet) Decision(st model.State) (int, bool) {
+	if s, free := st.(freeState); free {
+		return s.decided, true
+	}
+	return p.inner.Decision(st)
+}

@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds goroutine/atomics runtime forms of the two consensus
+// baselines, mirroring their model state machines step for step. Together
+// with core.SetAgreement (Algorithm 1 on plain swap objects) they allow
+// the runtime cross-family comparison implied by Table 1: consensus from
+// swap (n−1 objects), from readable swap (n−1 objects), and from
+// registers (n objects), all on real hardware atomics.
+
+// rtBackoff is the shared contention-management helper: randomized
+// exponential backoff after a conflicted pass.
+type rtBackoff struct {
+	rng *rand.Rand
+	cur time.Duration
+	max time.Duration
+}
+
+func newRTBackoff(seed int64) *rtBackoff {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &rtBackoff{rng: rand.New(rand.NewSource(seed)), cur: 500 * time.Nanosecond, max: 64 * time.Microsecond}
+}
+
+func (b *rtBackoff) pause() {
+	d := time.Duration(b.rng.Int63n(int64(b.cur) + 1))
+	time.Sleep(d)
+	if b.cur < b.max {
+		b.cur *= 2
+	}
+}
+
+func (b *rtBackoff) reset() { b.cur = 500 * time.Nanosecond }
+
+// rrCell is one readable swap object's value: a lap counter and the id of
+// the last swapper (-1 initially).
+type rrCell struct {
+	u   []int
+	pid int
+}
+
+// ReadableRaceRuntime is the EGSZ-style obstruction-free consensus from
+// n−1 readable swap objects, on atomic cells (Read = atomic load, Swap =
+// atomic exchange). Single-shot: each process calls Propose at most once.
+type ReadableRaceRuntime struct {
+	n, m int
+	seed int64
+	objs []atomic.Pointer[rrCell]
+
+	// Reads and Swaps count shared-memory operations (diagnostics).
+	Reads, Swaps atomic.Int64
+}
+
+// NewReadableRaceRuntime constructs the n-process, m-valued runtime
+// instance over n−1 readable swap objects.
+func NewReadableRaceRuntime(n, m int, seed int64) (*ReadableRaceRuntime, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: runtime readable race needs n >= 2, got %d", n)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("baseline: m = %d", m)
+	}
+	rr := &ReadableRaceRuntime{n: n, m: m, seed: seed, objs: make([]atomic.Pointer[rrCell], n-1)}
+	initial := &rrCell{u: make([]int, m), pid: -1}
+	for i := range rr.objs {
+		rr.objs[i].Store(initial)
+	}
+	return rr, nil
+}
+
+// Objects returns the object count (n−1, the Table 1 upper bound [15]).
+func (rr *ReadableRaceRuntime) Objects() int { return rr.n - 1 }
+
+// Propose runs the readable race for process pid with input v and returns
+// the decided value. Obstruction-free: it may spin under sustained
+// contention; randomized backoff is applied after conflicted passes.
+func (rr *ReadableRaceRuntime) Propose(pid, v int) (int, error) {
+	if pid < 0 || pid >= rr.n {
+		return 0, fmt.Errorf("baseline: pid %d outside [0,%d)", pid, rr.n)
+	}
+	if v < 0 || v >= rr.m {
+		return 0, fmt.Errorf("baseline: input %d outside [0,%d)", v, rr.m)
+	}
+	u := make([]int, rr.m)
+	u[v] = 1
+	bo := newRTBackoff(rr.seed + int64(pid) + 1)
+
+	merge := func(dst, src []int) {
+		for j := range dst {
+			if src[j] > dst[j] {
+				dst[j] = src[j]
+			}
+		}
+	}
+	for {
+		// Read pass: cheap catch-up, modifies nothing.
+		for i := range rr.objs {
+			c := rr.objs[i].Load()
+			rr.Reads.Add(1)
+			merge(u, c.u)
+		}
+		// Swap pass with conflict detection.
+		conflict := false
+		for i := range rr.objs {
+			mine := &rrCell{u: append([]int(nil), u...), pid: pid}
+			prev := rr.objs[i].Swap(mine)
+			rr.Swaps.Add(1)
+			if prev.pid != pid || !intsEq(prev.u, u) {
+				conflict = true
+				merge(u, prev.u)
+			}
+		}
+		if conflict {
+			bo.pause()
+			continue
+		}
+		bo.reset()
+		// Clean lap: leader selection and the 2-ahead check.
+		lead, top := 0, u[0]
+		for j := 1; j < rr.m; j++ {
+			if u[j] > top {
+				lead, top = j, u[j]
+			}
+		}
+		ahead := true
+		for j := range u {
+			if j != lead && top < u[j]+2 {
+				ahead = false
+				break
+			}
+		}
+		if ahead {
+			return lead, nil
+		}
+		u[lead] = top + 1
+	}
+}
+
+// rcCell is one register's value: a preference and its round.
+type rcCell struct {
+	w, r int
+}
+
+// RacingCountersRuntime is the racing-counters consensus from n registers
+// on atomic cells (Write = atomic store, Read = atomic load).
+// Single-shot per process.
+type RacingCountersRuntime struct {
+	n, m int
+	seed int64
+	regs []atomic.Pointer[rcCell]
+
+	// Reads and Writes count shared-memory operations (diagnostics).
+	Reads, Writes atomic.Int64
+}
+
+// NewRacingCountersRuntime constructs the n-process, m-valued runtime
+// instance over n registers.
+func NewRacingCountersRuntime(n, m int, seed int64) (*RacingCountersRuntime, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: runtime racing counters needs n >= 1, got %d", n)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("baseline: m = %d", m)
+	}
+	rc := &RacingCountersRuntime{n: n, m: m, seed: seed, regs: make([]atomic.Pointer[rcCell], n)}
+	initial := &rcCell{w: -1, r: 0}
+	for i := range rc.regs {
+		rc.regs[i].Store(initial)
+	}
+	return rc, nil
+}
+
+// Objects returns the register count (n, the Table 1 upper bound [3,12]).
+func (rc *RacingCountersRuntime) Objects() int { return rc.n }
+
+// Propose runs the race for process pid with input v and returns the
+// decided value.
+func (rc *RacingCountersRuntime) Propose(pid, v int) (int, error) {
+	if pid < 0 || pid >= rc.n {
+		return 0, fmt.Errorf("baseline: pid %d outside [0,%d)", pid, rc.n)
+	}
+	if v < 0 || v >= rc.m {
+		return 0, fmt.Errorf("baseline: input %d outside [0,%d)", v, rc.m)
+	}
+	pref, round := v, 1
+	bo := newRTBackoff(rc.seed + int64(pid) + 1)
+	for {
+		rc.regs[pid].Store(&rcCell{w: pref, r: round})
+		rc.Writes.Add(1)
+		seen := make([]int, rc.m)
+		for i := range rc.regs {
+			c := rc.regs[i].Load()
+			rc.Reads.Add(1)
+			if c.w >= 0 && c.r > seen[c.w] {
+				seen[c.w] = c.r
+			}
+		}
+		lead, top := 0, seen[0]
+		for j := 1; j < rc.m; j++ {
+			if seen[j] > top {
+				lead, top = j, seen[j]
+			}
+		}
+		ahead := true
+		for w := range seen {
+			if w != lead && top < seen[w]+2 {
+				ahead = false
+				break
+			}
+		}
+		if ahead && top >= 1 {
+			return lead, nil
+		}
+		pref, round = lead, top+1
+		bo.pause()
+	}
+}
+
+func intsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package baseline_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestNewReadableRaceRuntimeValidation(t *testing.T) {
+	if _, err := baseline.NewReadableRaceRuntime(1, 2, 0); err == nil {
+		t.Error("n=1 must be rejected")
+	}
+	if _, err := baseline.NewReadableRaceRuntime(3, 1, 0); err == nil {
+		t.Error("m=1 must be rejected")
+	}
+	rr, err := baseline.NewReadableRaceRuntime(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Objects() != 4 {
+		t.Errorf("Objects = %d, want n-1 = 4", rr.Objects())
+	}
+}
+
+func TestNewRacingCountersRuntimeValidation(t *testing.T) {
+	if _, err := baseline.NewRacingCountersRuntime(0, 2, 0); err == nil {
+		t.Error("n=0 must be rejected")
+	}
+	rc, err := baseline.NewRacingCountersRuntime(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Objects() != 4 {
+		t.Errorf("Objects = %d, want n = 4", rc.Objects())
+	}
+}
+
+func TestRuntimeProposeValidation(t *testing.T) {
+	rr, err := baseline.NewReadableRaceRuntime(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Propose(5, 0); err == nil {
+		t.Error("out-of-range pid must be rejected")
+	}
+	if _, err := rr.Propose(0, 9); err == nil {
+		t.Error("out-of-range input must be rejected")
+	}
+	rc, err := baseline.NewRacingCountersRuntime(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Propose(-1, 0); err == nil {
+		t.Error("negative pid must be rejected")
+	}
+	if _, err := rc.Propose(0, -1); err == nil {
+		t.Error("negative input must be rejected")
+	}
+}
+
+func TestReadableRaceRuntimeSoloDecidesOwnInput(t *testing.T) {
+	rr, err := baseline.NewReadableRaceRuntime(3, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.Propose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("solo proposer decided %d, want its input 1", got)
+	}
+}
+
+func TestRacingCountersRuntimeSoloDecidesOwnInput(t *testing.T) {
+	rc, err := baseline.NewRacingCountersRuntime(3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Propose(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("solo proposer decided %d, want its input 2", got)
+	}
+}
+
+// runtimeConsensusTrial runs one contended round of a runtime consensus
+// and checks agreement and validity.
+func runtimeConsensusTrial(t *testing.T, n, m int, propose func(pid, v int) (int, error)) {
+	t.Helper()
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % m
+	}
+	var (
+		wg  sync.WaitGroup
+		got = make([]int, n)
+	)
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			v, err := propose(pid, inputs[pid])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[pid] = v
+		}(pid)
+	}
+	wg.Wait()
+	for pid := 1; pid < n; pid++ {
+		if got[pid] != got[0] {
+			t.Fatalf("agreement violated: %v", got)
+		}
+	}
+	valid := false
+	for _, in := range inputs {
+		if in == got[0] {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided %d is no one's input %v", got[0], inputs)
+	}
+}
+
+func TestReadableRaceRuntimeContention(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rr, err := baseline.NewReadableRaceRuntime(4, 2, int64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimeConsensusTrial(t, 4, 2, rr.Propose)
+	}
+}
+
+func TestRacingCountersRuntimeContention(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rc, err := baseline.NewRacingCountersRuntime(4, 2, int64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimeConsensusTrial(t, 4, 2, rc.Propose)
+	}
+}
+
+func TestRuntimeStatsAccumulate(t *testing.T) {
+	rr, err := baseline.NewReadableRaceRuntime(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Propose(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Reads.Load() == 0 || rr.Swaps.Load() == 0 {
+		t.Fatalf("stats not accumulated: reads=%d swaps=%d", rr.Reads.Load(), rr.Swaps.Load())
+	}
+	rc, err := baseline.NewRacingCountersRuntime(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Propose(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Reads.Load() == 0 || rc.Writes.Load() == 0 {
+		t.Fatalf("stats not accumulated: reads=%d writes=%d", rc.Reads.Load(), rc.Writes.Load())
+	}
+}

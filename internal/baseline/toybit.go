@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ToyBitRace is a deliberately simple binary "consensus attempt" from L
+// readable binary swap objects. Each process repeatedly swaps its
+// preference into every bit and then reads them all back; if every bit
+// holds its preference it decides, otherwise it adopts the majority (ties
+// toward 0) and retries.
+//
+// It is solo-terminating (a solo runner converts all bits and decides in
+// 2L steps per pass), so the Section 5 machinery applies to it, but it is
+// NOT a correct consensus algorithm: adversarial schedules violate
+// agreement, and FindAgreementViolation exhibits this. It exists to
+// exercise the bounded-domain lower-bound machinery (covering scans,
+// Lemma 13 searches, and the Lemma 20 ledger) against a protocol whose
+// objects genuinely have domain size 2 — the paper's Theorem 18/22 setting
+// — and to demonstrate that the machinery detects broken protocols.
+// (No correct obstruction-free consensus from O(n) bounded-domain objects
+// is implemented here; Bowman's construction [7] is cited in Table 1 but
+// its technical report is not available to reproduce from.)
+type ToyBitRace struct {
+	n, bits int
+}
+
+var (
+	_ model.Protocol      = (*ToyBitRace)(nil)
+	_ model.InputDomainer = (*ToyBitRace)(nil)
+)
+
+// NewToyBitRace constructs an n-process instance over `bits` binary
+// readable swap objects.
+func NewToyBitRace(n, bits int) (*ToyBitRace, error) {
+	if n < 1 || bits < 1 {
+		return nil, fmt.Errorf("baseline: toy bit race needs n, bits >= 1, got %d, %d", n, bits)
+	}
+	return &ToyBitRace{n: n, bits: bits}, nil
+}
+
+// Name implements model.Protocol.
+func (t *ToyBitRace) Name() string { return fmt.Sprintf("toy-bit-race(n=%d,L=%d)", t.n, t.bits) }
+
+// NumProcesses implements model.Protocol.
+func (t *ToyBitRace) NumProcesses() int { return t.n }
+
+// InputDomain implements model.InputDomainer.
+func (t *ToyBitRace) InputDomain() int { return 2 }
+
+// Objects implements model.Protocol: binary readable swap objects,
+// initially 0.
+func (t *ToyBitRace) Objects() []model.ObjectSpec {
+	specs := make([]model.ObjectSpec, t.bits)
+	for i := range specs {
+		specs[i] = model.ObjectSpec{Type: model.ReadableSwapType{Domain: 2}, Init: model.Int(0)}
+	}
+	return specs
+}
+
+// toyState: swap phase writes pref into bits 0..L-1, read phase reads them
+// back counting votes.
+type toyState struct {
+	pref    int
+	idx     int
+	reading bool
+	ones    int
+	decided int
+}
+
+var _ model.State = toyState{}
+
+// Key implements model.State.
+func (s toyState) Key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(s.pref))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.idx))
+	if s.reading {
+		b.WriteString("/r")
+	}
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.ones))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(s.decided))
+	return b.String()
+}
+
+// Init implements model.Protocol.
+func (t *ToyBitRace) Init(pid int, input int) model.State {
+	return toyState{pref: input, decided: -1}
+}
+
+// Poised implements model.Protocol.
+func (t *ToyBitRace) Poised(pid int, st model.State) (model.Op, bool) {
+	s := st.(toyState)
+	if s.decided >= 0 {
+		return model.Op{}, false
+	}
+	if !s.reading {
+		return model.Op{Object: s.idx, Kind: model.OpSwap, Arg: model.Int(s.pref)}, true
+	}
+	return model.Op{Object: s.idx, Kind: model.OpRead}, true
+}
+
+// Observe implements model.Protocol.
+func (t *ToyBitRace) Observe(pid int, st model.State, resp model.Value) model.State {
+	s := st.(toyState)
+	next := s
+	if !s.reading {
+		if s.idx+1 < t.bits {
+			next.idx = s.idx + 1
+			return next
+		}
+		next.idx = 0
+		next.reading = true
+		next.ones = 0
+		return next
+	}
+	if int(resp.(model.Int)) == 1 {
+		next.ones = s.ones + 1
+	}
+	if s.idx+1 < t.bits {
+		next.idx = s.idx + 1
+		return next
+	}
+	// Scan complete.
+	next.idx = 0
+	next.reading = false
+	if next.ones == t.bits && s.pref == 1 {
+		next.decided = 1
+		return next
+	}
+	if next.ones == 0 && s.pref == 0 {
+		next.decided = 0
+		return next
+	}
+	if 2*next.ones > t.bits {
+		next.pref = 1
+	} else {
+		next.pref = 0
+	}
+	next.ones = 0
+	return next
+}
+
+// Decision implements model.Protocol.
+func (t *ToyBitRace) Decision(st model.State) (int, bool) {
+	s := st.(toyState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}

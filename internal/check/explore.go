@@ -1,0 +1,258 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ExploreLimits bounds an exhaustive exploration. Obstruction-free
+// protocols typically have infinite configuration spaces (lap counters
+// grow without bound under adversarial scheduling), so exploration is
+// budgeted; results report whether the budget was exhausted.
+type ExploreLimits struct {
+	// MaxConfigs caps the number of distinct configurations visited
+	// (default 200000).
+	MaxConfigs int
+	// MaxDepth caps the BFS depth (0 = unlimited until MaxConfigs).
+	MaxDepth int
+}
+
+func (l ExploreLimits) withDefaults() ExploreLimits {
+	if l.MaxConfigs <= 0 {
+		l.MaxConfigs = 200000
+	}
+	return l
+}
+
+// ExploreResult summarizes an exploration of the P-only reachable
+// configuration space from a starting configuration.
+type ExploreResult struct {
+	// Visited is the number of distinct configurations visited.
+	Visited int
+	// Complete reports whether the entire P-only reachable space was
+	// exhausted within the limits. Only a complete exploration proves
+	// univalence; an incomplete one can still prove bivalence (it found
+	// witnesses) or a violation.
+	Complete bool
+	// DecidedValues is the set of values decided by some process of P in
+	// some visited configuration, ascending.
+	DecidedValues []int
+	// AgreementViolation, if non-nil, is a configuration whose decided
+	// value set exceeds k (set only when a k was supplied).
+	AgreementViolation *model.Config
+	// MaxDecidedTogether is the largest number of distinct values decided
+	// within a single visited configuration.
+	MaxDecidedTogether int
+}
+
+// Explore performs BFS over all P-only executions of p from c, visiting
+// each distinct configuration once (configurations are deduplicated by
+// canonical key). If k > 0 it tracks k-agreement violations. c is not
+// mutated.
+func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits ExploreLimits) *ExploreResult {
+	limits = limits.withDefaults()
+	res := &ExploreResult{Complete: true}
+	allowed := map[int]bool{}
+	for _, pid := range pids {
+		allowed[pid] = true
+	}
+
+	type node struct {
+		cfg   *model.Config
+		depth int
+	}
+	seen := map[string]bool{c.Key(): true}
+	queue := []node{{cfg: c.Clone(), depth: 0}}
+	decided := map[int]bool{}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.Visited++
+
+		// Only count decisions by members of P; a process outside P that
+		// is decided in c decided before the exploration began and is
+		// background state.
+		valsByP := map[int]bool{}
+		for _, pid := range pids {
+			if v, ok := cur.cfg.Decided(p, pid); ok {
+				valsByP[v] = true
+				decided[v] = true
+			}
+		}
+		nHere := len(valsByP)
+		if nHere > res.MaxDecidedTogether {
+			res.MaxDecidedTogether = nHere
+		}
+		if k > 0 && nHere > k && res.AgreementViolation == nil {
+			res.AgreementViolation = cur.cfg.Clone()
+		}
+
+		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
+			res.Complete = false
+			continue
+		}
+		for _, pid := range cur.cfg.Active(p) {
+			if !allowed[pid] {
+				continue
+			}
+			next := cur.cfg.Clone()
+			if _, err := model.Apply(p, next, pid); err != nil {
+				// An illegal poised op is a protocol bug; surface loudly.
+				panic(fmt.Sprintf("check: explore: %v", err))
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			if len(seen) >= limits.MaxConfigs {
+				res.Complete = false
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, node{cfg: next, depth: cur.depth + 1})
+		}
+	}
+
+	for v := range decided {
+		res.DecidedValues = append(res.DecidedValues, v)
+	}
+	sort.Ints(res.DecidedValues)
+	return res
+}
+
+// Valency classifies a configuration with respect to a set of processes P
+// per Section 2: P is bivalent in C if, for each v in {0,1}, some P-only
+// execution from C decides v; otherwise P is univalent (v-univalent for
+// the single v it can decide).
+type Valency int
+
+// Valency classifications. Unknown means the exploration budget was
+// exhausted before a second value was found and the space was not fully
+// explored, so univalence could not be certified.
+const (
+	// Bivalent: witness executions deciding two different values exist.
+	Bivalent Valency = iota
+	// Univalent: the exploration was complete and exactly one value is
+	// decidable.
+	Univalent
+	// Undecidable: the exploration was complete and no P-only execution
+	// decides (cannot happen for solo-terminating protocols with P
+	// nonempty, but the classifier is total).
+	Undecidable
+	// Unknown: budget exhausted; at most one value seen but the space was
+	// not exhausted.
+	Unknown
+)
+
+// String implements fmt.Stringer.
+func (v Valency) String() string {
+	switch v {
+	case Bivalent:
+		return "bivalent"
+	case Univalent:
+		return "univalent"
+	case Undecidable:
+		return "undecidable"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Valency(%d)", int(v))
+	}
+}
+
+// ValencyResult reports a valency classification with its evidence.
+type ValencyResult struct {
+	// Class is the classification.
+	Class Valency
+	// Values is the set of decidable values found.
+	Values []int
+	// Complete mirrors ExploreResult.Complete.
+	Complete bool
+}
+
+// ClassifyValency explores the P-only space from c and classifies it.
+// Bivalence is certified by witnesses and is sound even when incomplete;
+// univalence requires a complete exploration.
+func ClassifyValency(p model.Protocol, c *model.Config, pids []int, limits ExploreLimits) *ValencyResult {
+	ex := exploreForValency(p, c, pids, limits)
+	out := &ValencyResult{Values: ex.DecidedValues, Complete: ex.Complete}
+	switch {
+	case len(ex.DecidedValues) >= 2:
+		out.Class = Bivalent
+	case ex.Complete && len(ex.DecidedValues) == 1:
+		out.Class = Univalent
+	case ex.Complete:
+		out.Class = Undecidable
+	default:
+		out.Class = Unknown
+	}
+	return out
+}
+
+// exploreForValency is Explore with early exit once two decided values by
+// P have been witnessed (bivalence is then certain).
+func exploreForValency(p model.Protocol, c *model.Config, pids []int, limits ExploreLimits) *ExploreResult {
+	limits = limits.withDefaults()
+	res := &ExploreResult{Complete: true}
+	allowed := map[int]bool{}
+	for _, pid := range pids {
+		allowed[pid] = true
+	}
+	type node struct {
+		cfg   *model.Config
+		depth int
+	}
+	seen := map[string]bool{c.Key(): true}
+	queue := []node{{cfg: c.Clone(), depth: 0}}
+	decided := map[int]bool{}
+
+	flush := func() {
+		for v := range decided {
+			res.DecidedValues = append(res.DecidedValues, v)
+		}
+		sort.Ints(res.DecidedValues)
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.Visited++
+		for _, pid := range pids {
+			if v, ok := cur.cfg.Decided(p, pid); ok {
+				decided[v] = true
+			}
+		}
+		if len(decided) >= 2 {
+			flush()
+			return res // bivalence certified; exploration not exhaustive but sound
+		}
+		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
+			res.Complete = false
+			continue
+		}
+		for _, pid := range cur.cfg.Active(p) {
+			if !allowed[pid] {
+				continue
+			}
+			next := cur.cfg.Clone()
+			if _, err := model.Apply(p, next, pid); err != nil {
+				panic(fmt.Sprintf("check: explore: %v", err))
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			if len(seen) >= limits.MaxConfigs {
+				res.Complete = false
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, node{cfg: next, depth: cur.depth + 1})
+		}
+	}
+	flush()
+	return res
+}

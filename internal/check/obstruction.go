@@ -1,0 +1,92 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ObstructionFreeReport summarizes a bounded obstruction-freedom
+// verification.
+type ObstructionFreeReport struct {
+	// Configurations is the number of distinct reachable configurations
+	// from which solo runs were verified.
+	Configurations int
+	// SoloRuns is the total number of solo executions performed.
+	SoloRuns int
+	// MaxSoloSteps is the longest solo run observed.
+	MaxSoloSteps int
+	// Complete reports whether the reachable space was exhausted within
+	// the limits (if false, obstruction-freedom was verified on a
+	// BFS-prefix of the space only).
+	Complete bool
+}
+
+// CheckObstructionFree verifies the definition of obstruction-freedom
+// directly on the explored configuration space: for every reachable
+// configuration C (BFS from the given inputs, bounded by limits) and every
+// undecided process p, the solo execution by p from C must decide within
+// soloBound steps. For Algorithm 1, Lemma 8 promises soloBound = 8(n-k).
+//
+// The configuration spaces of obstruction-free protocols are typically
+// infinite (lap counters grow unboundedly under adversarial schedules),
+// so exhaustion is not expected; the report says how much was covered.
+func CheckObstructionFree(p model.Protocol, inputs []int, limits ExploreLimits, soloBound int) (*ObstructionFreeReport, error) {
+	if soloBound <= 0 {
+		return nil, fmt.Errorf("check: solo bound %d must be positive", soloBound)
+	}
+	limits = limits.withDefaults()
+	start, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	report := &ObstructionFreeReport{Complete: true}
+
+	type node struct {
+		cfg   *model.Config
+		depth int
+	}
+	seen := map[string]bool{start.Key(): true}
+	queue := []node{{cfg: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		report.Configurations++
+
+		for _, pid := range cur.cfg.Active(p) {
+			solo := cur.cfg.Clone()
+			res, err := SoloRun(p, solo, pid, soloBound)
+			if err != nil {
+				return report, fmt.Errorf(
+					"check: obstruction-freedom violated: p%d does not decide within %d solo steps from a configuration at depth %d: %w",
+					pid, soloBound, cur.depth, err)
+			}
+			report.SoloRuns++
+			if res.Steps > report.MaxSoloSteps {
+				report.MaxSoloSteps = res.Steps
+			}
+		}
+
+		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
+			report.Complete = false
+			continue
+		}
+		for _, pid := range cur.cfg.Active(p) {
+			next := cur.cfg.Clone()
+			if _, err := model.Apply(p, next, pid); err != nil {
+				return report, fmt.Errorf("check: obstruction scan: %w", err)
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			if len(seen) >= limits.MaxConfigs {
+				report.Complete = false
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, node{cfg: next, depth: cur.depth + 1})
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,146 @@
+// Package check drives protocols through the shared-memory model: it runs
+// executions under schedulers, explores configuration spaces exhaustively,
+// computes valency (the bivalent/univalent classification of Section 2 of
+// the paper), and checks the k-set agreement correctness properties
+// (k-agreement, validity) and solo termination (obstruction-freedom).
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// ErrStepLimit is returned (wrapped) when a run exceeds its step budget
+// before every scheduled process decides. For obstruction-free protocols
+// under adversarial schedules this is expected, not a bug.
+var ErrStepLimit = errors.New("step limit reached before termination")
+
+// Result is the outcome of a run.
+type Result struct {
+	// Final is the final configuration.
+	Final *model.Config
+	// Execution is the sequence of steps taken.
+	Execution model.Execution
+	// Decisions maps pid to decided value for every decided process.
+	Decisions map[int]int
+	// Steps is the total number of steps taken.
+	Steps int
+}
+
+// DecidedValues returns the distinct decided values in ascending order.
+func (r *Result) DecidedValues() []int {
+	seen := map[int]bool{}
+	for _, v := range r.Decisions {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Run steps protocol p from configuration c (which it mutates) under
+// scheduler s until every process has decided, the scheduler yields no
+// process (returns -1), or maxSteps is exceeded (ErrStepLimit).
+func Run(p model.Protocol, c *model.Config, s sched.Scheduler, maxSteps int) (*Result, error) {
+	res := &Result{Final: c, Decisions: map[int]int{}}
+	for steps := 0; ; steps++ {
+		active := c.Active(p)
+		if len(active) == 0 {
+			break
+		}
+		pid := s.Next(c, active)
+		if pid == -1 {
+			break
+		}
+		if !contains(active, pid) {
+			return nil, fmt.Errorf("check: scheduler %s picked inactive process %d", sched.Describe(s), pid)
+		}
+		if steps >= maxSteps {
+			res.Steps = steps
+			fillDecisions(p, c, res)
+			return res, fmt.Errorf("check: %w after %d steps (%s)", ErrStepLimit, steps, p.Name())
+		}
+		rec, err := model.Apply(p, c, pid)
+		if err != nil {
+			return nil, err
+		}
+		res.Execution = append(res.Execution, rec)
+		res.Steps++
+	}
+	fillDecisions(p, c, res)
+	return res, nil
+}
+
+// RunFromInputs builds the initial configuration for inputs and runs.
+func RunFromInputs(p model.Protocol, inputs []int, s sched.Scheduler, maxSteps int) (*Result, error) {
+	c, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, c, s, maxSteps)
+}
+
+// SoloRun runs process pid alone from configuration c (mutated in place)
+// until it decides or maxSteps is exceeded. For a nondeterministic
+// solo-terminating protocol this is the paper's "solo-terminating
+// execution by pid from C".
+func SoloRun(p model.Protocol, c *model.Config, pid, maxSteps int) (*Result, error) {
+	return Run(p, c, sched.Solo{Pid: pid}, maxSteps)
+}
+
+func fillDecisions(p model.Protocol, c *model.Config, res *Result) {
+	for pid := range c.States {
+		if v, ok := c.Decided(p, pid); ok {
+			res.Decisions[pid] = v
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckAgreement verifies the k-agreement property on a result: at most k
+// distinct values decided. It returns a descriptive error on violation.
+func CheckAgreement(r *Result, k int) error {
+	vals := r.DecidedValues()
+	if len(vals) > k {
+		return fmt.Errorf("check: k-agreement violated: %d distinct values %v decided (k=%d)", len(vals), vals, k)
+	}
+	return nil
+}
+
+// CheckValidity verifies the validity property: every decided value was
+// the input of some process.
+func CheckValidity(r *Result, inputs []int) error {
+	inputSet := map[int]bool{}
+	for _, v := range inputs {
+		inputSet[v] = true
+	}
+	for pid, v := range r.Decisions {
+		if !inputSet[v] {
+			return fmt.Errorf("check: validity violated: process %d decided %d, not an input (inputs %v)", pid, v, inputs)
+		}
+	}
+	return nil
+}
+
+// CheckAll runs both correctness checks.
+func CheckAll(r *Result, k int, inputs []int) error {
+	if err := CheckAgreement(r, k); err != nil {
+		return err
+	}
+	return CheckValidity(r, inputs)
+}

@@ -1,0 +1,91 @@
+// Package core implements the paper's primary contribution: Algorithm 1 of
+// Ovens (PODC 2022), an obstruction-free, m-valued, k-set agreement
+// algorithm for n processes using exactly n-k swap objects. For k = 1 it is
+// an n-process consensus algorithm from n-1 swap objects, exactly matching
+// the Theorem 10 lower bound.
+//
+// Two implementations are provided over the same logic:
+//
+//   - Protocol: a deterministic state machine over internal/model objects,
+//     driven by schedulers, the model checker, and the lower-bound
+//     adversaries (internal/lowerbound). This is the form the paper's
+//     proofs quantify over.
+//
+//   - SetAgreement: a runtime implementation for real goroutines backed by
+//     sync/atomic (atomic.Pointer.Swap is a genuine hardware swap), with
+//     optional randomized backoff as contention management, since
+//     obstruction-freedom alone does not guarantee progress under
+//     contention.
+//
+// The algorithm is a race among input values. Each process keeps a local
+// lap counter U[0..m-1]; it repeatedly swaps ⟨U, pid⟩ through all n-k
+// objects, merging any higher lap counters it sees. A conflict-free pass
+// (every swap returned its own ⟨U, pid⟩) completes a lap; a value that gets
+// 2 laps ahead of every other value is decided.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Params configures an Algorithm 1 instance.
+type Params struct {
+	// N is the number of processes (n > K).
+	N int
+	// K is the agreement parameter: at most K distinct values decided.
+	K int
+	// M is the input domain size: inputs are drawn from {0, ..., M-1}.
+	// The problem is trivial when M <= K; the constructor allows it
+	// (the algorithm still works) but nothing interesting is exercised.
+	M int
+	// Readable, if true, instantiates the shared objects as readable swap
+	// objects instead of plain swap objects. Algorithm 1 never invokes
+	// Read, so it runs unchanged; this realizes the Table 1 row
+	// "k-set agreement from readable swap objects, upper bound n-k".
+	Readable bool
+}
+
+// Validate checks the parameter ranges required by the paper's theorem
+// statements (n > k >= 1, m >= 1).
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("core: k = %d, need k >= 1", p.K)
+	}
+	if p.N <= p.K {
+		return fmt.Errorf("core: n = %d, k = %d, need n > k", p.N, p.K)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("core: m = %d, need m >= 1", p.M)
+	}
+	return nil
+}
+
+// NumObjects returns the algorithm's space complexity, n-k.
+func (p Params) NumObjects() int { return p.N - p.K }
+
+// SoloStepBound returns the paper's Lemma 8 bound: a solo execution from
+// any configuration contains at most 8(n-k) swap operations before the
+// running process decides.
+func (p Params) SoloStepBound() int { return 8 * (p.N - p.K) }
+
+// cellValue is the value stored in each swap object: the pair
+// ⟨lap counter, identifier⟩. The identifier is model.Int(pid) after any
+// process has swapped, and model.Nil{} (⊥) initially.
+func cellValue(u model.Vec, id model.Value) model.Value {
+	return model.Pair{First: u, Second: id}
+}
+
+// splitCell decomposes a cell value into its lap counter and identifier.
+func splitCell(v model.Value) (model.Vec, model.Value, error) {
+	p, ok := v.(model.Pair)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: object holds %T, want Pair", v)
+	}
+	u, ok := p.First.(model.Vec)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: lap counter field holds %T, want Vec", p.First)
+	}
+	return u, p.Second, nil
+}

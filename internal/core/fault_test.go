@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestCrashFaultTolerance injects crash-stop failures: f processes run for
+// a while and then crash (never scheduled again); the survivors must still
+// decide (obstruction-freedom needs no participation from the crashed),
+// and agreement/validity must hold among the survivors.
+func TestCrashFaultTolerance(t *testing.T) {
+	for _, tt := range []struct{ n, f int }{{3, 1}, {4, 2}, {5, 4}} {
+		p := core.MustNew(core.Params{N: tt.n, K: 1, M: 2})
+		for seed := int64(0); seed < 10; seed++ {
+			inputs := make([]int, tt.n)
+			for i := range inputs {
+				inputs[i] = i % 2
+			}
+			c := model.MustNewConfig(p, inputs)
+
+			// Contention phase with everyone running.
+			_, _ = check.Run(p, c, sched.NewRandom(seed), 12*tt.n)
+
+			// Crash processes 0..f-1: simply never schedule them again.
+			survivors := make([]int, 0, tt.n-tt.f)
+			for pid := tt.f; pid < tt.n; pid++ {
+				survivors = append(survivors, pid)
+			}
+			for _, pid := range survivors {
+				if _, done := c.Decided(p, pid); done {
+					continue
+				}
+				if _, err := check.SoloRun(p, c, pid, p.Params().SoloStepBound()); err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: survivor p%d stuck: %v", tt.n, tt.f, seed, pid, err)
+				}
+			}
+
+			decided := map[int]bool{}
+			for _, pid := range survivors {
+				v, ok := c.Decided(p, pid)
+				if !ok {
+					t.Fatalf("survivor p%d undecided", pid)
+				}
+				decided[v] = true
+				if v != 0 && v != 1 {
+					t.Fatalf("invalid decision %d", v)
+				}
+			}
+			if len(decided) > 1 {
+				t.Fatalf("n=%d f=%d seed=%d: survivors disagree: %v", tt.n, tt.f, seed, decided)
+			}
+		}
+	}
+}
+
+// TestCrashSchedulerIntegration drives the dedicated Crash scheduler:
+// processes crash at preset step counts mid-run; the run ends when the
+// scheduler refuses to schedule, and the survivors finish solo.
+func TestCrashSchedulerIntegration(t *testing.T) {
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 2})
+	c := model.MustNewConfig(p, []int{0, 1, 0, 1})
+	crash := &sched.Crash{
+		Inner:   sched.NewRandom(3),
+		Crashed: map[int]bool{1: true, 3: true},
+	}
+	_, err := check.Run(p, c, crash, 200)
+	if err != nil && !errors.Is(err, check.ErrStepLimit) {
+		t.Fatal(err)
+	}
+	for _, pid := range []int{0, 2} {
+		if _, done := c.Decided(p, pid); !done {
+			if _, err := check.SoloRun(p, c, pid, p.Params().SoloStepBound()); err != nil {
+				t.Fatalf("survivor p%d: %v", pid, err)
+			}
+		}
+	}
+	v0, _ := c.Decided(p, 0)
+	v2, _ := c.Decided(p, 2)
+	if v0 != v2 {
+		t.Fatalf("survivors disagree: %d vs %d", v0, v2)
+	}
+}
+
+// TestQuickRandomSchedulesPreserveSafety is a property-based schedule
+// fuzzer: arbitrary byte strings are interpreted as schedules (byte % n
+// picks the next process) and replayed against Algorithm 1; after a solo
+// finish, agreement and validity must hold. quick generates the schedule
+// space; the property quantifies over it.
+func TestQuickRandomSchedulesPreserveSafety(t *testing.T) {
+	const n = 3
+	p := core.MustNew(core.Params{N: n, K: 1, M: 2})
+	prop := func(schedule []byte, inputBits uint8) bool {
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(inputBits>>i) & 1
+		}
+		c := model.MustNewConfig(p, inputs)
+		for _, b := range schedule {
+			pid := int(b) % n
+			if _, done := c.Decided(p, pid); done {
+				continue
+			}
+			if _, err := model.Apply(p, c, pid); err != nil {
+				return false
+			}
+		}
+		for pid := 0; pid < n; pid++ {
+			if _, done := c.Decided(p, pid); done {
+				continue
+			}
+			if _, err := check.SoloRun(p, c, pid, p.Params().SoloStepBound()); err != nil {
+				return false
+			}
+		}
+		vals := c.DecidedValues(p)
+		if len(vals) != 1 {
+			return false
+		}
+		for _, in := range inputs {
+			if in == vals[0] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzScheduleAgreement is a native fuzz target over schedules: the fuzzer
+// mutates schedule byte strings and input assignments, looking for one
+// that makes two processes of Algorithm 1 decide differently. The seed
+// corpus covers the adversarial patterns from the proofs (alternation,
+// block phases, solo bursts). No crasher exists if Lemma 6 holds.
+func FuzzScheduleAgreement(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2}, uint8(0b011))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2}, uint8(0b101))
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 2}, uint8(0b001))
+	f.Add([]byte{2, 2, 1, 0, 2, 1, 0, 1, 2, 0}, uint8(0b110))
+
+	const n = 3
+	p := core.MustNew(core.Params{N: n, K: 1, M: 2})
+	f.Fuzz(func(t *testing.T, schedule []byte, inputBits uint8) {
+		if len(schedule) > 512 {
+			return
+		}
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(inputBits>>i) & 1
+		}
+		c := model.MustNewConfig(p, inputs)
+		for _, b := range schedule {
+			pid := int(b) % n
+			if _, done := c.Decided(p, pid); done {
+				continue
+			}
+			if _, err := model.Apply(p, c, pid); err != nil {
+				t.Fatalf("apply p%d: %v", pid, err)
+			}
+		}
+		for pid := 0; pid < n; pid++ {
+			if _, done := c.Decided(p, pid); done {
+				continue
+			}
+			if _, err := check.SoloRun(p, c, pid, p.Params().SoloStepBound()); err != nil {
+				t.Fatalf("solo p%d after schedule %v: %v", pid, schedule, err)
+			}
+		}
+		vals := c.DecidedValues(p)
+		if len(vals) > 1 {
+			t.Fatalf("AGREEMENT VIOLATION: schedule %v inputs %v decided %v", schedule, inputs, vals)
+		}
+		valid := false
+		for _, in := range inputs {
+			if len(vals) == 1 && in == vals[0] {
+				valid = true
+			}
+		}
+		if len(vals) == 1 && !valid {
+			t.Fatalf("VALIDITY VIOLATION: schedule %v inputs %v decided %v", schedule, inputs, vals)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestObservation3Monotonicity: a process's local lap counter never
+// decreases in any component over any execution (Observation 3, the
+// domination order ⪯ along a process's states).
+func TestObservation3Monotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	params := core.Params{N: 4, K: 1, M: 3}
+	p := core.MustNew(params)
+	for trial := 0; trial < 20; trial++ {
+		inputs := make([]int, params.N)
+		for i := range inputs {
+			inputs[i] = rng.Intn(params.M)
+		}
+		c := model.MustNewConfig(p, inputs)
+		prev := make([]model.Vec, params.N)
+		for pid := range prev {
+			prev[pid] = core.LapCounter(c.States[pid])
+		}
+		s := sched.NewRandom(rng.Int63())
+		for step := 0; step < 500; step++ {
+			active := c.Active(p)
+			if len(active) == 0 {
+				break
+			}
+			pid := s.Next(c, active)
+			if _, err := model.Apply(p, c, pid); err != nil {
+				t.Fatal(err)
+			}
+			cur := core.LapCounter(c.States[pid])
+			if !cur.Dominates(prev[pid]) {
+				t.Fatalf("trial %d step %d: p%d counter regressed %v → %v",
+					trial, step, pid, prev[pid], cur)
+			}
+			prev[pid] = cur
+		}
+	}
+}
+
+// TestObservation4DecisionLead: when a process decides x, its lap counter
+// satisfies U[x] >= 2 and U[x] >= U[j] + 2 for all other j (line 16).
+func TestObservation4DecisionLead(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, params := range []core.Params{
+		{N: 3, K: 1, M: 2},
+		{N: 5, K: 2, M: 3},
+	} {
+		p := core.MustNew(params)
+		decisionsSeen := 0
+		for trial := 0; trial < 30; trial++ {
+			inputs := make([]int, params.N)
+			for i := range inputs {
+				inputs[i] = rng.Intn(params.M)
+			}
+			c := model.MustNewConfig(p, inputs)
+			s := sched.NewRandom(rng.Int63())
+			for step := 0; step < 2000; step++ {
+				active := c.Active(p)
+				if len(active) == 0 {
+					break
+				}
+				pid := s.Next(c, active)
+				before, decidedBefore := c.Decided(p, pid)
+				_ = before
+				if _, err := model.Apply(p, c, pid); err != nil {
+					t.Fatal(err)
+				}
+				if x, ok := c.Decided(p, pid); ok && !decidedBefore {
+					decisionsSeen++
+					u := core.LapCounter(c.States[pid])
+					if u[x] < 2 {
+						t.Fatalf("p%d decided %d with U[%d] = %d < 2 (Observation 4)", pid, x, x, u[x])
+					}
+					for j := range u {
+						if j != x && u[x] < u[j]+2 {
+							t.Fatalf("p%d decided %d with U = %v: lead < 2 over %d (line 16)", pid, x, u, j)
+						}
+					}
+				}
+			}
+		}
+		if decisionsSeen == 0 {
+			t.Fatalf("%s: no decisions observed; test exercised nothing", p.Name())
+		}
+	}
+}
+
+// TestObservation2TotalityBeforeLap: whenever a process completes a lap,
+// the configuration immediately before the first swap of that pass was
+// ⟨V,p⟩-total (Observation 2).
+func TestObservation2TotalityBeforeLap(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	params := core.Params{N: 3, K: 1, M: 2}
+	p := core.MustNew(params)
+	objs := params.NumObjects()
+	lapsChecked := 0
+
+	for trial := 0; trial < 40; trial++ {
+		inputs := make([]int, params.N)
+		for i := range inputs {
+			inputs[i] = rng.Intn(params.M)
+		}
+		c := model.MustNewConfig(p, inputs)
+		s := sched.NewRandom(rng.Int63())
+
+		// Snapshot the configuration before each step, per process pass
+		// position: passStart[pid] is a clone of the configuration taken
+		// when pid was last at pass index 0 (before it swapped B0).
+		passStart := make([]*model.Config, params.N)
+		prevLaps := make([]int, params.N)
+		for pid := range passStart {
+			passStart[pid] = c.Clone()
+		}
+
+		for step := 0; step < 1500; step++ {
+			active := c.Active(p)
+			if len(active) == 0 {
+				break
+			}
+			pid := s.Next(c, active)
+			if core.PassIndex(c.States[pid]) == 0 {
+				passStart[pid] = c.Clone()
+			}
+			if _, err := model.Apply(p, c, pid); err != nil {
+				t.Fatal(err)
+			}
+			if l := core.Laps(c.States[pid]); l > prevLaps[pid] {
+				prevLaps[pid] = l
+				// Lap completed at this step: the pass began objs steps
+				// ago (by pid) at passStart[pid], which must have been
+				// ⟨V,p⟩-total with V = pid's counter there.
+				if !p.IsTotal(passStart[pid], pid) {
+					t.Fatalf("trial %d: p%d completed lap %d but pass-start configuration was not ⟨V,p⟩-total",
+						trial, pid, l)
+				}
+				// During the pass, pid's counter was constant (no
+				// conflicts); the lap-completing step may then apply the
+				// line 20 increment, so the counter after the step is the
+				// pass-start counter plus at most one on one component.
+				startU := core.LapCounter(passStart[pid].States[pid])
+				curU := core.LapCounter(c.States[pid])
+				if !curU.Dominates(startU) {
+					t.Fatalf("trial %d: p%d counter regressed over a conflict-free pass", trial, pid)
+				}
+				diff := 0
+				for j := range curU {
+					diff += curU[j] - startU[j]
+				}
+				if diff > 1 {
+					t.Fatalf("trial %d: p%d counter grew by %d during a conflict-free pass (max 1 via line 20)",
+						trial, pid, diff)
+				}
+				lapsChecked++
+			}
+		}
+	}
+	if lapsChecked == 0 {
+		t.Fatal("no lap completions observed; test exercised nothing")
+	}
+	_ = objs
+}
+
+// TestLemma5Consequence: between two total configurations for different
+// processes with non-dominated counters, every object is swapped. Here we
+// verify the executable core of it: a process that completes a lap has
+// swapped its value into every object — i.e. after a lap completion by p,
+// every object holds ⟨V, p⟩ just before p's last response... equivalently
+// the pass-start config is total (checked above) and p was the only
+// swapper in between in a solo pass. This test drives two processes so
+// that p1's lap forces n-k distinct swaps visible to p0's next pass.
+func TestLemma5Consequence(t *testing.T) {
+	params := core.Params{N: 3, K: 1, M: 2}
+	p := core.MustNew(params)
+	c := model.MustNewConfig(p, []int{0, 1, 1})
+
+	// p0 runs a full pass (objects now ⟨U0, p0⟩-total for p0).
+	for i := 0; i < params.NumObjects(); i++ {
+		if _, err := model.Apply(p, c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.IsTotal(c, 0) {
+		t.Fatal("expected ⟨V,p0⟩-total configuration")
+	}
+	// p1 runs a full pass; afterwards every object must hold p1's pair —
+	// i.e. p1 swapped every object (the "n-k distinct swaps" of Lemma 5
+	// realized by a single process here).
+	for i := 0; i < params.NumObjects(); i++ {
+		if _, err := model.Apply(p, c, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < params.NumObjects(); i++ {
+		pair := c.Value(i).(model.Pair)
+		if got := pair.Second.(model.Int); int(got) != 1 {
+			t.Fatalf("object %d identifier %v after p1's pass, want 1", i, got)
+		}
+	}
+	// And p1's counter now dominates p0's initial counter (it merged).
+	if !core.LapCounter(c.States[1]).Dominates(core.LapCounter(c.States[0])) {
+		t.Error("p1's counter does not dominate p0's after overwriting its pass")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		params Params
+		ok     bool
+	}{
+		{"consensus n=2", Params{N: 2, K: 1, M: 2}, true},
+		{"kset", Params{N: 5, K: 2, M: 3}, true},
+		{"m=1 degenerate", Params{N: 3, K: 1, M: 1}, true},
+		{"k=0", Params{N: 3, K: 0, M: 2}, false},
+		{"n=k", Params{N: 3, K: 3, M: 4}, false},
+		{"n<k", Params{N: 2, K: 3, M: 4}, false},
+		{"m=0", Params{N: 3, K: 1, M: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.params.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{N: 7, K: 2, M: 3}
+	if p.NumObjects() != 5 {
+		t.Errorf("NumObjects = %d, want 5", p.NumObjects())
+	}
+	if p.SoloStepBound() != 40 {
+		t.Errorf("SoloStepBound = %d, want 8(n-k) = 40", p.SoloStepBound())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Params{N: 1, K: 1, M: 2}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Params{N: 1, K: 1, M: 2})
+}
+
+func TestObjectsLayout(t *testing.T) {
+	p := MustNew(Params{N: 5, K: 2, M: 3})
+	specs := p.Objects()
+	if len(specs) != 3 {
+		t.Fatalf("objects = %d, want n-k = 3", len(specs))
+	}
+	for i, s := range specs {
+		if _, ok := s.Type.(model.SwapType); !ok {
+			t.Errorf("object %d type %T, want SwapType", i, s.Type)
+		}
+		pair, ok := s.Init.(model.Pair)
+		if !ok {
+			t.Fatalf("object %d init %T", i, s.Init)
+		}
+		u := pair.First.(model.Vec)
+		if len(u) != 3 || u.Max() != 0 {
+			t.Errorf("object %d initial counter %v, want zeros of length m", i, u)
+		}
+		if _, isNil := pair.Second.(model.Nil); !isNil {
+			t.Errorf("object %d initial identifier %v, want ⊥", i, pair.Second)
+		}
+	}
+	if !model.SwapOnly(p) {
+		t.Error("default instance must be swap-only")
+	}
+}
+
+func TestReadableVariantLayout(t *testing.T) {
+	p := MustNew(Params{N: 4, K: 1, M: 2, Readable: true})
+	for i, s := range p.Objects() {
+		rt, ok := s.Type.(model.ReadableSwapType)
+		if !ok {
+			t.Fatalf("object %d type %T, want ReadableSwapType", i, s.Type)
+		}
+		if rt.Domain != 0 {
+			t.Errorf("object %d domain %d, want unbounded", i, rt.Domain)
+		}
+	}
+	if !strings.Contains(p.Name(), "readable-swap") {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestInitState(t *testing.T) {
+	p := MustNew(Params{N: 3, K: 1, M: 4})
+	st := p.Init(1, 2)
+	u := LapCounter(st)
+	want := model.Vec{0, 0, 1, 0}
+	if !u.Equal(want) {
+		t.Errorf("initial counter %v, want %v (line 3)", u, want)
+	}
+	if PassIndex(st) != 0 || ConflictFlag(st) || Laps(st) != 0 {
+		t.Error("initial state has wrong loop bookkeeping")
+	}
+	if _, decided := p.Decision(st); decided {
+		t.Error("initial state decided")
+	}
+}
+
+func TestPoisedShape(t *testing.T) {
+	p := MustNew(Params{N: 3, K: 1, M: 2})
+	st := p.Init(2, 1)
+	op, ok := p.Poised(2, st)
+	if !ok {
+		t.Fatal("initial state not poised")
+	}
+	if op.Object != 0 || op.Kind != model.OpSwap {
+		t.Errorf("poised %v, want Swap(B0, ...)", op)
+	}
+	pair := op.Arg.(model.Pair)
+	if got := pair.Second.(model.Int); int(got) != 2 {
+		t.Errorf("identifier field %v, want own pid 2", got)
+	}
+}
+
+func TestObserveConflictFreePassDecides(t *testing.T) {
+	// m = 1: a single conflict-free pass decides immediately (the decide
+	// condition is vacuous for m = 1).
+	p := MustNew(Params{N: 2, K: 1, M: 1})
+	c := model.MustNewConfig(p, []int{0, 0})
+	if _, err := model.Apply(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Decided(p, 0); ok {
+		// One object (n-k = 1): first response is the initial ⟨zeros,⊥⟩,
+		// which is a conflict, so p0 must NOT have decided yet.
+		t.Fatalf("decided %d after first swap (response was initial ⊥)", v)
+	}
+	// Second pass: response is p0's own value → lap completes → decide.
+	if _, err := model.Apply(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Decided(p, 0); !ok || v != 0 {
+		t.Fatalf("after clean pass: decided=%v v=%d, want 0", ok, v)
+	}
+}
+
+func TestObserveMergesCounters(t *testing.T) {
+	p := MustNew(Params{N: 3, K: 1, M: 2})
+	// p1 responds to a swap that returns a foreign counter [0,2]: its own
+	// counter [0,1]... p1 has input 1 so U = [0,1]; merge yields [0,2].
+	st := p.Init(1, 1)
+	resp := model.Pair{First: model.Vec{0, 2}, Second: model.Int(0)}
+	next := p.Observe(1, st, resp)
+	if got := LapCounter(next); !got.Equal(model.Vec{0, 2}) {
+		t.Errorf("merged counter %v, want [0,2]", got)
+	}
+	if !ConflictFlag(next) {
+		t.Error("conflict flag not set on foreign response")
+	}
+	if PassIndex(next) != 1 {
+		t.Errorf("pass index %d, want 1", PassIndex(next))
+	}
+}
+
+func TestObserveSameCounterDifferentProcessIsConflict(t *testing.T) {
+	// Response carrying p's own counter value but another identifier must
+	// still set conflict (line 8 compares the whole pair).
+	p := MustNew(Params{N: 3, K: 1, M: 2})
+	st := p.Init(1, 1)
+	resp := model.Pair{First: model.Vec{0, 1}, Second: model.Int(2)}
+	next := p.Observe(1, st, resp)
+	if !ConflictFlag(next) {
+		t.Error("conflict flag not set for foreign identifier")
+	}
+	if got := LapCounter(next); !got.Equal(model.Vec{0, 1}) {
+		t.Errorf("counter %v changed by equal-counter merge", got)
+	}
+}
+
+func TestObservePanicsOnDecided(t *testing.T) {
+	p := MustNew(Params{N: 2, K: 1, M: 1})
+	c := model.MustNewConfig(p, []int{0, 0})
+	for i := 0; i < 2; i++ {
+		if _, err := model.Apply(p, c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe on decided state did not panic")
+		}
+	}()
+	p.Observe(0, c.States[0], model.Pair{First: model.Vec{0}, Second: model.Int(0)})
+}
+
+func TestStateKeyDistinguishes(t *testing.T) {
+	p := MustNew(Params{N: 3, K: 1, M: 2})
+	a := p.Init(0, 0)
+	b := p.Init(0, 1)
+	if a.Key() == b.Key() {
+		t.Error("states with different inputs share a key")
+	}
+	resp := model.Pair{First: model.Vec{0, 0}, Second: model.Nil{}}
+	c := p.Observe(0, a, resp)
+	if c.Key() == a.Key() {
+		t.Error("state key unchanged across a conflicting observation")
+	}
+}
+
+func TestIsTotal(t *testing.T) {
+	p := MustNew(Params{N: 3, K: 1, M: 2})
+	c := model.MustNewConfig(p, []int{0, 1, 1})
+	if p.IsTotal(c, 0) {
+		t.Error("initial configuration reported ⟨V,p⟩-total")
+	}
+	// One full solo pass by p0 leaves every object holding ⟨U, p0⟩ and p0
+	// back at index 0.
+	for i := 0; i < p.Params().NumObjects(); i++ {
+		if _, err := model.Apply(p, c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.IsTotal(c, 0) {
+		t.Error("configuration after full solo pass not ⟨V,p⟩-total")
+	}
+	if p.IsTotal(c, 1) {
+		t.Error("⟨V,p0⟩-total configuration reported total for p1")
+	}
+}
+
+func TestSplitCellErrors(t *testing.T) {
+	if _, _, err := splitCell(model.Int(3)); err == nil {
+		t.Error("non-pair accepted")
+	}
+	if _, _, err := splitCell(model.Pair{First: model.Int(1), Second: model.Int(2)}); err == nil {
+		t.Error("pair without Vec accepted")
+	}
+	u, id, err := splitCell(model.Pair{First: model.Vec{1}, Second: model.Nil{}})
+	if err != nil || !u.Equal(model.Vec{1}) || !model.ValuesEqual(id, model.Nil{}) {
+		t.Errorf("splitCell = %v %v %v", u, id, err)
+	}
+}
+
+func TestInputDomainAndName(t *testing.T) {
+	p := MustNew(Params{N: 4, K: 2, M: 3})
+	if p.InputDomain() != 3 {
+		t.Errorf("InputDomain = %d", p.InputDomain())
+	}
+	if p.NumProcesses() != 4 {
+		t.Errorf("NumProcesses = %d", p.NumProcesses())
+	}
+	if !strings.Contains(p.Name(), "n=4,k=2,m=3") {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Params() != (Params{N: 4, K: 2, M: 3}) {
+		t.Errorf("Params = %+v", p.Params())
+	}
+}

@@ -1,0 +1,361 @@
+// Package harness drives the experiments that regenerate the paper's
+// evaluation: every row of Table 1 (paper bound vs. measured object count
+// vs. machine-checked certificate), the Lemma 8 solo step-complexity
+// census, and the adversarial-schedule correctness validation used by both
+// the cmd/ tools and the benchmarks.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// ValidateOptions tunes ValidateProtocol.
+type ValidateOptions struct {
+	// Schedules is the number of seeded random schedules (default 25).
+	Schedules int
+	// ContentionSteps is the random-contention phase length per schedule
+	// (default 64 * n * objects).
+	ContentionSteps int
+	// SoloBound caps each finishing solo run (default 20*n*(objects+1)).
+	SoloBound int
+	// Seed seeds the schedule generator.
+	Seed int64
+}
+
+func (o ValidateOptions) withDefaults(p model.Protocol) ValidateOptions {
+	n := p.NumProcesses()
+	objs := len(p.Objects())
+	if o.Schedules <= 0 {
+		o.Schedules = 25
+	}
+	if o.ContentionSteps <= 0 {
+		o.ContentionSteps = 64 * n * (objs + 1)
+	}
+	if o.SoloBound <= 0 {
+		o.SoloBound = 20 * n * (objs + 1)
+	}
+	return o
+}
+
+// ValidateProtocol checks k-agreement and validity of a protocol across
+// many adversarial schedules: each trial runs a seeded random scheduler
+// for a contention phase, then finishes every undecided process solo
+// (which must terminate, by obstruction-freedom), then checks the decided
+// values. Inputs rotate through assignments that exercise all values.
+func ValidateProtocol(p model.Protocol, k int, opts ValidateOptions) error {
+	opts = opts.withDefaults(p)
+	n := p.NumProcesses()
+	m := model.InputDomain(p)
+	if m <= 0 {
+		m = 2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for trial := 0; trial < opts.Schedules; trial++ {
+		inputs := make([]int, n)
+		for i := range inputs {
+			switch trial % 3 {
+			case 0:
+				inputs[i] = i % m // rotating assignment
+			case 1:
+				inputs[i] = (n - 1 - i) % m // reversed
+			default:
+				inputs[i] = rng.Intn(m) // random
+			}
+		}
+		c, err := model.NewConfig(p, inputs)
+		if err != nil {
+			return err
+		}
+		// Contention phase under a random adversary; the step-limit error
+		// is expected and ignored (progress is only conditional).
+		r, err := check.Run(p, c, sched.NewRandom(rng.Int63()), opts.ContentionSteps)
+		if err != nil && r == nil {
+			return err
+		}
+		// Finish everyone solo, in random order.
+		order := rng.Perm(n)
+		for _, pid := range order {
+			if _, done := c.Decided(p, pid); done {
+				continue
+			}
+			if _, err := check.SoloRun(p, c, pid, opts.SoloBound); err != nil {
+				return fmt.Errorf("harness: trial %d: solo finish of p%d: %w", trial, pid, err)
+			}
+		}
+		final := &check.Result{Final: c, Decisions: map[int]int{}}
+		for pid := 0; pid < n; pid++ {
+			if v, ok := c.Decided(p, pid); ok {
+				final.Decisions[pid] = v
+			} else {
+				return fmt.Errorf("harness: trial %d: p%d undecided after solo finish", trial, pid)
+			}
+		}
+		if err := check.CheckAll(final, k, inputs); err != nil {
+			return fmt.Errorf("harness: trial %d (inputs %v): %w", trial, inputs, err)
+		}
+	}
+	return nil
+}
+
+// SoloCensus measures the maximum number of steps any solo run takes from
+// randomly reached configurations — the empirical side of Lemma 8's
+// 8(n-k) bound for Algorithm 1 (and a liveness sanity check for the
+// baselines, which have their own pass structures).
+type SoloCensus struct {
+	// MaxSteps is the largest solo run observed.
+	MaxSteps int
+	// Trials is the number of solo runs measured.
+	Trials int
+	// Bound is the protocol's declared bound (0 if none).
+	Bound int
+}
+
+// MeasureSolo runs `trials` experiments: random contention for a random
+// number of steps, then a random undecided process runs solo; its step
+// count is recorded. bound > 0 additionally enforces the bound and errors
+// on violation.
+func MeasureSolo(p model.Protocol, k int, trials int, bound int, seed int64) (*SoloCensus, error) {
+	n := p.NumProcesses()
+	m := model.InputDomain(p)
+	if m <= 0 {
+		m = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	census := &SoloCensus{Bound: bound}
+
+	for trial := 0; trial < trials; trial++ {
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(m)
+		}
+		c, err := model.NewConfig(p, inputs)
+		if err != nil {
+			return nil, err
+		}
+		warm := rng.Intn(16 * n * (len(p.Objects()) + 1))
+		r, err := check.Run(p, c, sched.NewRandom(rng.Int63()), warm)
+		if err != nil && r == nil {
+			return nil, err
+		}
+		active := c.Active(p)
+		if len(active) == 0 {
+			continue
+		}
+		pid := active[rng.Intn(len(active))]
+		soloCap := bound
+		if soloCap <= 0 {
+			soloCap = 50 * n * (len(p.Objects()) + 1)
+		}
+		res, err := check.SoloRun(p, c, pid, soloCap)
+		if err != nil {
+			return nil, fmt.Errorf("harness: solo census trial %d (p%d): %w", trial, pid, err)
+		}
+		steps := res.Steps
+		if steps > census.MaxSteps {
+			census.MaxSteps = steps
+		}
+		census.Trials++
+		if bound > 0 && steps > bound {
+			return nil, fmt.Errorf("harness: Lemma 8 violated: p%d took %d solo steps, bound %d", pid, steps, bound)
+		}
+	}
+	return census, nil
+}
+
+// Row is one regenerated row of Table 1.
+type Row struct {
+	// Task and Objects identify the row as in the paper.
+	Task, Objects string
+	// PaperLB and PaperUB are the paper's bound expressions with values
+	// substituted.
+	PaperLB, PaperUB string
+	// Measured is the object count of our implementation (-1 when the row
+	// has no implemented upper-bound algorithm).
+	Measured int
+	// Certified is the object count certified by the executable
+	// lower-bound machinery (-1 when the row's bound comes from cited
+	// prior work rather than this paper's constructions).
+	Certified int
+	// Status summarizes validation.
+	Status string
+}
+
+// Table1 regenerates the paper's Table 1 for the given n and k, running
+// each implemented algorithm through the adversarial validator and the
+// paper's own lower-bound constructions through the certifiers.
+func Table1(n, k int, opts ValidateOptions) ([]Row, error) {
+	if n <= k || k < 1 {
+		return nil, fmt.Errorf("harness: need n > k >= 1, got n=%d k=%d", n, k)
+	}
+	var rows []Row
+
+	// Row 1: Consensus / Registers. LB n [16], UB n [3, 12].
+	rc, err := baseline.NewRacingCounters(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	status := validateStatus(rc, 1, opts)
+	rows = append(rows, Row{
+		Task: "Consensus", Objects: "Registers",
+		PaperLB:  fmt.Sprintf("n = %d [16]", lowerbound.EGZRegisterBound(n)),
+		PaperUB:  fmt.Sprintf("n = %d [3,12]", n),
+		Measured: len(rc.Objects()), Certified: -1, Status: status,
+	})
+
+	// Row 2: Consensus / Swap. LB n-1 (Theorem 10), UB n-1 (Algorithm 1).
+	a1, err := core.New(core.Params{N: n, K: 1, M: 2})
+	if err != nil {
+		return nil, err
+	}
+	status = validateStatus(a1, 1, opts)
+	cert, err := lowerbound.ConsensusCertificate(a1, 0)
+	certified := -1
+	if err == nil {
+		certified = len(cert.Objects)
+	} else {
+		status += "; certificate FAILED: " + err.Error()
+	}
+	rows = append(rows, Row{
+		Task: "Consensus", Objects: "Swap objects",
+		PaperLB:  fmt.Sprintf("n-1 = %d [Thm 10]", lowerbound.Theorem10Bound(n, 1)),
+		PaperUB:  fmt.Sprintf("n-1 = %d [Alg 1]", lowerbound.Algorithm1Objects(n, 1)),
+		Measured: len(a1.Objects()), Certified: certified, Status: status,
+	})
+
+	// Row 3: Consensus / Readable binary swap. LB n-2 (Theorem 18),
+	// UB 2n-1 [7]. The upper-bound algorithm is cited prior work whose
+	// report is unavailable; the ledger/covering machinery realizes the
+	// lower-bound side (see cmd/lbcheck).
+	rows = append(rows, Row{
+		Task: "Consensus", Objects: "Readable swap, domain 2",
+		PaperLB:  fmt.Sprintf("n-2 = %d [Thm 18]", lowerbound.Theorem18Bound(n)),
+		PaperUB:  fmt.Sprintf("2n-1 = %d [7]", lowerbound.BowmanObjects(n)),
+		Measured: -1, Certified: -1,
+		Status: "LB machinery: covering + ledger (cmd/lbcheck); UB cited (report unavailable)",
+	})
+
+	// Row 4: Consensus / Readable swap, domain b (b = 2..5 summarized).
+	var capNotes []string
+	for _, b := range []int{2, 3, 4, 8} {
+		capNotes = append(capNotes, fmt.Sprintf("b=%d:⌈(n-2)/(3b+1)⌉=%d", b, lowerbound.Theorem22Bound(n, b)))
+	}
+	rows = append(rows, Row{
+		Task: "Consensus", Objects: "Readable swap, domain b",
+		PaperLB:  "(n-2)/(3b+1) [Thm 22]",
+		PaperUB:  fmt.Sprintf("2n-1 = %d [7]", lowerbound.BowmanObjects(n)),
+		Measured: -1, Certified: -1,
+		Status: strings.Join(capNotes, " "),
+	})
+
+	// Row 5: Consensus / Readable swap, unbounded. LB Ω(√n) [17], UB n-1 [15].
+	rr, err := baseline.NewReadableRace(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	status = validateStatus(rr, 1, opts)
+	rows = append(rows, Row{
+		Task: "Consensus", Objects: "Readable swap, unbounded",
+		PaperLB:  "Ω(√n) [17]",
+		PaperUB:  fmt.Sprintf("n-1 = %d [15]", lowerbound.EGSZObjects(n)),
+		Measured: len(rr.Objects()), Certified: -1, Status: status,
+	})
+
+	// Row 6: k-set / Registers. LB ⌈n/k⌉ [16], UB n-k+1 [6].
+	if k >= 1 && n > k {
+		rks, err := baseline.NewRegisterKSet(n, k, k+1)
+		if err != nil {
+			return nil, err
+		}
+		status = validateStatus(rks, k, opts)
+		rows = append(rows, Row{
+			Task: fmt.Sprintf("%d-set agreement", k), Objects: "Registers",
+			PaperLB:  fmt.Sprintf("⌈n/k⌉ = %d [16]", lowerbound.EGZRegisterKSetBound(n, k)),
+			PaperUB:  fmt.Sprintf("n-k+1 = %d [6]", lowerbound.RegisterKSetObjects(n, k)),
+			Measured: len(rks.Objects()), Certified: -1, Status: status,
+		})
+	}
+
+	// Row 7: k-set / Swap. LB ⌈n/k⌉-1 (Theorem 10), UB n-k (Algorithm 1).
+	aks, err := core.New(core.Params{N: n, K: k, M: k + 1})
+	if err != nil {
+		return nil, err
+	}
+	status = validateStatus(aks, k, opts)
+	certified = -1
+	t10, err := lowerbound.Theorem10Driver(aks, k, lowerbound.SearchLimits{MaxConfigs: 40000, MaxDepth: 40}, 0)
+	if err == nil {
+		certified = t10.Objects
+	} else {
+		status += "; certificate FAILED: " + err.Error()
+	}
+	rows = append(rows, Row{
+		Task: fmt.Sprintf("%d-set agreement", k), Objects: "Swap objects",
+		PaperLB:  fmt.Sprintf("⌈n/k⌉-1 = %d [Thm 10]", lowerbound.Theorem10Bound(n, k)),
+		PaperUB:  fmt.Sprintf("n-k = %d [Alg 1]", lowerbound.Algorithm1Objects(n, k)),
+		Measured: len(aks.Objects()), Certified: certified, Status: status,
+	})
+
+	// Row 8: k-set / Readable swap, unbounded. LB 1, UB n-k (Algorithm 1).
+	akr, err := core.New(core.Params{N: n, K: k, M: k + 1, Readable: true})
+	if err != nil {
+		return nil, err
+	}
+	status = validateStatus(akr, k, opts)
+	rows = append(rows, Row{
+		Task: fmt.Sprintf("%d-set agreement", k), Objects: "Readable swap, unbounded",
+		PaperLB:  "1",
+		PaperUB:  fmt.Sprintf("n-k = %d [Alg 1]", lowerbound.Algorithm1Objects(n, k)),
+		Measured: len(akr.Objects()), Certified: -1, Status: status,
+	})
+
+	return rows, nil
+}
+
+func validateStatus(p model.Protocol, k int, opts ValidateOptions) string {
+	if err := ValidateProtocol(p, k, opts); err != nil {
+		return "FAILED: " + err.Error()
+	}
+	eff := opts.Schedules
+	if eff <= 0 {
+		eff = 25
+	}
+	return fmt.Sprintf("agreement+validity OK over %d adversarial schedules", eff)
+}
+
+// RenderTable renders rows in the paper's Table 1 layout.
+func RenderTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s | %-26s | %-22s | %-20s | %-8s | %-9s | %s\n",
+		"Task", "Objects", "Paper lower bound", "Paper upper bound", "Measured", "Certified", "Validation")
+	b.WriteString(strings.Repeat("-", 140) + "\n")
+	for _, r := range rows {
+		meas := "—"
+		if r.Measured >= 0 {
+			meas = fmt.Sprintf("%d", r.Measured)
+		}
+		cert := "—"
+		if r.Certified >= 0 {
+			cert = fmt.Sprintf("%d", r.Certified)
+		}
+		fmt.Fprintf(&b, "%-18s | %-26s | %-22s | %-20s | %-8s | %-9s | %s\n",
+			r.Task, r.Objects, r.PaperLB, r.PaperUB, meas, cert, r.Status)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

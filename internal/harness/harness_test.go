@@ -1,0 +1,147 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+)
+
+func TestValidateProtocolAcceptsAlgorithm1(t *testing.T) {
+	a1 := core.MustNew(core.Params{N: 4, K: 1, M: 2})
+	if err := harness.ValidateProtocol(a1, 1, harness.ValidateOptions{Schedules: 10, Seed: 1}); err != nil {
+		t.Fatalf("Algorithm 1 failed validation: %v", err)
+	}
+}
+
+func TestValidateProtocolAcceptsKSet(t *testing.T) {
+	a := core.MustNew(core.Params{N: 6, K: 2, M: 3})
+	if err := harness.ValidateProtocol(a, 2, harness.ValidateOptions{Schedules: 8, Seed: 2}); err != nil {
+		t.Fatalf("Algorithm 1 (k=2) failed validation: %v", err)
+	}
+}
+
+// TestValidateProtocolRejectsBrokenProtocol: the validator must catch the
+// deliberately broken ToyBitRace — a negative control for the whole
+// validation pipeline.
+func TestValidateProtocolRejectsBrokenProtocol(t *testing.T) {
+	tb, err := baseline.NewToyBitRace(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.ValidateProtocol(tb, 1, harness.ValidateOptions{Schedules: 60, Seed: 3}); err == nil {
+		t.Fatal("validator accepted a protocol known to violate agreement")
+	}
+}
+
+// TestValidateProtocolRejectsOverloadedPair: pair consensus with 3
+// processes violates agreement and must be rejected.
+func TestValidateProtocolRejectsOverloadedPair(t *testing.T) {
+	p := baseline.NewPairConsensus(2).WithProcesses(3)
+	if err := harness.ValidateProtocol(p, 1, harness.ValidateOptions{Schedules: 60, Seed: 4}); err == nil {
+		t.Fatal("validator accepted 3-process single-swap consensus")
+	}
+}
+
+// TestMeasureSoloRespectsLemma8 is experiment L8: from randomly reached
+// configurations, no solo run of Algorithm 1 exceeds 8(n-k) swaps.
+func TestMeasureSoloRespectsLemma8(t *testing.T) {
+	for _, tt := range []struct{ n, k, m int }{{3, 1, 2}, {4, 1, 2}, {5, 2, 3}, {6, 3, 4}} {
+		a := core.MustNew(core.Params{N: tt.n, K: tt.k, M: tt.m})
+		bound := a.Params().SoloStepBound()
+		census, err := harness.MeasureSolo(a, tt.k, 150, bound, 99)
+		if err != nil {
+			t.Fatalf("(n=%d,k=%d): %v", tt.n, tt.k, err)
+		}
+		if census.MaxSteps > bound {
+			t.Fatalf("(n=%d,k=%d): max solo steps %d exceeds 8(n-k) = %d", tt.n, tt.k, census.MaxSteps, bound)
+		}
+		if census.Trials == 0 {
+			t.Fatalf("(n=%d,k=%d): no trials measured", tt.n, tt.k)
+		}
+	}
+}
+
+func TestTable1RowShape(t *testing.T) {
+	rows, err := harness.Table1(5, 2, harness.ValidateOptions{Schedules: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table1 produced %d rows, want 8 (as in the paper)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Task == "" || r.Objects == "" || r.PaperLB == "" || r.PaperUB == "" {
+			t.Errorf("row %+v has empty identity fields", r)
+		}
+		if strings.Contains(r.Status, "FAILED") {
+			t.Errorf("row %s/%s failed validation: %s", r.Task, r.Objects, r.Status)
+		}
+	}
+}
+
+// TestTable1BoundsMatchPaper checks the numeric content of the regenerated
+// table against the paper's formulas for several n, k.
+func TestTable1BoundsMatchPaper(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{4, 1}, {5, 2}, {7, 3}} {
+		rows, err := harness.Table1(tt.n, tt.k, harness.ValidateOptions{Schedules: 2, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byKey := map[string]harness.Row{}
+		for _, r := range rows {
+			byKey[r.Task+"/"+r.Objects] = r
+		}
+
+		// Consensus from swap: measured n-1, certified n-1 (Theorem 10, k=1).
+		r := byKey["Consensus/Swap objects"]
+		if r.Measured != tt.n-1 {
+			t.Errorf("n=%d: consensus/swap measured %d, want n-1=%d", tt.n, r.Measured, tt.n-1)
+		}
+		if r.Certified != lowerbound.Theorem10Bound(tt.n, 1) {
+			t.Errorf("n=%d: consensus/swap certified %d, want %d", tt.n, r.Certified, lowerbound.Theorem10Bound(tt.n, 1))
+		}
+
+		// k-set from swap: measured n-k, certified ⌈n/k⌉-1.
+		var ks harness.Row
+		for key, row := range byKey {
+			if strings.Contains(key, "-set agreement/Swap objects") {
+				ks = row
+			}
+		}
+		if ks.Measured != tt.n-tt.k {
+			t.Errorf("(n=%d,k=%d): k-set/swap measured %d, want n-k=%d", tt.n, tt.k, ks.Measured, tt.n-tt.k)
+		}
+		if ks.Certified != lowerbound.Theorem10Bound(tt.n, tt.k) {
+			t.Errorf("(n=%d,k=%d): k-set/swap certified %d, want ⌈n/k⌉-1=%d",
+				tt.n, tt.k, ks.Certified, lowerbound.Theorem10Bound(tt.n, tt.k))
+		}
+	}
+}
+
+func TestTable1RejectsBadParams(t *testing.T) {
+	if _, err := harness.Table1(3, 3, harness.ValidateOptions{}); err == nil {
+		t.Error("n == k should be rejected")
+	}
+	if _, err := harness.Table1(3, 0, harness.ValidateOptions{}); err == nil {
+		t.Error("k == 0 should be rejected")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	rows := []harness.Row{
+		{Task: "Consensus", Objects: "Swap objects", PaperLB: "n-1 = 3", PaperUB: "n-1 = 3",
+			Measured: 3, Certified: 3, Status: "ok"},
+		{Task: "Consensus", Objects: "Readable swap, domain 2", PaperLB: "n-2 = 2", PaperUB: "2n-1 = 7",
+			Measured: -1, Certified: -1, Status: "cited"},
+	}
+	out := harness.RenderTable(rows)
+	for _, want := range []string{"Task", "Swap objects", "n-1 = 3", "—", "ok", "cited"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

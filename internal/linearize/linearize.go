@@ -1,0 +1,187 @@
+// Package linearize checks concurrent histories of the runtime objects
+// against their sequential specifications (Wing–Gong style backtracking).
+// The paper's model assumes atomic (linearizable) swap and readable swap
+// objects; this package closes the loop on the runtime side by recording
+// real concurrent histories from internal/object instances and verifying
+// that a legal linearization exists — i.e. that sync/atomic really does
+// provide the objects Section 2 postulates.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// OpKind identifies a recorded operation.
+type OpKind int
+
+// Supported operation kinds.
+const (
+	// OpSwap is Swap(arg) returning the previous value.
+	OpSwap OpKind = iota + 1
+	// OpRead is Read() returning the current value.
+	OpRead
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpSwap:
+		return "Swap"
+	case OpRead:
+		return "Read"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one completed operation in a concurrent history. Start and End
+// are timestamps from a shared logical clock: Start is taken immediately
+// before the operation's invocation, End immediately after its response,
+// so Op a precedes Op b in real time iff a.End < b.Start.
+type Op struct {
+	// Proc is the recording goroutine's id (informational).
+	Proc int
+	// Kind is the operation.
+	Kind OpKind
+	// Arg is the Swap argument (ignored for Read).
+	Arg int64
+	// Resp is the observed response.
+	Resp int64
+	// Start and End delimit the operation's real-time interval.
+	Start, End int64
+}
+
+// Spec is a sequential object specification over int64 states.
+type Spec interface {
+	// Init returns the initial state.
+	Init() int64
+	// Step applies op's kind/arg to state and returns the new state and
+	// the response the sequential object would give.
+	Step(state int64, kind OpKind, arg int64) (next int64, resp int64)
+}
+
+// SwapSpec is the sequential readable swap object: Swap returns the
+// previous value and stores the argument; Read returns the state.
+type SwapSpec struct {
+	// Initial is the initial value.
+	Initial int64
+}
+
+var _ Spec = SwapSpec{}
+
+// Init implements Spec.
+func (s SwapSpec) Init() int64 { return s.Initial }
+
+// Step implements Spec.
+func (SwapSpec) Step(state int64, kind OpKind, arg int64) (int64, int64) {
+	switch kind {
+	case OpSwap:
+		return arg, state
+	case OpRead:
+		return state, state
+	default:
+		panic(fmt.Sprintf("linearize: unknown kind %d", int(kind)))
+	}
+}
+
+// Check reports whether hist is linearizable with respect to spec: some
+// total order of the operations extends the real-time partial order and
+// follows the sequential specification. On success it returns the witness
+// order as indices into hist; on failure it returns nil and false.
+//
+// The search is exponential in the worst case (linearizability checking
+// is NP-complete); keep recorded histories to a few hundred operations.
+func Check(spec Spec, hist []Op) ([]int, bool) {
+	n := len(hist)
+	if n == 0 {
+		return []int{}, true
+	}
+	// Order by Start once; candidate generation walks this order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return hist[idx[a]].Start < hist[idx[b]].Start })
+
+	used := make([]bool, n)
+	witness := make([]int, 0, n)
+
+	var rec func(state int64, done int) bool
+	rec = func(state int64, done int) bool {
+		if done == n {
+			return true
+		}
+		// minEnd over unlinearized ops: any op whose Start exceeds it
+		// cannot be next (the earlier op's response precedes it).
+		minEnd := int64(1<<63 - 1)
+		for _, i := range idx {
+			if !used[i] && hist[i].End < minEnd {
+				minEnd = hist[i].End
+			}
+		}
+		for _, i := range idx {
+			if used[i] {
+				continue
+			}
+			if hist[i].Start > minEnd {
+				break // sorted by Start: no later candidate is eligible either
+			}
+			next, resp := spec.Step(state, hist[i].Kind, hist[i].Arg)
+			if resp != hist[i].Resp {
+				continue
+			}
+			used[i] = true
+			witness = append(witness, i)
+			if rec(next, done+1) {
+				return true
+			}
+			witness = witness[:len(witness)-1]
+			used[i] = false
+		}
+		return false
+	}
+	if rec(spec.Init(), 0) {
+		return witness, true
+	}
+	return nil, false
+}
+
+// Recorder captures a concurrent history with a shared logical clock. Use
+// one Recorder per experiment and call its Swap/Read wrappers from any
+// number of goroutines; Ops returns the completed history once the
+// goroutines have quiesced.
+type Recorder struct {
+	clock atomic.Int64
+	ops   chan Op
+	hist  []Op
+}
+
+// NewRecorder returns a Recorder able to buffer up to capacity operations.
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{ops: make(chan Op, capacity)}
+}
+
+// Record wraps one operation: it timestamps the closure's execution and
+// stores the completed Op. run must perform exactly one operation on the
+// shared object and return its kind, argument, and response.
+func (r *Recorder) Record(proc int, run func() (OpKind, int64, int64)) {
+	start := r.clock.Add(1)
+	kind, arg, resp := run()
+	end := r.clock.Add(1)
+	r.ops <- Op{Proc: proc, Kind: kind, Arg: arg, Resp: resp, Start: start, End: end}
+}
+
+// Ops drains and returns the recorded history. Call only after all
+// recording goroutines have finished.
+func (r *Recorder) Ops() []Op {
+	for {
+		select {
+		case op := <-r.ops:
+			r.hist = append(r.hist, op)
+		default:
+			return r.hist
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package linearize
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/object"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	w, ok := Check(SwapSpec{}, nil)
+	if !ok || len(w) != 0 {
+		t.Fatal("empty history is linearizable with an empty witness")
+	}
+}
+
+func TestSequentialSwapHistory(t *testing.T) {
+	// Swap(1)->0, Swap(2)->1, Read->2: the sequential spec itself.
+	hist := []Op{
+		{Kind: OpSwap, Arg: 1, Resp: 0, Start: 1, End: 2},
+		{Kind: OpSwap, Arg: 2, Resp: 1, Start: 3, End: 4},
+		{Kind: OpRead, Resp: 2, Start: 5, End: 6},
+	}
+	w, ok := Check(SwapSpec{}, hist)
+	if !ok {
+		t.Fatal("sequential history must be linearizable")
+	}
+	if len(w) != 3 || w[0] != 0 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("witness %v, want [0 1 2]", w)
+	}
+}
+
+func TestSequentialViolationDetected(t *testing.T) {
+	// Two non-overlapping swaps both claim to have seen the initial 0:
+	// the second response is impossible in any linearization.
+	hist := []Op{
+		{Kind: OpSwap, Arg: 1, Resp: 0, Start: 1, End: 2},
+		{Kind: OpSwap, Arg: 2, Resp: 0, Start: 3, End: 4},
+	}
+	if _, ok := Check(SwapSpec{}, hist); ok {
+		t.Fatal("lost-update history must not be linearizable")
+	}
+}
+
+func TestOverlappingSwapsEitherOrder(t *testing.T) {
+	// Two overlapping swaps: either order works depending on responses.
+	hist := []Op{
+		{Kind: OpSwap, Arg: 1, Resp: 2, Start: 1, End: 4},
+		{Kind: OpSwap, Arg: 2, Resp: 0, Start: 2, End: 3},
+	}
+	w, ok := Check(SwapSpec{}, hist)
+	if !ok {
+		t.Fatal("overlapping swaps with chained responses must linearize")
+	}
+	if w[0] != 1 || w[1] != 0 {
+		t.Fatalf("witness %v, want op 1 (saw initial) first", w)
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Read->0 strictly after Swap(5)->0 completed: the read's response 0
+	// contradicts real time even though some reordering would satisfy it.
+	hist := []Op{
+		{Kind: OpSwap, Arg: 5, Resp: 0, Start: 1, End: 2},
+		{Kind: OpRead, Resp: 0, Start: 3, End: 4},
+	}
+	if _, ok := Check(SwapSpec{}, hist); ok {
+		t.Fatal("stale read after a completed swap must be rejected")
+	}
+}
+
+func TestInitialValueRespected(t *testing.T) {
+	hist := []Op{{Kind: OpRead, Resp: 7, Start: 1, End: 2}}
+	if _, ok := Check(SwapSpec{}, hist); ok {
+		t.Fatal("read of 7 from initial 0 must fail")
+	}
+	if _, ok := Check(SwapSpec{Initial: 7}, hist); !ok {
+		t.Fatal("read of 7 from initial 7 must pass")
+	}
+}
+
+// TestConcurrentIntSwapHistoryLinearizable records a real contended
+// history from the runtime swap object and verifies a linearization
+// exists — the runtime object delivers the atomicity the model assumes.
+func TestConcurrentIntSwapHistoryLinearizable(t *testing.T) {
+	const (
+		goroutines = 4
+		perG       = 25
+	)
+	for trial := 0; trial < 10; trial++ {
+		s := object.NewIntSwap(0)
+		rec := NewRecorder(goroutines * perG)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					arg := int64(g*perG + i + 1) // unique arguments
+					rec.Record(g, func() (OpKind, int64, int64) {
+						return OpSwap, arg, s.Swap(arg)
+					})
+				}
+			}(g)
+		}
+		wg.Wait()
+		hist := rec.Ops()
+		if len(hist) != goroutines*perG {
+			t.Fatalf("trial %d: recorded %d ops", trial, len(hist))
+		}
+		if _, ok := Check(SwapSpec{}, hist); !ok {
+			t.Fatalf("trial %d: runtime swap history not linearizable", trial)
+		}
+	}
+}
+
+// TestConcurrentBoundedSwapWithReads mixes Swap and Read on the bounded
+// readable swap object.
+func TestConcurrentBoundedSwapWithReads(t *testing.T) {
+	const domain = 8
+	s := object.NewBoundedSwap(domain, 0)
+	rec := NewRecorder(200)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				arg := int64((g*20 + i) % domain)
+				rec.Record(g, func() (OpKind, int64, int64) {
+					return OpSwap, arg, s.Swap(arg)
+				})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			rec.Record(3, func() (OpKind, int64, int64) {
+				return OpRead, 0, s.Read()
+			})
+		}
+	}()
+	wg.Wait()
+	if _, ok := Check(SwapSpec{}, rec.Ops()); !ok {
+		t.Fatal("bounded readable swap history not linearizable")
+	}
+}
+
+// TestCorruptedHistoryRejected flips one response in an otherwise real
+// history; the checker must notice. (Unique arguments guarantee a single
+// valid chain, so any flip to an unused value is fatal.)
+func TestCorruptedHistoryRejected(t *testing.T) {
+	s := object.NewIntSwap(0)
+	rec := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				arg := int64(g*10 + i + 1)
+				rec.Record(g, func() (OpKind, int64, int64) {
+					return OpSwap, arg, s.Swap(arg)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	hist := rec.Ops()
+	hist[len(hist)/2].Resp = 99999 // no operation ever swapped this in
+	if _, ok := Check(SwapSpec{}, hist); ok {
+		t.Fatal("corrupted response accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpSwap.String() != "Swap" || OpRead.String() != "Read" {
+		t.Fatal("op kind strings")
+	}
+}

@@ -1,0 +1,295 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// SearchLimits bounds the schedule searches in this file.
+type SearchLimits struct {
+	// MaxConfigs caps distinct configurations visited (default 300000).
+	MaxConfigs int
+	// MaxDepth caps schedule length (0 = until MaxConfigs).
+	MaxDepth int
+}
+
+func (l SearchLimits) withDefaults() SearchLimits {
+	if l.MaxConfigs <= 0 {
+		l.MaxConfigs = 300000
+	}
+	return l
+}
+
+// Witness is a found schedule together with what it demonstrates.
+type Witness struct {
+	// Schedule is the pid sequence from the initial configuration.
+	Schedule []int
+	// Decided is the set of values decided at the end, ascending.
+	Decided []int
+	// Visited is the number of configurations explored to find it.
+	Visited int
+}
+
+// FindAgreementViolation searches P-only executions of p from the given
+// inputs for a configuration in which more than k distinct values are
+// decided, returning a replayable witness schedule or nil if none exists
+// within the limits. It demonstrates constructively why under-provisioned
+// protocols fail — e.g. the 2-process single-swap consensus run with three
+// processes (Section 1's motivation for needing more objects).
+func FindAgreementViolation(p model.Protocol, inputs []int, k int, limits SearchLimits) (*Witness, error) {
+	return searchDecisions(p, inputs, nil, limits, func(decided map[int]bool) bool {
+		return len(decided) > k
+	})
+}
+
+// FindKDistinctDecisions searches for an execution by the processes in
+// restrict (nil = all) in which at least k distinct values are decided —
+// the "R-only execution in which all k values are decided" case of
+// Theorem 10's induction. Returns nil if none is found within limits.
+func FindKDistinctDecisions(p model.Protocol, inputs []int, restrict []int, k int, limits SearchLimits) (*Witness, error) {
+	return searchDecisions(p, inputs, restrict, limits, func(decided map[int]bool) bool {
+		return len(decided) >= k
+	})
+}
+
+// searchDecisions is a BFS over schedules with parent tracking, stopping
+// when goal(decidedValues) becomes true.
+func searchDecisions(p model.Protocol, inputs []int, restrict []int, limits SearchLimits, goal func(map[int]bool) bool) (*Witness, error) {
+	limits = limits.withDefaults()
+	start, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	allowed := map[int]bool{}
+	if restrict == nil {
+		for pid := 0; pid < p.NumProcesses(); pid++ {
+			allowed[pid] = true
+		}
+	} else {
+		for _, pid := range restrict {
+			allowed[pid] = true
+		}
+	}
+
+	type node struct {
+		cfg    *model.Config
+		parent int // index into nodes; -1 for root
+		pid    int // step taken from parent
+		depth  int
+	}
+	nodes := []node{{cfg: start, parent: -1, pid: -1}}
+	seen := map[string]int{start.Key(): 0}
+	visited := 0
+
+	decidedSet := func(c *model.Config) map[int]bool {
+		out := map[int]bool{}
+		for pid := range c.States {
+			if v, ok := c.Decided(p, pid); ok {
+				out[v] = true
+			}
+		}
+		return out
+	}
+
+	extract := func(idx int, dec map[int]bool) *Witness {
+		var sched []int
+		for i := idx; nodes[i].parent != -1; i = nodes[i].parent {
+			sched = append(sched, nodes[i].pid)
+		}
+		for l, r := 0, len(sched)-1; l < r; l, r = l+1, r-1 {
+			sched[l], sched[r] = sched[r], sched[l]
+		}
+		vals := make([]int, 0, len(dec))
+		for v := range dec {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		return &Witness{Schedule: sched, Decided: vals, Visited: visited}
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head]
+		visited++
+		dec := decidedSet(cur.cfg)
+		if goal(dec) {
+			return extract(head, dec), nil
+		}
+		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
+			continue
+		}
+		for _, pid := range cur.cfg.Active(p) {
+			if !allowed[pid] {
+				continue
+			}
+			next := cur.cfg.Clone()
+			if _, err := model.Apply(p, next, pid); err != nil {
+				return nil, fmt.Errorf("lowerbound: search: %w", err)
+			}
+			key := next.Key()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			if len(nodes) >= limits.MaxConfigs {
+				return nil, nil // budget exhausted, no witness
+			}
+			seen[key] = len(nodes)
+			nodes = append(nodes, node{cfg: next, parent: head, pid: pid, depth: cur.depth + 1})
+		}
+	}
+	return nil, nil
+}
+
+// Theorem10Step records one level of the Theorem 10 induction.
+type Theorem10Step struct {
+	// K is the agreement parameter at this level.
+	K int
+	// Processes is the process set P at this level.
+	Processes []int
+	// RSize is |R| = ⌈|P|(k-1)/k⌉ at this level (0 at the base case).
+	RSize int
+	// FoundKValues reports whether an R-only execution deciding k values
+	// was found (Lemma 9 branch) or not (recursion branch).
+	FoundKValues bool
+}
+
+// Theorem10Certificate is the outcome of the full Theorem 10 induction.
+type Theorem10Certificate struct {
+	// Objects is the number of distinct swap objects certified.
+	Objects int
+	// Bound is ⌈n/k⌉ - 1 for the original instance.
+	Bound int
+	// Steps traces the induction levels.
+	Steps []Theorem10Step
+	// Lemma9 is the base/branch certificate that terminated the
+	// induction.
+	Lemma9 *Lemma9Result
+}
+
+// Theorem10Driver runs the induction from the proof of Theorem 10 against
+// a protocol family: factory(n, k) must return an n-process (k+1)-valued
+// k-set agreement protocol on swap objects over the same object layout for
+// every level (the paper analyses one algorithm; levels restrict which
+// processes take steps, which the model realizes by quieting processes).
+//
+// At each level it searches for an R-only execution deciding k distinct
+// values; if found it invokes Lemma 9 with Q = P - R, otherwise it recurses
+// on (R, k-1) as the proof does. The returned certificate's Objects is
+// guaranteed >= ⌈n/k⌉ - 1 on success.
+func Theorem10Driver(p model.Protocol, k int, limits SearchLimits, soloBound int) (*Theorem10Certificate, error) {
+	n := p.NumProcesses()
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("lowerbound: theorem 10 needs n > k >= 1, got n=%d k=%d", n, k)
+	}
+	cert := &Theorem10Certificate{Bound: Theorem10Bound(n, k)}
+
+	processes := make([]int, n)
+	for i := range processes {
+		processes[i] = i
+	}
+	level := k
+	for {
+		if level == 1 {
+			// Base case: the first process of the current set runs solo
+			// with input 0; the rest of the FULL process set is not
+			// available as Q — only the current level's quiet processes
+			// count. Mirror the proof: Q is everyone (of the original P)
+			// except the solo runner restricted to the current set.
+			res, err := consensusBase(p, processes, soloBound)
+			if err != nil {
+				return nil, err
+			}
+			cert.Lemma9 = res
+			cert.Objects = len(res.Objects)
+			cert.Steps = append(cert.Steps, Theorem10Step{K: 1, Processes: processes})
+			return cert, nil
+		}
+		rSize := ceilDiv(len(processes)*(level-1), level)
+		r := processes[:rSize]
+		rest := processes[rSize:]
+
+		// Look for an R-only execution deciding `level` distinct values.
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = level // Q's input v = k (differs from 0..k-1)
+		}
+		for i, pid := range r {
+			inputs[pid] = i % level
+		}
+		w, err := FindKDistinctDecisions(p, inputs, r, level, limits)
+		if err != nil {
+			return nil, err
+		}
+		step := Theorem10Step{K: level, Processes: processes, RSize: rSize, FoundKValues: w != nil}
+		cert.Steps = append(cert.Steps, step)
+		if w != nil {
+			res, err := Lemma9(Lemma9Input{
+				Protocol:  p,
+				Inputs:    inputs,
+				Alpha:     w.Schedule,
+				Q:         rest,
+				V:         level,
+				SoloBound: soloBound,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cert.Lemma9 = res
+			cert.Objects = len(res.Objects)
+			return cert, nil
+		}
+		// Recurse: the algorithm solves (level-1)-set agreement among R.
+		processes = r
+		level--
+	}
+}
+
+// consensusBase is the k = 1 base case of the induction restricted to a
+// subset of processes: processes[0] runs solo with input 0, the remaining
+// members of the subset form Q with input 1.
+func consensusBase(p model.Protocol, processes []int, soloBound int) (*Lemma9Result, error) {
+	n := p.NumProcesses()
+	if soloBound <= 0 {
+		soloBound = 10 * n * (len(p.Objects()) + 1)
+	}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	solo := processes[0]
+	inputs[solo] = 0
+
+	c, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	var alpha []int
+	for step := 0; ; step++ {
+		if step > soloBound {
+			return nil, fmt.Errorf("lowerbound: base case: p%d exceeded solo bound", solo)
+		}
+		if _, ok := c.Decided(p, solo); ok {
+			break
+		}
+		if _, err := model.Apply(p, c, solo); err != nil {
+			return nil, err
+		}
+		alpha = append(alpha, solo)
+	}
+	if v, _ := c.Decided(p, solo); v != 0 {
+		return nil, fmt.Errorf("lowerbound: base case: p%d decided %d solo, want 0", solo, v)
+	}
+	q := make([]int, 0, len(processes)-1)
+	for _, pid := range processes[1:] {
+		q = append(q, pid)
+	}
+	return Lemma9(Lemma9Input{
+		Protocol:  p,
+		Inputs:    inputs,
+		Alpha:     alpha,
+		Q:         q,
+		V:         1,
+		SoloBound: soloBound,
+	})
+}

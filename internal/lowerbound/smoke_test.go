@@ -1,0 +1,22 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSmokeConsensusCertificate is an early end-to-end check: the Lemma 9
+// adversary against Algorithm 1 (k=1) must certify exactly n-1 objects.
+func TestSmokeConsensusCertificate(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		p := core.MustNew(core.Params{N: n, K: 1, M: 2})
+		res, err := ConsensusCertificate(p, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := len(res.Objects), n-1; got != want {
+			t.Fatalf("n=%d: certified %d objects, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyProto is a 2-process test protocol over one swap object: each
+// process swaps its input once and decides the response if non-⊥, else its
+// own input (the Section 1 pair consensus, reimplemented locally so the
+// model package has no dependencies).
+type tinyProto struct{ m int }
+
+type tinyState struct {
+	input   int
+	decided int
+}
+
+func (s tinyState) Key() string { return fmt.Sprintf("%d/%d", s.input, s.decided) }
+
+func (p tinyProto) Name() string      { return "tiny" }
+func (p tinyProto) NumProcesses() int { return 2 }
+func (p tinyProto) InputDomain() int  { return p.m }
+func (p tinyProto) Objects() []ObjectSpec {
+	return []ObjectSpec{{Type: SwapType{}, Init: Nil{}}}
+}
+func (p tinyProto) Init(pid, input int) State { return tinyState{input: input, decided: -1} }
+func (p tinyProto) Poised(pid int, st State) (Op, bool) {
+	s := st.(tinyState)
+	if s.decided >= 0 {
+		return Op{}, false
+	}
+	return Op{Object: 0, Kind: OpSwap, Arg: Int(s.input)}, true
+}
+func (p tinyProto) Observe(pid int, st State, resp Value) State {
+	s := st.(tinyState)
+	if _, isNil := resp.(Nil); isNil {
+		s.decided = s.input
+	} else {
+		s.decided = int(resp.(Int))
+	}
+	return s
+}
+func (p tinyProto) Decision(st State) (int, bool) {
+	s := st.(tinyState)
+	if s.decided >= 0 {
+		return s.decided, true
+	}
+	return 0, false
+}
+
+var _ Protocol = tinyProto{}
+
+func TestNewConfigValidatesInputs(t *testing.T) {
+	p := tinyProto{m: 2}
+	if _, err := NewConfig(p, []int{0}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := NewConfig(p, []int{0, 2}); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := NewConfig(p, []int{0, -1}); err == nil {
+		t.Error("negative input accepted")
+	}
+	c, err := NewConfig(p, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(c.Value(0), Nil{}) {
+		t.Errorf("initial object value = %v", c.Value(0))
+	}
+}
+
+func TestMustNewConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewConfig(tinyProto{m: 2}, []int{0})
+}
+
+func TestConfigClone(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	d := c.Clone()
+	if _, err := Apply(p, d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(c.Value(0), Nil{}) {
+		t.Error("Apply on clone mutated original object")
+	}
+	if c.States[0].Key() != (tinyState{input: 0, decided: -1}).Key() {
+		t.Error("Apply on clone mutated original state")
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	rec, err := Apply(p, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pid != 0 || rec.Op.Kind != OpSwap || !ValuesEqual(rec.Resp, Nil{}) {
+		t.Errorf("first step record: %v", rec)
+	}
+	if v, ok := c.Decided(p, 0); !ok || v != 0 {
+		t.Errorf("p0 decision = %d, %v", v, ok)
+	}
+	rec, err = Apply(p, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(rec.Resp, Int(0)) {
+		t.Errorf("p1 got %v, want 0", rec.Resp)
+	}
+	if v, _ := c.Decided(p, 1); v != 0 {
+		t.Errorf("p1 decided %d, want 0 (agreement)", v)
+	}
+}
+
+func TestApplyOnDecidedProcessErrors(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	if _, err := Apply(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(p, c, 0); err == nil {
+		t.Error("step by decided process accepted")
+	}
+}
+
+func TestConfigKeyStability(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	d := MustNewConfig(p, []int{0, 1})
+	if c.Key() != d.Key() {
+		t.Error("identical configurations have different keys")
+	}
+	e := MustNewConfig(p, []int{1, 1})
+	if c.Key() == e.Key() {
+		t.Error("different configurations share a key")
+	}
+}
+
+func TestIndistinguishableTo(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	d := MustNewConfig(p, []int{0, 0})
+	if !c.IndistinguishableTo(d, []int{0}) {
+		t.Error("C ~{p0} D must hold: p0 has the same input in both")
+	}
+	if c.IndistinguishableTo(d, []int{1}) {
+		t.Error("C ~{p1} D must fail: p1's inputs differ")
+	}
+	if c.IndistinguishableTo(d, []int{0, 1}) {
+		t.Error("C ~{p0,p1} D must fail")
+	}
+}
+
+func TestDecidedValuesAndActive(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{1, 0})
+	if got := c.DecidedValues(p); len(got) != 0 {
+		t.Errorf("initially decided = %v", got)
+	}
+	if got := c.Active(p); len(got) != 2 {
+		t.Errorf("initially active = %v", got)
+	}
+	if _, err := Apply(p, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DecidedValues(p); len(got) != 1 || got[0] != 0 {
+		t.Errorf("decided = %v, want [0]", got)
+	}
+	if got := c.Active(p); len(got) != 1 || got[0] != 0 {
+		t.Errorf("active = %v, want [0]", got)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	if !c.Covers(p, 0, 0) {
+		t.Error("p0 must cover B0 (poised to swap)")
+	}
+	if c.Covers(p, 0, 1) {
+		t.Error("p0 covers a nonexistent object")
+	}
+	if _, err := Apply(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Covers(p, 0, 0) {
+		t.Error("decided process still covers")
+	}
+}
+
+func TestPoisedOps(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	ops := c.PoisedOps(p)
+	if ops[0] == nil || ops[1] == nil {
+		t.Fatal("nil poised op for active process")
+	}
+	if ops[0].Object != 0 || ops[1].Kind != OpSwap {
+		t.Errorf("poised ops: %v %v", ops[0], ops[1])
+	}
+	if _, err := Apply(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PoisedOps(p)[0]; got != nil {
+		t.Errorf("decided process has poised op %v", got)
+	}
+}
+
+func TestExecutionHelpers(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	var e Execution
+	for _, pid := range []int{1, 0} {
+		rec, err := Apply(p, c, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e = append(e, rec)
+	}
+	if got := e.Participants(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Participants = %v", got)
+	}
+	if !e.OnlyBy([]int{0, 1}) {
+		t.Error("OnlyBy full set = false")
+	}
+	if e.OnlyBy([]int{1}) {
+		t.Error("OnlyBy({1}) = true, but p0 stepped")
+	}
+	if got := e.ObjectsAccessed(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("ObjectsAccessed = %v", got)
+	}
+	if got := e.ObjectsModified(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("ObjectsModified = %v", got)
+	}
+	if e.StepsBy(0) != 1 || e.StepsBy(1) != 1 || e.StepsBy(2) != 0 {
+		t.Error("StepsBy miscounts")
+	}
+	hist := e.History()
+	if len(hist) != 2 || hist[0].Pid != 1 {
+		t.Errorf("History = %v", hist)
+	}
+	if !strings.Contains(e.String(), "Swap(B0") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestStepRecordString(t *testing.T) {
+	rec := StepRecord{Pid: 3, Op: Op{Object: 1, Kind: OpSwap, Arg: Int(2)}, Resp: Nil{}}
+	if got := rec.String(); !strings.Contains(got, "p3") || !strings.Contains(got, "Swap(B1, 2)") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestApplyRejectsIllegalOps(t *testing.T) {
+	// A protocol poised on an out-of-range object index must error.
+	p := badProto{}
+	c := &Config{Objects: []Value{Nil{}}, States: []State{tinyState{input: 0, decided: -1}}}
+	if _, err := Apply(p, c, 0); err == nil {
+		t.Error("out-of-range object accepted")
+	}
+}
+
+type badProto struct{ tinyProto }
+
+func (badProto) NumProcesses() int { return 1 }
+func (badProto) Poised(pid int, st State) (Op, bool) {
+	return Op{Object: 5, Kind: OpSwap, Arg: Int(0)}, true
+}
+
+func TestApplySurfacesObjectErrors(t *testing.T) {
+	// Poised Read on a swap object must surface ErrUnsupportedOp.
+	p := readOnSwapProto{}
+	c := MustNewConfig(p, []int{0})
+	_, err := Apply(p, c, 0)
+	if !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("err = %v, want ErrUnsupportedOp", err)
+	}
+}
+
+type readOnSwapProto struct{}
+
+func (readOnSwapProto) Name() string          { return "read-on-swap" }
+func (readOnSwapProto) NumProcesses() int     { return 1 }
+func (readOnSwapProto) Objects() []ObjectSpec { return []ObjectSpec{{Type: SwapType{}, Init: Nil{}}} }
+func (readOnSwapProto) Init(pid, input int) State {
+	return tinyState{input: input, decided: -1}
+}
+func (readOnSwapProto) Poised(pid int, st State) (Op, bool) {
+	return Op{Object: 0, Kind: OpRead}, true
+}
+func (readOnSwapProto) Observe(pid int, st State, resp Value) State { return st }
+func (readOnSwapProto) Decision(st State) (int, bool)               { return 0, false }
+
+func TestProtocolHelpers(t *testing.T) {
+	p := tinyProto{m: 3}
+	if InputDomain(p) != 3 {
+		t.Errorf("InputDomain = %d", InputDomain(p))
+	}
+	if SpaceComplexity(p) != 1 {
+		t.Errorf("SpaceComplexity = %d", SpaceComplexity(p))
+	}
+	if !SwapOnly(p) {
+		t.Error("tinyProto is swap-only")
+	}
+	if !HistorylessOnly(p) {
+		t.Error("tinyProto is historyless-only")
+	}
+	if SwapOnly(readablesProto{}) {
+		t.Error("readable swap protocol misclassified as swap-only")
+	}
+	if InputDomain(readablesProto{}) != 0 {
+		t.Error("protocol without InputDomainer must report 0")
+	}
+}
+
+type readablesProto struct{ readOnSwapProto }
+
+func (readablesProto) Objects() []ObjectSpec {
+	return []ObjectSpec{{Type: ReadableSwapType{}, Init: Nil{}}}
+}
+
+func TestStateKeySubset(t *testing.T) {
+	p := tinyProto{m: 2}
+	c := MustNewConfig(p, []int{0, 1})
+	k01 := c.StateKey([]int{0, 1})
+	k10 := c.StateKey([]int{1, 0})
+	if k01 != k10 {
+		t.Error("StateKey must be order-independent")
+	}
+	if c.StateKey([]int{0}) == c.StateKey([]int{1}) {
+		t.Error("different singleton state keys collide")
+	}
+}

@@ -1,0 +1,256 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupportedOp is returned (wrapped) when an operation kind is applied
+// to an object type that does not support it, e.g. Read on a (non-readable)
+// swap object. The paper's Section 3 emphasizes that plain swap objects do
+// not support Read; the model enforces that.
+var ErrUnsupportedOp = errors.New("operation not supported by object type")
+
+// ErrOutOfDomain is returned (wrapped) when a value outside the declared
+// domain would be stored in a bounded-domain object.
+var ErrOutOfDomain = errors.New("value outside object domain")
+
+// ObjectType describes the sequential behaviour of a shared object kind.
+// All object types in this package are historyless: the value of the object
+// depends only on the last nontrivial operation applied to it.
+type ObjectType interface {
+	// Name returns a human-readable type name, e.g. "swap" or
+	// "readable-swap(b=2)".
+	Name() string
+	// Apply applies op to an object currently holding cur and returns the
+	// new value of the object and the response to the operation.
+	Apply(cur Value, op Op) (next Value, resp Value, err error)
+	// Readable reports whether the type supports the trivial Read
+	// operation. The distinction drives the lower-bound machinery: Lemma 9
+	// applies only to non-readable objects.
+	Readable() bool
+	// DomainSize returns the number of distinct values the object can
+	// store, or 0 if the domain is unbounded. Theorem 18 and Theorem 22
+	// are parameterized by this quantity.
+	DomainSize() int
+}
+
+// SwapType is the swap object of Section 2: it stores a value and supports
+// only Swap(v'), which returns the current value and replaces it with v'.
+// It does not support Read.
+type SwapType struct{}
+
+var _ ObjectType = SwapType{}
+
+// Name implements ObjectType.
+func (SwapType) Name() string { return "swap" }
+
+// Readable implements ObjectType; swap objects are not readable.
+func (SwapType) Readable() bool { return false }
+
+// DomainSize implements ObjectType; the domain is unbounded.
+func (SwapType) DomainSize() int { return 0 }
+
+// Apply implements ObjectType.
+func (SwapType) Apply(cur Value, op Op) (Value, Value, error) {
+	if op.Kind != OpSwap {
+		return cur, nil, fmt.Errorf("swap object: %s: %w", op.Kind, ErrUnsupportedOp)
+	}
+	if op.Arg == nil {
+		return cur, nil, errors.New("swap object: Swap requires an argument")
+	}
+	return op.Arg, cur, nil
+}
+
+// ReadableSwapType is a readable swap object with an optionally bounded
+// domain. With Domain == 0 the domain is unbounded (any Value may be
+// stored); with Domain == b the object stores integers in {0, ..., b-1},
+// matching Section 5's "readable swap objects with domain size b".
+type ReadableSwapType struct {
+	// Domain is the domain size b, or 0 for an unbounded domain.
+	Domain int
+}
+
+var _ ObjectType = ReadableSwapType{}
+
+// Name implements ObjectType.
+func (t ReadableSwapType) Name() string {
+	if t.Domain == 0 {
+		return "readable-swap"
+	}
+	return fmt.Sprintf("readable-swap(b=%d)", t.Domain)
+}
+
+// Readable implements ObjectType.
+func (ReadableSwapType) Readable() bool { return true }
+
+// DomainSize implements ObjectType.
+func (t ReadableSwapType) DomainSize() int { return t.Domain }
+
+// Apply implements ObjectType.
+func (t ReadableSwapType) Apply(cur Value, op Op) (Value, Value, error) {
+	switch op.Kind {
+	case OpRead:
+		return cur, cur, nil
+	case OpSwap:
+		if err := t.validate(op.Arg); err != nil {
+			return cur, nil, err
+		}
+		return op.Arg, cur, nil
+	default:
+		return cur, nil, fmt.Errorf("readable swap object: %s: %w", op.Kind, ErrUnsupportedOp)
+	}
+}
+
+func (t ReadableSwapType) validate(v Value) error {
+	if v == nil {
+		return errors.New("readable swap object: Swap requires an argument")
+	}
+	if t.Domain == 0 {
+		return nil
+	}
+	n, ok := v.(Int)
+	if !ok {
+		return fmt.Errorf("readable swap object: bounded domain stores Int, got %T: %w", v, ErrOutOfDomain)
+	}
+	if int(n) < 0 || int(n) >= t.Domain {
+		return fmt.Errorf("readable swap object: %d outside [0,%d): %w", int(n), t.Domain, ErrOutOfDomain)
+	}
+	return nil
+}
+
+// RegisterType is a read/write register with an optionally bounded domain.
+// Write(v) sets the value and returns Ack; Read returns the current value.
+type RegisterType struct {
+	// Domain is the domain size, or 0 for an unbounded domain. Binary
+	// registers (Bowman's algorithm [7]) use Domain == 2.
+	Domain int
+}
+
+var _ ObjectType = RegisterType{}
+
+// Name implements ObjectType.
+func (t RegisterType) Name() string {
+	if t.Domain == 0 {
+		return "register"
+	}
+	return fmt.Sprintf("register(b=%d)", t.Domain)
+}
+
+// Readable implements ObjectType.
+func (RegisterType) Readable() bool { return true }
+
+// DomainSize implements ObjectType.
+func (t RegisterType) DomainSize() int { return t.Domain }
+
+// Apply implements ObjectType.
+func (t RegisterType) Apply(cur Value, op Op) (Value, Value, error) {
+	switch op.Kind {
+	case OpRead:
+		return cur, cur, nil
+	case OpWrite:
+		if op.Arg == nil {
+			return cur, nil, errors.New("register: Write requires an argument")
+		}
+		if t.Domain > 0 {
+			n, ok := op.Arg.(Int)
+			if !ok || int(n) < 0 || int(n) >= t.Domain {
+				return cur, nil, fmt.Errorf("register: %v outside [0,%d): %w", op.Arg, t.Domain, ErrOutOfDomain)
+			}
+		}
+		return op.Arg, Ack, nil
+	default:
+		return cur, nil, fmt.Errorf("register: %s: %w", op.Kind, ErrUnsupportedOp)
+	}
+}
+
+// TestAndSetType is a readable test-and-set bit: TestAndSet sets the value
+// to 1 and returns the previous value; Read returns the current value.
+// Test-and-set objects are historyless with domain size 2.
+type TestAndSetType struct{}
+
+var _ ObjectType = TestAndSetType{}
+
+// Name implements ObjectType.
+func (TestAndSetType) Name() string { return "test-and-set" }
+
+// Readable implements ObjectType.
+func (TestAndSetType) Readable() bool { return true }
+
+// DomainSize implements ObjectType.
+func (TestAndSetType) DomainSize() int { return 2 }
+
+// Apply implements ObjectType.
+func (TestAndSetType) Apply(cur Value, op Op) (Value, Value, error) {
+	switch op.Kind {
+	case OpRead:
+		return cur, cur, nil
+	case OpTestAndSet:
+		return Int(1), cur, nil
+	default:
+		return cur, nil, fmt.Errorf("test-and-set: %s: %w", op.Kind, ErrUnsupportedOp)
+	}
+}
+
+// FetchAndAddType is a readable fetch-and-add counter. It is NOT
+// historyless (its value depends on all previous Adds); it exists so the
+// examples and tests can contrast historyless objects with a stronger
+// primitive, as the paper's introduction does when discussing Herlihy's
+// hierarchy.
+type FetchAndAddType struct{}
+
+var _ ObjectType = FetchAndAddType{}
+
+// Name implements ObjectType.
+func (FetchAndAddType) Name() string { return "fetch-and-add" }
+
+// Readable implements ObjectType.
+func (FetchAndAddType) Readable() bool { return true }
+
+// DomainSize implements ObjectType.
+func (FetchAndAddType) DomainSize() int { return 0 }
+
+// Apply implements ObjectType.
+func (FetchAndAddType) Apply(cur Value, op Op) (Value, Value, error) {
+	switch op.Kind {
+	case OpRead:
+		return cur, cur, nil
+	case OpAdd:
+		n, ok := cur.(Int)
+		if !ok {
+			return cur, nil, fmt.Errorf("fetch-and-add: current value %T is not Int", cur)
+		}
+		d, ok := op.Arg.(Int)
+		if !ok {
+			return cur, nil, fmt.Errorf("fetch-and-add: argument %T is not Int", op.Arg)
+		}
+		return n + d, n, nil
+	default:
+		return cur, nil, fmt.Errorf("fetch-and-add: %s: %w", op.Kind, ErrUnsupportedOp)
+	}
+}
+
+// Historyless reports whether the object type is historyless: its value is
+// determined by the last nontrivial operation applied to it.
+func Historyless(t ObjectType) bool {
+	switch t.(type) {
+	case SwapType, ReadableSwapType, RegisterType, TestAndSetType:
+		return true
+	default:
+		return false
+	}
+}
+
+// ObjectSpec declares one shared object of a protocol: its type and its
+// initial value.
+type ObjectSpec struct {
+	// Type is the sequential specification of the object.
+	Type ObjectType
+	// Init is the value of the object in every initial configuration.
+	Init Value
+}
+
+// String renders the spec.
+func (s ObjectSpec) String() string {
+	return fmt.Sprintf("%s=%v", s.Type.Name(), s.Init)
+}

@@ -1,0 +1,240 @@
+package model
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSwapTypeApply(t *testing.T) {
+	st := SwapType{}
+	next, resp, err := st.Apply(Int(1), Op{Kind: OpSwap, Arg: Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(2)) || !ValuesEqual(resp, Int(1)) {
+		t.Errorf("swap: next=%v resp=%v", next, resp)
+	}
+}
+
+func TestSwapTypeRejectsRead(t *testing.T) {
+	_, _, err := SwapType{}.Apply(Int(1), Op{Kind: OpRead})
+	if !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("Read on swap object: err = %v, want ErrUnsupportedOp", err)
+	}
+}
+
+func TestSwapTypeRejectsNilArg(t *testing.T) {
+	if _, _, err := (SwapType{}).Apply(Int(1), Op{Kind: OpSwap}); err == nil {
+		t.Error("Swap with nil argument accepted")
+	}
+}
+
+func TestSwapTypeMetadata(t *testing.T) {
+	st := SwapType{}
+	if st.Readable() {
+		t.Error("swap objects must not be readable (Section 3)")
+	}
+	if st.DomainSize() != 0 {
+		t.Error("swap objects have unbounded domains")
+	}
+	if st.Name() != "swap" {
+		t.Errorf("Name = %q", st.Name())
+	}
+}
+
+func TestReadableSwapTypeApply(t *testing.T) {
+	rs := ReadableSwapType{}
+	next, resp, err := rs.Apply(Int(3), Op{Kind: OpRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(3)) || !ValuesEqual(resp, Int(3)) {
+		t.Errorf("read: next=%v resp=%v", next, resp)
+	}
+	next, resp, err = rs.Apply(Int(3), Op{Kind: OpSwap, Arg: Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(7)) || !ValuesEqual(resp, Int(3)) {
+		t.Errorf("swap: next=%v resp=%v", next, resp)
+	}
+}
+
+func TestReadableSwapTypeDomain(t *testing.T) {
+	rs := ReadableSwapType{Domain: 2}
+	if _, _, err := rs.Apply(Int(0), Op{Kind: OpSwap, Arg: Int(1)}); err != nil {
+		t.Errorf("in-domain swap rejected: %v", err)
+	}
+	_, _, err := rs.Apply(Int(0), Op{Kind: OpSwap, Arg: Int(2)})
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("out-of-domain swap: err = %v, want ErrOutOfDomain", err)
+	}
+	_, _, err = rs.Apply(Int(0), Op{Kind: OpSwap, Arg: Int(-1)})
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("negative swap: err = %v, want ErrOutOfDomain", err)
+	}
+	_, _, err = rs.Apply(Int(0), Op{Kind: OpSwap, Arg: Pair{Int(0), Int(1)}})
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("non-Int swap into bounded domain: err = %v, want ErrOutOfDomain", err)
+	}
+	if rs.DomainSize() != 2 {
+		t.Errorf("DomainSize = %d", rs.DomainSize())
+	}
+	if !strings.Contains(rs.Name(), "b=2") {
+		t.Errorf("Name = %q", rs.Name())
+	}
+}
+
+func TestReadableSwapTypeUnboundedAllowsStructured(t *testing.T) {
+	rs := ReadableSwapType{}
+	arg := Pair{First: Vec{1, 0}, Second: Int(2)}
+	next, _, err := rs.Apply(Nil{}, Op{Kind: OpSwap, Arg: arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, arg) {
+		t.Errorf("next = %v", next)
+	}
+}
+
+func TestReadableSwapTypeRejectsWrite(t *testing.T) {
+	_, _, err := ReadableSwapType{}.Apply(Int(0), Op{Kind: OpWrite, Arg: Int(1)})
+	if !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("Write on readable swap: err = %v", err)
+	}
+}
+
+func TestRegisterTypeApply(t *testing.T) {
+	r := RegisterType{}
+	next, resp, err := r.Apply(Int(1), Op{Kind: OpWrite, Arg: Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(5)) {
+		t.Errorf("write: next = %v", next)
+	}
+	if !ValuesEqual(resp, Ack) {
+		t.Errorf("write: resp = %v, want Ack", resp)
+	}
+	_, resp, err = r.Apply(Int(5), Op{Kind: OpRead})
+	if err != nil || !ValuesEqual(resp, Int(5)) {
+		t.Errorf("read: resp = %v, err = %v", resp, err)
+	}
+}
+
+func TestRegisterTypeDomain(t *testing.T) {
+	r := RegisterType{Domain: 2}
+	if _, _, err := r.Apply(Int(0), Op{Kind: OpWrite, Arg: Int(3)}); !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("out-of-domain write: err = %v", err)
+	}
+	if _, _, err := r.Apply(Int(0), Op{Kind: OpWrite, Arg: Int(1)}); err != nil {
+		t.Errorf("binary write rejected: %v", err)
+	}
+}
+
+func TestRegisterTypeRejectsSwap(t *testing.T) {
+	_, _, err := RegisterType{}.Apply(Int(0), Op{Kind: OpSwap, Arg: Int(1)})
+	if !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("Swap on register: err = %v", err)
+	}
+}
+
+func TestTestAndSetTypeApply(t *testing.T) {
+	ts := TestAndSetType{}
+	next, resp, err := ts.Apply(Int(0), Op{Kind: OpTestAndSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(1)) || !ValuesEqual(resp, Int(0)) {
+		t.Errorf("TAS on 0: next=%v resp=%v", next, resp)
+	}
+	next, resp, err = ts.Apply(Int(1), Op{Kind: OpTestAndSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(1)) || !ValuesEqual(resp, Int(1)) {
+		t.Errorf("TAS on 1: next=%v resp=%v", next, resp)
+	}
+	if ts.DomainSize() != 2 || !ts.Readable() {
+		t.Error("TAS metadata wrong")
+	}
+}
+
+func TestFetchAndAddTypeApply(t *testing.T) {
+	fa := FetchAndAddType{}
+	next, resp, err := fa.Apply(Int(10), Op{Kind: OpAdd, Arg: Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(next, Int(15)) || !ValuesEqual(resp, Int(10)) {
+		t.Errorf("FAA: next=%v resp=%v", next, resp)
+	}
+	if _, _, err := fa.Apply(Nil{}, Op{Kind: OpAdd, Arg: Int(1)}); err == nil {
+		t.Error("FAA on non-Int accepted")
+	}
+}
+
+func TestHistoryless(t *testing.T) {
+	tests := []struct {
+		t    ObjectType
+		want bool
+	}{
+		{SwapType{}, true},
+		{ReadableSwapType{}, true},
+		{ReadableSwapType{Domain: 2}, true},
+		{RegisterType{}, true},
+		{TestAndSetType{}, true},
+		{FetchAndAddType{}, false},
+	}
+	for _, tt := range tests {
+		if got := Historyless(tt.t); got != tt.want {
+			t.Errorf("Historyless(%s) = %v, want %v", tt.t.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestOpStringAndTrivial(t *testing.T) {
+	read := Op{Object: 2, Kind: OpRead}
+	if !read.Trivial() {
+		t.Error("Read must be trivial")
+	}
+	if got, want := read.String(), "Read(B2)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	swap := Op{Object: 1, Kind: OpSwap, Arg: Int(0)}
+	if swap.Trivial() {
+		t.Error("Swap must be nontrivial even when re-installing the same value")
+	}
+	if got, want := swap.String(), "Swap(B1, 0)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestOpKeyDistinct(t *testing.T) {
+	ops := []Op{
+		{Object: 0, Kind: OpSwap, Arg: Int(1)},
+		{Object: 1, Kind: OpSwap, Arg: Int(1)},
+		{Object: 0, Kind: OpSwap, Arg: Int(2)},
+		{Object: 0, Kind: OpRead},
+		{Object: 0, Kind: OpWrite, Arg: Int(1)},
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		k := op.Key()
+		if seen[k] {
+			t.Errorf("key collision: %q for %v", k, op)
+		}
+		seen[k] = true
+	}
+}
+
+func TestObjectSpecString(t *testing.T) {
+	s := ObjectSpec{Type: SwapType{}, Init: Nil{}}
+	if got := s.String(); !strings.Contains(got, "swap") {
+		t.Errorf("String = %q", got)
+	}
+}

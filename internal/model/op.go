@@ -1,0 +1,77 @@
+package model
+
+import "fmt"
+
+// OpKind enumerates the operations supported by the historyless object
+// types in this package.
+type OpKind int
+
+// Operation kinds. Read is the only trivial operation (it can never change
+// the value of an object); all others are nontrivial.
+const (
+	// OpRead returns the current value of a readable object.
+	OpRead OpKind = iota
+	// OpSwap atomically replaces the value of the object with the
+	// argument and returns the previous value.
+	OpSwap
+	// OpWrite sets the value of a register and returns Ack.
+	OpWrite
+	// OpTestAndSet sets a test-and-set object to 1 and returns the
+	// previous value.
+	OpTestAndSet
+	// OpAdd adds the argument to a fetch-and-add object and returns the
+	// previous value.
+	OpAdd
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "Read"
+	case OpSwap:
+		return "Swap"
+	case OpWrite:
+		return "Write"
+	case OpTestAndSet:
+		return "TestAndSet"
+	case OpAdd:
+		return "Add"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is an operation a process applies to a shared object: which object,
+// which kind, and (for kinds that take one) the argument value.
+type Op struct {
+	// Object is the index of the target object in the protocol's object
+	// array.
+	Object int
+	// Kind identifies the operation.
+	Kind OpKind
+	// Arg is the operation argument. It is nil for Read and TestAndSet.
+	Arg Value
+}
+
+// String renders the operation in the paper's style, e.g. "Swap(B2, ⟨[0,1],3⟩)".
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead, OpTestAndSet:
+		return fmt.Sprintf("%s(B%d)", o.Kind, o.Object)
+	default:
+		return fmt.Sprintf("%s(B%d, %v)", o.Kind, o.Object, o.Arg)
+	}
+}
+
+// Key returns a canonical encoding of the operation, used when hashing
+// poised operations during covering analysis.
+func (o Op) Key() string {
+	return fmt.Sprintf("%d/%d/%s", o.Object, int(o.Kind), keyOf(o.Arg))
+}
+
+// Trivial reports whether the operation can never modify the value of the
+// object it is applied to. Only Read is trivial; a Swap(B, v) is nontrivial
+// even if B already holds v, following the paper's definition (triviality
+// is a property of the operation, not of a particular application).
+func (o Op) Trivial() bool { return o.Kind == OpRead }

@@ -1,0 +1,91 @@
+package model
+
+// State is the local state of one process in a protocol. States, like
+// Values, are immutable-by-convention and canonically keyed: transitions
+// return fresh states, and two states with equal Keys must behave
+// identically. This is what makes indistinguishability (C ~P C') and
+// configuration hashing mechanical.
+type State interface {
+	// Key returns a canonical encoding of the state.
+	Key() string
+}
+
+// Protocol is a deterministic distributed algorithm in the asynchronous
+// shared-memory model: a fixed set of shared objects plus, for every
+// process, a state machine that maps (state, response) pairs to successor
+// states and states to poised operations.
+//
+// Determinism is deliberate: the paper reduces nondeterministic
+// solo-terminating algorithms to obstruction-free (deterministic) ones via
+// Ellen, Gelashvili and Zhu [16], and all of its constructions are stated
+// for deterministic algorithms. Randomized algorithms are modelled by
+// fixing the coin-flip sequence inside the State.
+type Protocol interface {
+	// Name identifies the protocol instance, e.g. "algorithm1(n=5,k=2,m=3)".
+	Name() string
+	// NumProcesses returns n, the number of processes the instance is
+	// configured for.
+	NumProcesses() int
+	// Objects returns the shared objects (types and initial values). The
+	// slice must be treated as read-only; its length is the protocol's
+	// space complexity, the quantity the paper bounds.
+	Objects() []ObjectSpec
+	// Init returns the initial state of process pid with the given input
+	// value.
+	Init(pid int, input int) State
+	// Poised returns the operation process pid applies next from state
+	// st, or ok == false if the process has decided (and therefore takes
+	// no further steps).
+	Poised(pid int, st State) (op Op, ok bool)
+	// Observe returns the successor state after the poised operation
+	// receives response resp.
+	Observe(pid int, st State, resp Value) State
+	// Decision returns the decided value if st is a decided state.
+	Decision(st State) (value int, decided bool)
+}
+
+// InputDomainer is implemented by protocols that restrict inputs to
+// {0, ..., m-1}; m-valued k-set agreement protocols implement it.
+type InputDomainer interface {
+	// InputDomain returns m, the number of admissible input values.
+	InputDomain() int
+}
+
+// InputDomain returns the input domain size of p, or 0 if p does not
+// declare one.
+func InputDomain(p Protocol) int {
+	if d, ok := p.(InputDomainer); ok {
+		return d.InputDomain()
+	}
+	return 0
+}
+
+// SpaceComplexity returns the number of shared objects p uses — the
+// quantity bounded by Theorems 10, 18 and 22.
+func SpaceComplexity(p Protocol) int { return len(p.Objects()) }
+
+// UsesOnly reports whether every object of p satisfies pred. Helpers
+// SwapOnly and HistorylessOnly express the object-family hypotheses of the
+// paper's theorems.
+func UsesOnly(p Protocol, pred func(ObjectType) bool) bool {
+	for _, s := range p.Objects() {
+		if !pred(s.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// SwapOnly reports whether p uses only (non-readable) swap objects, the
+// hypothesis of Theorem 10.
+func SwapOnly(p Protocol) bool {
+	return UsesOnly(p, func(t ObjectType) bool {
+		_, ok := t.(SwapType)
+		return ok
+	})
+}
+
+// HistorylessOnly reports whether p uses only historyless objects.
+func HistorylessOnly(p Protocol) bool {
+	return UsesOnly(p, Historyless)
+}

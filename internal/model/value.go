@@ -1,0 +1,188 @@
+// Package model implements the asynchronous shared-memory model of
+// computation from Section 2 of Ovens, "The Space Complexity of Consensus
+// from Swap" (PODC 2022): values, historyless object types, operations,
+// configurations, steps, executions and histories, together with the
+// Protocol interface that deterministic algorithms implement so that
+// schedulers, model checkers and lower-bound adversaries can drive them.
+//
+// A configuration consists of a state for every process and a value for
+// every object. A step by a process is an operation applied to some object
+// together with its response and a state transition. Executions alternate
+// configurations and steps. All of those notions are reified here so that
+// proofs-by-construction from the paper (Lemma 9, Lemmas 13-20) can be run
+// as programs against concrete protocols.
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is the value stored in a shared object, the argument of an
+// operation, or the response to an operation.
+//
+// Implementations must be immutable once created and must provide a
+// canonical Key: two values represent the same abstract value exactly when
+// their Keys are equal. Keys are used to hash configurations during model
+// checking and to compare object values in the lower-bound constructions
+// ("value(B, C)" in the paper).
+type Value interface {
+	// Key returns a canonical encoding of the value. Equal values must
+	// return equal keys and distinct values distinct keys.
+	Key() string
+}
+
+// Int is an integer Value. Registers, bounded swap objects, test-and-set
+// and fetch-and-add objects all store Ints.
+type Int int
+
+// Key implements Value.
+func (v Int) Key() string { return strconv.Itoa(int(v)) }
+
+// String returns the decimal rendering of the integer.
+func (v Int) String() string { return strconv.Itoa(int(v)) }
+
+// Nil is the distinguished "no value" ⊥. It is the initial value of swap
+// objects in the two-process consensus algorithm of Section 1, and the
+// response of operations (such as Write) that return nothing.
+type Nil struct{}
+
+// Key implements Value.
+func (Nil) Key() string { return "⊥" }
+
+// String renders ⊥.
+func (Nil) String() string { return "⊥" }
+
+// Ack is the response value of operations that return no information, such
+// as Write on a register.
+var Ack Value = Nil{}
+
+// Pair is an ordered pair of values. Algorithm 1 stores ⟨lap counter,
+// identifier⟩ pairs in its swap objects; Pair is the generic carrier for
+// such composite object values.
+type Pair struct {
+	First  Value
+	Second Value
+}
+
+// Key implements Value.
+func (p Pair) Key() string { return "⟨" + keyOf(p.First) + "," + keyOf(p.Second) + "⟩" }
+
+// String renders the pair using the component String methods when present.
+func (p Pair) String() string { return fmt.Sprintf("⟨%v,%v⟩", p.First, p.Second) }
+
+// Vec is a fixed-length vector of integers. Algorithm 1's lap counters
+// U[0..m-1] are Vecs. A Vec must be treated as immutable; use Clone before
+// mutating.
+type Vec []int
+
+// Key implements Value.
+func (v Vec) Key() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String renders the vector.
+func (v Vec) String() string { return v.Key() }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dominates reports whether v dominates w component-wise: w ⪯ v in the
+// paper's notation, i.e. w[j] ≤ v[j] for every component j. It panics if
+// the lengths differ, since lap counters of one instance always share a
+// length.
+func (v Vec) Dominates(w Vec) bool {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("model: Vec.Dominates length mismatch %d != %d", len(v), len(w)))
+	}
+	for j := range v {
+		if w[j] > v[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxInto sets v[j] = max(v[j], w[j]) for every j, in place, and returns v.
+// This is the component-wise join used on lines 11-12 of Algorithm 1.
+// Callers own v (it must not be shared).
+func (v Vec) MaxInto(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("model: Vec.MaxInto length mismatch %d != %d", len(v), len(w)))
+	}
+	for j := range v {
+		if w[j] > v[j] {
+			v[j] = w[j]
+		}
+	}
+	return v
+}
+
+// Equal reports component-wise equality.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for j := range v {
+		if v[j] != w[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the maximum component of v. It panics on an empty vector.
+func (v Vec) Max() int {
+	if len(v) == 0 {
+		panic("model: Vec.Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the smallest index j attaining the maximum component of v,
+// matching the tie-break on line 15 of Algorithm 1.
+func (v Vec) ArgMax() int {
+	m := v.Max()
+	for j, x := range v {
+		if x == m {
+			return j
+		}
+	}
+	panic("unreachable")
+}
+
+// ValuesEqual reports whether two possibly-nil values are equal by Key.
+// A nil Value only equals another nil Value.
+func ValuesEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+func keyOf(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Key()
+}

@@ -1,0 +1,283 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntKey(t *testing.T) {
+	tests := []struct {
+		v    Int
+		want string
+	}{
+		{0, "0"},
+		{7, "7"},
+		{-3, "-3"},
+		{1 << 30, "1073741824"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Key(); got != tt.want {
+			t.Errorf("Int(%d).Key() = %q, want %q", int(tt.v), got, tt.want)
+		}
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("Int(%d).String() = %q, want %q", int(tt.v), got, tt.want)
+		}
+	}
+}
+
+func TestNilKey(t *testing.T) {
+	if (Nil{}).Key() != "⊥" {
+		t.Errorf("Nil.Key() = %q", (Nil{}).Key())
+	}
+	if Ack.Key() != "⊥" {
+		t.Errorf("Ack.Key() = %q", Ack.Key())
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	p := Pair{First: Int(1), Second: Nil{}}
+	if got, want := p.Key(), "⟨1,⊥⟩"; got != want {
+		t.Errorf("Pair.Key() = %q, want %q", got, want)
+	}
+	q := Pair{First: Vec{0, 2}, Second: Int(3)}
+	if got, want := q.Key(), "⟨[0,2],3⟩"; got != want {
+		t.Errorf("Pair.Key() = %q, want %q", got, want)
+	}
+}
+
+func TestPairKeyDistinguishes(t *testing.T) {
+	// Nested pairs with different groupings must have distinct keys.
+	a := Pair{First: Pair{First: Int(1), Second: Int(2)}, Second: Int(3)}
+	b := Pair{First: Int(1), Second: Pair{First: Int(2), Second: Int(3)}}
+	if a.Key() == b.Key() {
+		t.Errorf("distinct nested pairs share key %q", a.Key())
+	}
+}
+
+func TestVecKey(t *testing.T) {
+	tests := []struct {
+		v    Vec
+		want string
+	}{
+		{Vec{}, "[]"},
+		{Vec{5}, "[5]"},
+		{Vec{1, 0, 2}, "[1,0,2]"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Key(); got != tt.want {
+			t.Errorf("Vec%v.Key() = %q, want %q", []int(tt.v), got, tt.want)
+		}
+	}
+}
+
+func TestVecKeyInjective(t *testing.T) {
+	// [1,11] vs [11,1] vs [111] must all differ.
+	vs := []Vec{{1, 11}, {11, 1}, {111, 0}, {1, 1, 1}}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		k := v.Key()
+		if seen[k] {
+			t.Errorf("key collision for %v: %q", []int(v), k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestVecClone(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestVecDominates(t *testing.T) {
+	tests := []struct {
+		a, b Vec
+		want bool
+	}{
+		{Vec{0, 0}, Vec{0, 0}, true},
+		{Vec{1, 2}, Vec{1, 2}, true},
+		{Vec{2, 2}, Vec{1, 2}, true},
+		{Vec{1, 2}, Vec{2, 2}, false},
+		{Vec{3, 0}, Vec{0, 3}, false},
+		{Vec{5, 5}, Vec{4, 5}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Dominates(tt.b); got != tt.want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestVecDominatesPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.Dominates(Vec{1, 2})
+}
+
+func TestVecMaxIntoPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.MaxInto(Vec{1, 2})
+}
+
+func TestVecMaxInto(t *testing.T) {
+	v := Vec{1, 5, 0}
+	got := v.MaxInto(Vec{3, 2, 0})
+	want := Vec{3, 5, 0}
+	if !got.Equal(want) {
+		t.Errorf("MaxInto = %v, want %v", got, want)
+	}
+	// In place.
+	if !v.Equal(want) {
+		t.Errorf("MaxInto did not mutate receiver: %v", v)
+	}
+}
+
+func TestVecEqual(t *testing.T) {
+	if !(Vec{1, 2}).Equal(Vec{1, 2}) {
+		t.Error("equal vectors reported unequal")
+	}
+	if (Vec{1, 2}).Equal(Vec{1, 3}) {
+		t.Error("unequal vectors reported equal")
+	}
+	if (Vec{1}).Equal(Vec{1, 0}) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestVecMaxArgMax(t *testing.T) {
+	tests := []struct {
+		v      Vec
+		max    int
+		argmax int
+	}{
+		{Vec{0}, 0, 0},
+		{Vec{1, 3, 2}, 3, 1},
+		{Vec{3, 3, 1}, 3, 0}, // tie breaks to smallest index (line 15)
+		{Vec{0, 0, 5}, 5, 2},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Max(); got != tt.max {
+			t.Errorf("%v.Max() = %d, want %d", tt.v, got, tt.max)
+		}
+		if got := tt.v.ArgMax(); got != tt.argmax {
+			t.Errorf("%v.ArgMax() = %d, want %d", tt.v, got, tt.argmax)
+		}
+	}
+}
+
+func TestVecMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{}.Max()
+}
+
+func TestValuesEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Nil{}, Nil{}, true},
+		{nil, nil, true},
+		{Int(1), nil, false},
+		{nil, Int(1), false},
+		{Pair{Int(1), Int(2)}, Pair{Int(1), Int(2)}, true},
+		{Vec{1}, Vec{1}, true},
+	}
+	for _, tt := range tests {
+		if got := ValuesEqual(tt.a, tt.b); got != tt.want {
+			t.Errorf("ValuesEqual(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// randomVec generates a bounded random vector for the quick properties.
+func randomVec(r *rand.Rand, size int) Vec {
+	v := make(Vec, size)
+	for i := range v {
+		v[i] = r.Intn(8)
+	}
+	return v
+}
+
+// TestQuickDominatesPartialOrder checks that ⪯ is a partial order on lap
+// counters: reflexive, antisymmetric, transitive.
+func TestQuickDominatesPartialOrder(t *testing.T) {
+	const size = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVec(r, size), randomVec(r, size), randomVec(r, size)
+		if !a.Dominates(a) {
+			return false // reflexive
+		}
+		if a.Dominates(b) && b.Dominates(a) && !a.Equal(b) {
+			return false // antisymmetric
+		}
+		if a.Dominates(b) && b.Dominates(c) && !a.Dominates(c) {
+			return false // transitive
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaxIntoIsJoin checks that MaxInto computes the least upper
+// bound in the domination lattice: it dominates both operands, and any
+// common dominator dominates it.
+func TestQuickMaxIntoIsJoin(t *testing.T) {
+	const size = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVec(r, size), randomVec(r, size)
+		j := a.Clone().MaxInto(b)
+		if !j.Dominates(a) || !j.Dominates(b) {
+			return false
+		}
+		// Any common upper bound dominates the join.
+		u := a.Clone().MaxInto(b)
+		for i := range u {
+			u[i] += r.Intn(3)
+		}
+		return u.Dominates(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaxIntoCommutesAssociates checks join laws.
+func TestQuickMaxIntoCommutesAssociates(t *testing.T) {
+	const size = 3
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVec(r, size), randomVec(r, size), randomVec(r, size)
+		ab := a.Clone().MaxInto(b)
+		ba := b.Clone().MaxInto(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := a.Clone().MaxInto(b).MaxInto(c)
+		abc2 := a.Clone().MaxInto(b.Clone().MaxInto(c))
+		return abc1.Equal(abc2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package object provides runtime shared objects backed by sync/atomic for
+// real goroutines, mirroring the model object types in internal/model:
+// swap objects (atomic exchange), readable swap objects, registers, and
+// test-and-set bits. atomic's Swap operations compile to the hardware
+// atomic-exchange instruction, so these are faithful realizations of the
+// paper's historyless objects.
+//
+// Swap deliberately does not expose a read method: the paper's Section 3
+// stresses that its swap objects do not support Read, and Lemma 9's
+// information-overwriting argument depends on that. Use ReadableSwap when
+// reads are part of the object's interface.
+package object
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Swap is an n-writer swap object holding values of type T. The zero
+// value holds a nil pointer; use NewSwap to set an initial value. It
+// intentionally has no read method.
+type Swap[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewSwap returns a swap object initialized to init.
+func NewSwap[T any](init *T) *Swap[T] {
+	s := &Swap[T]{}
+	s.p.Store(init)
+	return s
+}
+
+// Swap atomically replaces the stored pointer with v and returns the
+// previous pointer. Stored values must be treated as immutable.
+func (s *Swap[T]) Swap(v *T) *T { return s.p.Swap(v) }
+
+// ReadableSwap is a swap object that additionally supports Read.
+type ReadableSwap[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewReadableSwap returns a readable swap object initialized to init.
+func NewReadableSwap[T any](init *T) *ReadableSwap[T] {
+	s := &ReadableSwap[T]{}
+	s.p.Store(init)
+	return s
+}
+
+// Swap atomically replaces the stored pointer with v and returns the
+// previous pointer.
+func (s *ReadableSwap[T]) Swap(v *T) *T { return s.p.Swap(v) }
+
+// Read returns the current pointer without modifying the object.
+func (s *ReadableSwap[T]) Read() *T { return s.p.Load() }
+
+// IntSwap is a swap object over int64 values, for algorithms whose object
+// values fit a machine word (e.g. the two-process consensus of Section 1).
+// The zero value holds 0.
+type IntSwap struct {
+	v atomic.Int64
+}
+
+// NewIntSwap returns an IntSwap initialized to init.
+func NewIntSwap(init int64) *IntSwap {
+	s := &IntSwap{}
+	s.v.Store(init)
+	return s
+}
+
+// Swap atomically stores x and returns the previous value.
+func (s *IntSwap) Swap(x int64) int64 { return s.v.Swap(x) }
+
+// BoundedSwap is a readable swap object with domain {0, ..., b-1},
+// realizing the Section 5 objects. Swap panics on out-of-domain values:
+// domain violations are programming errors, not runtime conditions.
+type BoundedSwap struct {
+	b int
+	v atomic.Int64
+}
+
+// NewBoundedSwap returns a BoundedSwap with domain size b initialized to
+// init.
+func NewBoundedSwap(b int, init int64) *BoundedSwap {
+	if b < 1 {
+		panic(fmt.Sprintf("object: domain size %d", b))
+	}
+	if init < 0 || init >= int64(b) {
+		panic(fmt.Sprintf("object: initial value %d outside [0,%d)", init, b))
+	}
+	s := &BoundedSwap{b: b}
+	s.v.Store(init)
+	return s
+}
+
+// Domain returns the domain size b.
+func (s *BoundedSwap) Domain() int { return s.b }
+
+// Swap atomically stores x and returns the previous value.
+func (s *BoundedSwap) Swap(x int64) int64 {
+	if x < 0 || x >= int64(s.b) {
+		panic(fmt.Sprintf("object: swap value %d outside [0,%d)", x, s.b))
+	}
+	return s.v.Swap(x)
+}
+
+// Read returns the current value.
+func (s *BoundedSwap) Read() int64 { return s.v.Load() }
+
+// Register is an atomic read/write register over pointers to T.
+type Register[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewRegister returns a register initialized to init.
+func NewRegister[T any](init *T) *Register[T] {
+	r := &Register[T]{}
+	r.p.Store(init)
+	return r
+}
+
+// Write stores v.
+func (r *Register[T]) Write(v *T) { r.p.Store(v) }
+
+// Read returns the current pointer.
+func (r *Register[T]) Read() *T { return r.p.Load() }
+
+// TAS is a readable test-and-set bit.
+type TAS struct {
+	v atomic.Int32
+}
+
+// TestAndSet sets the bit and reports whether this call won (the bit was
+// previously clear).
+func (t *TAS) TestAndSet() bool { return t.v.Swap(1) == 0 }
+
+// Read returns the current bit.
+func (t *TAS) Read() bool { return t.v.Load() != 0 }
+
+// PairConsensus is the runtime form of the wait-free 2-process consensus
+// from one swap object (Section 1 of the paper). The object initially
+// holds the sentinel ⊥; each process swaps its input in and decides the
+// sentinel-aware winner.
+type PairConsensus struct {
+	obj IntSwap
+}
+
+// pairBottom is the ⊥ sentinel; inputs must be non-negative.
+const pairBottom = int64(-1)
+
+// NewPairConsensus returns a fresh instance.
+func NewPairConsensus() *PairConsensus {
+	p := &PairConsensus{}
+	p.obj.v.Store(pairBottom)
+	return p
+}
+
+// Propose submits v (>= 0) and returns the agreed value. Wait-free: one
+// swap, no loops.
+func (p *PairConsensus) Propose(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("object: pair consensus input %d must be >= 0", v))
+	}
+	prev := p.obj.Swap(int64(v))
+	if prev == pairBottom {
+		return v
+	}
+	return int(prev)
+}

@@ -1,0 +1,281 @@
+package object
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSwapSequentialChain(t *testing.T) {
+	a, b, c := 1, 2, 3
+	s := NewSwap(&a)
+	if got := s.Swap(&b); got != &a {
+		t.Fatalf("first swap returned %v, want initial", got)
+	}
+	if got := s.Swap(&c); got != &b {
+		t.Fatalf("second swap returned %v, want previous argument", got)
+	}
+}
+
+// TestSwapConcurrentPermutation is the linearizability smoke test from
+// DESIGN.md: with G goroutines each swapping R distinct pointers, the
+// multiset {initial} ∪ {arguments} equals {responses} ∪ {final value} —
+// swap responses form a permutation chain, so nothing is lost or
+// duplicated.
+func TestSwapConcurrentPermutation(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 200
+	)
+	type token struct{ g, r int }
+	initial := &token{-1, -1}
+	s := NewSwap(initial)
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[*token]int, goroutines*rounds+1)
+	)
+	record := func(p *token) {
+		mu.Lock()
+		seen[p]++
+		mu.Unlock()
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				prev := s.Swap(&token{g, r})
+				record(prev)
+			}
+		}(g)
+	}
+	wg.Wait()
+	record(s.Swap(nil)) // drain the final value
+
+	if got, want := len(seen), goroutines*rounds+1; got != want {
+		t.Fatalf("observed %d distinct tokens, want %d: some token lost or fabricated", got, want)
+	}
+	for p, count := range seen {
+		if count != 1 {
+			t.Fatalf("token %v observed %d times, want exactly once", p, count)
+		}
+	}
+	if seen[initial] != 1 {
+		t.Fatal("initial token never observed")
+	}
+}
+
+func TestReadableSwapReadSeesLastSwap(t *testing.T) {
+	x, y := 10, 20
+	s := NewReadableSwap(&x)
+	if got := s.Read(); got != &x {
+		t.Fatalf("Read = %v, want initial", got)
+	}
+	if got := s.Swap(&y); got != &x {
+		t.Fatalf("Swap returned %v, want previous", got)
+	}
+	if got := s.Read(); got != &y {
+		t.Fatalf("Read = %v, want last swapped", got)
+	}
+}
+
+// TestReadableSwapConcurrentReads checks under the race detector that
+// concurrent Read and Swap are safe and every Read observes some swapped
+// pointer (never a torn or foreign value).
+func TestReadableSwapConcurrentReads(t *testing.T) {
+	vals := make([]int, 64)
+	valid := make(map[*int]bool, len(vals))
+	for i := range vals {
+		valid[&vals[i]] = true
+	}
+	s := NewReadableSwap(&vals[0])
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(vals); i += 4 {
+				s.Swap(&vals[i])
+			}
+		}(g)
+	}
+	errs := make(chan *int, 1)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if p := s.Read(); !valid[p] {
+					select {
+					case errs <- p:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-errs:
+		t.Fatalf("Read observed foreign pointer %v", p)
+	default:
+	}
+}
+
+func TestIntSwap(t *testing.T) {
+	s := NewIntSwap(7)
+	if got := s.Swap(9); got != 7 {
+		t.Fatalf("Swap = %d, want 7", got)
+	}
+	if got := s.Swap(11); got != 9 {
+		t.Fatalf("Swap = %d, want 9", got)
+	}
+}
+
+func TestIntSwapZeroValue(t *testing.T) {
+	var s IntSwap
+	if got := s.Swap(5); got != 0 {
+		t.Fatalf("zero-value IntSwap holds %d, want 0", got)
+	}
+}
+
+func TestBoundedSwapDomain(t *testing.T) {
+	s := NewBoundedSwap(3, 2)
+	if s.Domain() != 3 {
+		t.Fatalf("Domain = %d, want 3", s.Domain())
+	}
+	if got := s.Read(); got != 2 {
+		t.Fatalf("Read = %d, want 2", got)
+	}
+	if got := s.Swap(0); got != 2 {
+		t.Fatalf("Swap = %d, want 2", got)
+	}
+}
+
+func TestBoundedSwapPanicsOutOfDomain(t *testing.T) {
+	s := NewBoundedSwap(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Swap(2) on domain {0,1} must panic")
+		}
+	}()
+	s.Swap(2)
+}
+
+func TestNewBoundedSwapPanicsOnBadInit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedSwap(2, 5) must panic")
+		}
+	}()
+	NewBoundedSwap(2, 5)
+}
+
+func TestNewBoundedSwapPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedSwap(0, 0) must panic")
+		}
+	}()
+	NewBoundedSwap(0, 0)
+}
+
+func TestRegisterWriteRead(t *testing.T) {
+	x, y := 1, 2
+	r := NewRegister(&x)
+	if got := r.Read(); got != &x {
+		t.Fatalf("Read = %v, want initial", got)
+	}
+	r.Write(&y)
+	if got := r.Read(); got != &y {
+		t.Fatalf("Read = %v, want written", got)
+	}
+}
+
+// TestTASExactlyOneWinner: among G concurrent goroutines, exactly one
+// TestAndSet call returns true.
+func TestTASExactlyOneWinner(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		var (
+			tas     TAS
+			winners int
+			mu      sync.Mutex
+			wg      sync.WaitGroup
+		)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if tas.TestAndSet() {
+					mu.Lock()
+					winners++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if winners != 1 {
+			t.Fatalf("trial %d: %d winners, want exactly 1", trial, winners)
+		}
+		if !tas.Read() {
+			t.Fatalf("trial %d: bit not set after contention", trial)
+		}
+	}
+}
+
+func TestTASZeroValueClear(t *testing.T) {
+	var tas TAS
+	if tas.Read() {
+		t.Fatal("zero-value TAS should read clear")
+	}
+}
+
+// TestPairConsensusAgreementUnderContention runs the runtime 2-process
+// consensus many times with both goroutines racing and checks agreement
+// and validity on every trial.
+func TestPairConsensusAgreementUnderContention(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		p := NewPairConsensus()
+		in := [2]int{trial % 7, (trial * 3) % 7}
+		var (
+			out [2]int
+			wg  sync.WaitGroup
+		)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out[i] = p.Propose(in[i])
+			}(i)
+		}
+		wg.Wait()
+		if out[0] != out[1] {
+			t.Fatalf("trial %d: decisions %v disagree", trial, out)
+		}
+		if out[0] != in[0] && out[0] != in[1] {
+			t.Fatalf("trial %d: decision %d is not an input of %v", trial, out[0], in)
+		}
+	}
+}
+
+func TestPairConsensusSequentialSemantics(t *testing.T) {
+	p := NewPairConsensus()
+	if got := p.Propose(4); got != 4 {
+		t.Fatalf("first proposer decided %d, want own input 4", got)
+	}
+	if got := p.Propose(9); got != 4 {
+		t.Fatalf("second proposer decided %d, want first's input 4", got)
+	}
+}
+
+func TestPairConsensusRejectsNegative(t *testing.T) {
+	p := NewPairConsensus()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Propose(-1) must panic (reserved for ⊥)")
+		}
+	}()
+	p.Propose(-1)
+}

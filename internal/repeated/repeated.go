@@ -1,0 +1,120 @@
+// Package repeated implements repeated k-set agreement — the long-lived
+// variant studied by Delporte-Gallet, Fauconnier, Kuznetsov and Ruppert
+// [13] and discussed in the paper's introduction: an unbounded sequence of
+// independent k-set agreement instances, each satisfying k-agreement and
+// validity on its own.
+//
+// [13] and Bouzid–Raynal–Sutra [6] study how far *registers* can be reused
+// across instances (n−k+1 registers suffice, matching their lower bound).
+// With swap objects, reuse is obstructed by exactly the phenomenon
+// Lemma 9 weaponizes — reading a swap object destroys its content — so
+// this implementation provisions each round with a fresh set of n−k swap
+// objects (Algorithm 1) and reclaims rounds once every participant is
+// done. The per-round space is the paper's upper bound; whether rounds can
+// share swap objects is, like the conjecture after Theorem 10, open.
+package repeated
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Service is a long-lived repeated k-set agreement object. All methods
+// are safe for concurrent use. Each process may propose at most once per
+// round (instances are single-shot per process).
+type Service struct {
+	params core.Params
+	opts   core.Options
+
+	mu     sync.Mutex
+	rounds map[int]*round
+	closed map[int]bool
+	// retired counts reclaimed rounds (diagnostic).
+	retired int
+}
+
+// round is one k-set agreement instance plus completion accounting.
+type round struct {
+	inst    *core.SetAgreement
+	pending int
+}
+
+// NewService constructs a repeated k-set agreement service for n
+// processes, k-agreement, m-valued inputs.
+func NewService(p core.Params, opts core.Options) (*Service, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Backoff = true
+	return &Service{
+		params: p,
+		opts:   opts,
+		rounds: map[int]*round{},
+		closed: map[int]bool{},
+	}, nil
+}
+
+// Params returns the per-round parameters.
+func (s *Service) Params() core.Params { return s.params }
+
+// Propose submits v for the given round on behalf of pid and returns one
+// of the round's (at most k) decided values. Rounds are independent:
+// decisions in one round place no constraint on any other.
+func (s *Service) Propose(roundNo, pid, v int) (int, error) {
+	if roundNo < 0 {
+		return 0, fmt.Errorf("repeated: negative round %d", roundNo)
+	}
+	s.mu.Lock()
+	if s.closed[roundNo] {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("repeated: round %d already reclaimed", roundNo)
+	}
+	r, ok := s.rounds[roundNo]
+	if !ok {
+		inst, err := core.NewSetAgreement(s.params, s.opts)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("repeated: round %d: %w", roundNo, err)
+		}
+		r = &round{inst: inst, pending: s.params.N}
+		s.rounds[roundNo] = r
+	}
+	s.mu.Unlock()
+
+	out, err := r.inst.Propose(pid, v)
+	if err != nil {
+		return 0, fmt.Errorf("repeated: round %d: %w", roundNo, err)
+	}
+
+	s.mu.Lock()
+	r.pending--
+	if r.pending == 0 {
+		// Every process has decided this round; its objects can be
+		// reclaimed (the decided values live in the callers).
+		delete(s.rounds, roundNo)
+		s.closed[roundNo] = true
+		s.retired++
+	}
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Live returns the number of rounds currently holding objects.
+func (s *Service) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rounds)
+}
+
+// Retired returns the number of fully completed, reclaimed rounds.
+func (s *Service) Retired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retired
+}
+
+// ObjectsPerRound returns the swap objects provisioned per round (n−k,
+// the paper's Algorithm 1 bound).
+func (s *Service) ObjectsPerRound() int { return s.params.NumObjects() }

@@ -1,0 +1,191 @@
+// Package rsm builds a replicated state machine on top of the paper's
+// Algorithm 1: an append-only command log in which every slot is an
+// independent single-shot consensus instance over n-1 hardware swap
+// objects, plus a deterministic state-machine runner.
+//
+// This is the "what would a downstream user do with swap-based consensus"
+// layer. The composition is the classic one:
+//
+//   - each replica registers its proposed command for a slot in a
+//     single-writer cell (no contention: only the owner writes it);
+//   - the replicas run consensus on the *replica id* for that slot
+//     (Algorithm 1 with m = n);
+//   - validity guarantees the winning id belongs to a replica that
+//     actually proposed, so its registered command is present — the
+//     happens-before chain runs from the winner's registry write through
+//     its first atomic swap to whoever learns the decision;
+//   - every replica applies the same winner's command, so all state
+//     machines agree on every prefix.
+//
+// Consensus instances are obstruction-free, so Log inherits conditional
+// progress: under heavy contention a Propose may spin; Options.Backoff
+// (the default here, unlike package core) is the standard remedy.
+package rsm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Command is an opaque replicated command.
+type Command []byte
+
+// Log is a multi-slot agreement log among n replicas. The zero value is
+// not usable; construct with NewLog.
+type Log struct {
+	n    int
+	opts core.Options
+
+	mu    sync.Mutex
+	slots []*slot
+}
+
+// slot is one consensus instance plus its command registry.
+type slot struct {
+	cons *core.SetAgreement
+	// regs[i] is replica i's registered command; single-writer, written
+	// before replica i proposes, read only after a decision names i.
+	regs []atomic.Pointer[Command]
+	// decided caches the slot outcome (winner id), set once.
+	decided atomic.Int64
+}
+
+const slotUndecided = int64(-1)
+
+// NewLog constructs an n-replica log. opts tunes the underlying consensus
+// instances; backoff defaults on (a log is a long-lived, contended object).
+func NewLog(n int, opts core.Options) (*Log, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rsm: need at least 2 replicas, got %d", n)
+	}
+	opts.Backoff = true
+	return &Log{n: n, opts: opts}, nil
+}
+
+// Replicas returns n.
+func (l *Log) Replicas() int { return l.n }
+
+// slotAt returns (creating if needed) the slot instance for index s.
+func (l *Log) slotAt(s int) (*slot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.slots) <= s {
+		cons, err := core.NewSetAgreement(core.Params{N: l.n, K: 1, M: l.n}, l.opts)
+		if err != nil {
+			return nil, fmt.Errorf("rsm: slot %d: %w", len(l.slots), err)
+		}
+		sl := &slot{cons: cons, regs: make([]atomic.Pointer[Command], l.n)}
+		sl.decided.Store(slotUndecided)
+		l.slots = append(l.slots, sl)
+	}
+	return l.slots[s], nil
+}
+
+// Submit proposes cmd for slot s on behalf of replica pid and returns the
+// command that actually won the slot (which may be another replica's).
+// Submit is safe for concurrent use by distinct replicas; each replica
+// must submit to a given slot at most once (consensus instances are
+// single-shot per process).
+func (l *Log) Submit(s, pid int, cmd Command) (Command, error) {
+	if s < 0 {
+		return nil, fmt.Errorf("rsm: negative slot %d", s)
+	}
+	if pid < 0 || pid >= l.n {
+		return nil, fmt.Errorf("rsm: replica %d outside [0,%d)", pid, l.n)
+	}
+	sl, err := l.slotAt(s)
+	if err != nil {
+		return nil, err
+	}
+	// Register before proposing: if we win, our command must be visible
+	// to every learner.
+	own := make(Command, len(cmd))
+	copy(own, cmd)
+	sl.regs[pid].Store(&own)
+
+	winner, err := sl.cons.Propose(pid, pid)
+	if err != nil {
+		return nil, fmt.Errorf("rsm: slot %d: %w", s, err)
+	}
+	sl.decided.Store(int64(winner))
+	won := sl.regs[winner].Load()
+	if won == nil {
+		// Impossible if consensus validity holds: the winner registered
+		// before proposing.
+		return nil, fmt.Errorf("rsm: slot %d: winner %d has no registered command (validity violated)", s, winner)
+	}
+	out := make(Command, len(*won))
+	copy(out, *won)
+	return out, nil
+}
+
+// Decided returns the command that won slot s, or ok=false if this
+// process has not yet observed a decision for it. It never blocks.
+func (l *Log) Decided(s int) (Command, bool) {
+	l.mu.Lock()
+	if s < 0 || s >= len(l.slots) {
+		l.mu.Unlock()
+		return nil, false
+	}
+	sl := l.slots[s]
+	l.mu.Unlock()
+	w := sl.decided.Load()
+	if w == slotUndecided {
+		return nil, false
+	}
+	cmd := sl.regs[w].Load()
+	if cmd == nil {
+		return nil, false
+	}
+	out := make(Command, len(*cmd))
+	copy(out, *cmd)
+	return out, true
+}
+
+// Len returns the number of instantiated slots.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.slots)
+}
+
+// Applier consumes decided commands in slot order.
+type Applier interface {
+	// Apply is called exactly once per slot, in order.
+	Apply(slot int, cmd Command)
+}
+
+// StateMachine replays a Log prefix into an Applier. Each replica owns its
+// own StateMachine; determinism of Apply plus per-slot agreement gives
+// replicated-state equality, which the tests assert byte for byte.
+type StateMachine struct {
+	log  *Log
+	app  Applier
+	next int
+}
+
+// NewStateMachine wraps app over log.
+func NewStateMachine(log *Log, app Applier) *StateMachine {
+	return &StateMachine{log: log, app: app}
+}
+
+// CatchUp applies every contiguously decided slot not yet applied and
+// returns the number applied. It stops at the first undecided slot.
+func (m *StateMachine) CatchUp() int {
+	applied := 0
+	for {
+		cmd, ok := m.log.Decided(m.next)
+		if !ok {
+			return applied
+		}
+		m.app.Apply(m.next, cmd)
+		m.next++
+		applied++
+	}
+}
+
+// Applied returns the number of slots applied so far.
+func (m *StateMachine) Applied() int { return m.next }

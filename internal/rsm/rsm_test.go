@@ -1,0 +1,237 @@
+package rsm_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rsm"
+)
+
+func TestNewLogValidation(t *testing.T) {
+	if _, err := rsm.NewLog(1, core.Options{}); err == nil {
+		t.Error("n=1 must be rejected")
+	}
+	l, err := rsm.NewLog(3, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Replicas() != 3 {
+		t.Errorf("Replicas = %d", l.Replicas())
+	}
+	if l.Len() != 0 {
+		t.Errorf("fresh log has %d slots", l.Len())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	l, err := rsm.NewLog(2, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Submit(-1, 0, rsm.Command("x")); err == nil {
+		t.Error("negative slot must be rejected")
+	}
+	if _, err := l.Submit(0, 5, rsm.Command("x")); err == nil {
+		t.Error("out-of-range replica must be rejected")
+	}
+}
+
+func TestSingleReplicaSubmitWins(t *testing.T) {
+	l, err := rsm.NewLog(2, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Submit(0, 0, rsm.Command("set x=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("set x=1")) {
+		t.Fatalf("uncontended submit returned %q, want own command", got)
+	}
+	dec, ok := l.Decided(0)
+	if !ok || !bytes.Equal(dec, []byte("set x=1")) {
+		t.Fatalf("Decided = %q, %t", dec, ok)
+	}
+}
+
+func TestDecidedOnUnknownSlot(t *testing.T) {
+	l, err := rsm.NewLog(2, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Decided(3); ok {
+		t.Error("unknown slot should not be decided")
+	}
+	if _, ok := l.Decided(-1); ok {
+		t.Error("negative slot should not be decided")
+	}
+}
+
+// TestConcurrentSubmitAgreement: n replicas race on every slot; all must
+// receive the same winning command per slot, and the winner must be one
+// of the proposals (validity).
+func TestConcurrentSubmitAgreement(t *testing.T) {
+	const (
+		n     = 4
+		slots = 12
+	)
+	l, err := rsm.NewLog(n, core.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < slots; s++ {
+		var (
+			wg  sync.WaitGroup
+			got [n]rsm.Command
+		)
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				cmd := rsm.Command(fmt.Sprintf("s%d-r%d", s, pid))
+				out, err := l.Submit(s, pid, cmd)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[pid] = out
+			}(pid)
+		}
+		wg.Wait()
+		for pid := 1; pid < n; pid++ {
+			if !bytes.Equal(got[pid], got[0]) {
+				t.Fatalf("slot %d: replica %d got %q, replica 0 got %q", s, pid, got[pid], got[0])
+			}
+		}
+		valid := false
+		for pid := 0; pid < n; pid++ {
+			if bytes.Equal(got[0], []byte(fmt.Sprintf("s%d-r%d", s, pid))) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("slot %d: winner %q is no replica's proposal", s, got[0])
+		}
+	}
+	if l.Len() != slots {
+		t.Fatalf("log has %d slots, want %d", l.Len(), slots)
+	}
+}
+
+// kvApplier is a tiny deterministic state machine: "key=value" commands.
+type kvApplier struct {
+	data map[string]string
+	hist []string
+}
+
+func newKVApplier() *kvApplier { return &kvApplier{data: map[string]string{}} }
+
+func (a *kvApplier) Apply(slot int, cmd rsm.Command) {
+	parts := bytes.SplitN(cmd, []byte("="), 2)
+	if len(parts) == 2 {
+		a.data[string(parts[0])] = string(parts[1])
+	}
+	a.hist = append(a.hist, fmt.Sprintf("%d:%s", slot, cmd))
+}
+
+// TestStateMachinesConverge: every replica applies the log through its own
+// state machine; all end with identical state and identical histories.
+func TestStateMachinesConverge(t *testing.T) {
+	const (
+		n     = 3
+		slots = 10
+	)
+	l, err := rsm.NewLog(n, core.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for s := 0; s < slots; s++ {
+				key := string(rune('a' + (s+pid)%3))
+				if _, err := l.Submit(s, pid, rsm.Command(fmt.Sprintf("%s=v%d.%d", key, s, pid))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+
+	var machines []*kvApplier
+	for pid := 0; pid < n; pid++ {
+		app := newKVApplier()
+		sm := rsm.NewStateMachine(l, app)
+		if applied := sm.CatchUp(); applied != slots {
+			t.Fatalf("replica %d applied %d slots, want %d", pid, applied, slots)
+		}
+		if sm.Applied() != slots {
+			t.Fatalf("Applied = %d", sm.Applied())
+		}
+		machines = append(machines, app)
+	}
+	for pid := 1; pid < n; pid++ {
+		if fmt.Sprint(machines[pid].hist) != fmt.Sprint(machines[0].hist) {
+			t.Fatalf("replica %d history %v != replica 0 history %v", pid, machines[pid].hist, machines[0].hist)
+		}
+		if fmt.Sprint(machines[pid].data) != fmt.Sprint(machines[0].data) {
+			t.Fatalf("replica %d state %v != replica 0 state %v", pid, machines[pid].data, machines[0].data)
+		}
+	}
+}
+
+// TestCatchUpStopsAtGap: a state machine must not apply past the first
+// undecided slot.
+func TestCatchUpStopsAtGap(t *testing.T) {
+	l, err := rsm.NewLog(2, core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decide slot 0 and slot 2, leaving slot 1 undecided.
+	if _, err := l.Submit(0, 0, rsm.Command("a=1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Submit(2, 0, rsm.Command("c=3")); err != nil {
+		t.Fatal(err)
+	}
+	app := newKVApplier()
+	sm := rsm.NewStateMachine(l, app)
+	if applied := sm.CatchUp(); applied != 1 {
+		t.Fatalf("applied %d slots, want 1 (stop at gap)", applied)
+	}
+	// Fill the gap; catch-up resumes and applies slots 1 and 2 in order.
+	if _, err := l.Submit(1, 1, rsm.Command("b=2")); err != nil {
+		t.Fatal(err)
+	}
+	if applied := sm.CatchUp(); applied != 2 {
+		t.Fatalf("applied %d more, want 2", applied)
+	}
+	want := []string{"0:a=1", "1:b=2", "2:c=3"}
+	if fmt.Sprint(app.hist) != fmt.Sprint(want) {
+		t.Fatalf("history %v, want %v", app.hist, want)
+	}
+}
+
+// TestSubmitCopiesCommands: mutating the caller's buffer after Submit must
+// not corrupt the log.
+func TestSubmitCopiesCommands(t *testing.T) {
+	l, err := rsm.NewLog(2, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("k=original")
+	if _, err := l.Submit(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("k=CLOBBER!"))
+	dec, ok := l.Decided(0)
+	if !ok || !bytes.Equal(dec, []byte("k=original")) {
+		t.Fatalf("Decided = %q; log must own its copies", dec)
+	}
+}

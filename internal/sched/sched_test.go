@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func active(pids ...int) []int { return pids }
+
+func TestSoloPicksOnlyItsProcess(t *testing.T) {
+	s := Solo{Pid: 2}
+	if got := s.Next(nil, active(0, 1, 2, 3)); got != 2 {
+		t.Errorf("Next = %d, want 2", got)
+	}
+	if got := s.Next(nil, active(0, 1, 3)); got != -1 {
+		t.Errorf("Next without pid active = %d, want -1", got)
+	}
+	if got := s.Next(nil, nil); got != -1 {
+		t.Errorf("Next with nothing active = %d, want -1", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := &RoundRobin{}
+	var picks []int
+	for i := 0; i < 6; i++ {
+		picks = append(picks, s.Next(nil, active(0, 1, 2)))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestRoundRobinQuantum(t *testing.T) {
+	s := &RoundRobin{Quantum: 2}
+	var picks []int
+	for i := 0; i < 6; i++ {
+		picks = append(picks, s.Next(nil, active(0, 1)))
+	}
+	want := []int{0, 0, 1, 1, 0, 0}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDecided(t *testing.T) {
+	s := &RoundRobin{}
+	if got := s.Next(nil, active(0, 1, 2)); got != 0 {
+		t.Fatalf("first pick %d", got)
+	}
+	// Process 1 decided; the cursor moves past it.
+	if got := s.Next(nil, active(0, 2)); got != 2 {
+		t.Fatalf("second pick %d, want 2", got)
+	}
+	if got := s.Next(nil, active(0, 2)); got != 0 {
+		t.Fatalf("third pick %d, want 0 (wrap)", got)
+	}
+	if got := s.Next(nil, nil); got != -1 {
+		t.Fatalf("empty active pick %d", got)
+	}
+}
+
+func TestRandomIsSeededDeterministic(t *testing.T) {
+	a, b := NewRandom(42), NewRandom(42)
+	for i := 0; i < 100; i++ {
+		x := a.Next(nil, active(0, 1, 2, 3, 4))
+		y := b.Next(nil, active(0, 1, 2, 3, 4))
+		if x != y {
+			t.Fatalf("step %d: %d != %d with same seed", i, x, y)
+		}
+		if x < 0 || x > 4 {
+			t.Fatalf("pick %d outside active set", x)
+		}
+	}
+	if NewRandom(1).Next(nil, nil) != -1 {
+		t.Error("empty active must yield -1")
+	}
+}
+
+func TestRandomCoversAllProcesses(t *testing.T) {
+	s := NewRandom(7)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[s.Next(nil, active(0, 1, 2))] = true
+	}
+	for pid := 0; pid < 3; pid++ {
+		if !seen[pid] {
+			t.Errorf("process %d never scheduled in 200 picks", pid)
+		}
+	}
+}
+
+func TestReplayFollowsSchedule(t *testing.T) {
+	s := &Replay{Pids: []int{2, 0, 1}}
+	want := []int{2, 0, 1}
+	for i, w := range want {
+		if got := s.Next(nil, active(0, 1, 2)); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+	if got := s.Next(nil, active(0, 1, 2)); got != -1 {
+		t.Errorf("exhausted replay returned %d", got)
+	}
+}
+
+func TestReplaySkipsDecidedProcesses(t *testing.T) {
+	s := &Replay{Pids: []int{0, 1, 2}}
+	// Process 1 has decided: the schedule entry for it is skipped.
+	if got := s.Next(nil, active(0, 2)); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+	if got := s.Next(nil, active(0, 2)); got != 2 {
+		t.Fatalf("got %d, want 2 (skipping decided 1)", got)
+	}
+}
+
+func TestRestrictLimitsProcesses(t *testing.T) {
+	s := &Restrict{Inner: &RoundRobin{}, Allowed: []int{1, 3}}
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		pid := s.Next(nil, active(0, 1, 2, 3))
+		if pid != 1 && pid != 3 {
+			t.Fatalf("restricted scheduler picked %d", pid)
+		}
+		seen[pid] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Error("restriction starved an allowed process")
+	}
+	empty := &Restrict{Inner: &RoundRobin{}, Allowed: []int{9}}
+	if got := empty.Next(nil, active(0, 1)); got != -1 {
+		t.Errorf("nothing allowed: got %d", got)
+	}
+}
+
+func TestCrashStopsProcesses(t *testing.T) {
+	s := &Crash{Inner: &RoundRobin{}, Crashed: map[int]bool{0: true}}
+	for i := 0; i < 6; i++ {
+		if pid := s.Next(nil, active(0, 1, 2)); pid == 0 {
+			t.Fatal("crashed process scheduled")
+		}
+	}
+	all := &Crash{Inner: &RoundRobin{}, Crashed: map[int]bool{0: true, 1: true}}
+	if got := all.Next(nil, active(0, 1)); got != -1 {
+		t.Errorf("all crashed: got %d", got)
+	}
+}
+
+func TestPriorityPrefersOrder(t *testing.T) {
+	s := &Priority{Order: []int{2, 0}}
+	if got := s.Next(nil, active(0, 1, 2)); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	if got := s.Next(nil, active(0, 1)); got != 0 {
+		t.Errorf("got %d, want 0", got)
+	}
+	if got := s.Next(nil, active(1)); got != 1 {
+		t.Errorf("unlisted process: got %d, want 1", got)
+	}
+	if got := s.Next(nil, nil); got != -1 {
+		t.Errorf("empty: got %d", got)
+	}
+}
+
+func TestAlternateInterleavesGroups(t *testing.T) {
+	s := &Alternate{A: []int{0}, B: []int{1}, PeriodA: 2, PeriodB: 1}
+	var picks []int
+	for i := 0; i < 6; i++ {
+		picks = append(picks, s.Next(nil, active(0, 1)))
+	}
+	want := []int{0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestAlternateFallsBackWhenGroupDecided(t *testing.T) {
+	s := &Alternate{A: []int{0}, B: []int{1}}
+	if got := s.Next(nil, active(1)); got != 1 {
+		t.Errorf("got %d, want 1 (A group inactive)", got)
+	}
+	if got := s.Next(nil, active(2)); got != 2 {
+		t.Errorf("got %d, want 2 (neither group active)", got)
+	}
+	if got := s.Next(nil, nil); got != -1 {
+		t.Errorf("empty: got %d", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tests := []struct {
+		s    Scheduler
+		want string
+	}{
+		{Solo{Pid: 3}, "solo(p3)"},
+		{&RoundRobin{}, "round-robin(q=1)"},
+		{&RoundRobin{Quantum: 4}, "round-robin(q=4)"},
+		{NewRandom(1), "random"},
+		{&Replay{Pids: []int{1, 2}}, "replay(2 steps)"},
+	}
+	for _, tt := range tests {
+		if got := Describe(tt.s); got != tt.want {
+			t.Errorf("Describe = %q, want %q", got, tt.want)
+		}
+	}
+	if !strings.Contains(Describe(&Restrict{Inner: Solo{Pid: 0}, Allowed: []int{0}}), "solo(p0)") {
+		t.Error("Describe(Restrict) does not include inner")
+	}
+	if !strings.Contains(Describe(&Crash{Inner: Solo{Pid: 0}}), "crash") {
+		t.Error("Describe(Crash) missing kind")
+	}
+	if !strings.Contains(Describe(&Priority{Order: []int{1}}), "priority") {
+		t.Error("Describe(Priority) missing kind")
+	}
+	if !strings.Contains(Describe(&Alternate{}), "alternate") {
+		t.Error("Describe(Alternate) missing kind")
+	}
+}
+
+// Ensure the Scheduler interface accepts a real configuration without use.
+var _ = func() *model.Config { return nil }

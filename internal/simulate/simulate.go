@@ -1,0 +1,210 @@
+// Package simulate implements the simulation of historyless objects by
+// (readable) swap objects due to Ellen, Fatourou and Ruppert [14], which the
+// paper invokes twice:
+//
+//   - "Any historyless object can be simulated by a readable swap object
+//     [with the same domain]" — used to reduce space lower bounds for
+//     historyless objects to lower bounds for readable swap objects
+//     (Corollaries 19 and 23).
+//   - "Any historyless object that supports only nontrivial operations can
+//     be simulated by a single swap object" — used after Theorem 10 to
+//     extend the ⌈n/k⌉-1 bound to all nontrivial-only historyless objects.
+//
+// The simulation is a one-step, wait-free, linearizable transformation. A
+// historyless object has the property that the value written by a
+// nontrivial operation op is a function δ(op) of the operation alone (it
+// cannot depend on the current value, otherwise the value of the object
+// would depend on more than the last nontrivial operation). The response
+// of op may depend on the current value: resp = r(op, cur). Hence:
+//
+//	apply nontrivial op  ≡  prev := Swap(δ(op));  return r(op, prev)
+//	apply Read           ≡  return Read()
+//
+// Each simulated operation is exactly one operation on the simulating
+// object, so the transformation preserves both step complexity and space
+// complexity — which is exactly why the paper's lower bounds transfer.
+//
+// Protocol is the executable form: it wraps any model.Protocol whose
+// objects are all historyless and presents an observably equivalent
+// protocol whose objects are all (readable) swap objects.
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Transition returns δ(op): the value that applying the nontrivial
+// operation op leaves in an object of historyless type t, which is
+// independent of the object's current value. It returns an error for
+// trivial operations (Read has no transition) and for non-historyless
+// types (whose transitions may depend on the current value).
+func Transition(t model.ObjectType, op model.Op) (model.Value, error) {
+	if op.Trivial() {
+		return nil, fmt.Errorf("simulate: %s is trivial and has no transition", op.Kind)
+	}
+	if !model.Historyless(t) {
+		return nil, fmt.Errorf("simulate: %s is not historyless", t.Name())
+	}
+	// Apply the operation to two distinct current values and check the
+	// resulting value is the same; for a historyless type it must be.
+	// Using Apply keeps this definition in sync with the sequential
+	// specifications instead of duplicating them per type.
+	next, _, err := t.Apply(probeA, op)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: transition of %v on %s: %w", op, t.Name(), err)
+	}
+	next2, _, err := t.Apply(probeB, op)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: transition of %v on %s: %w", op, t.Name(), err)
+	}
+	if !model.ValuesEqual(next, next2) {
+		return nil, fmt.Errorf("simulate: %s transition of %v depends on current value (%v vs %v)",
+			t.Name(), op, next, next2)
+	}
+	return next, nil
+}
+
+// probeA and probeB are two distinct current values used by Transition to
+// witness that a nontrivial operation's outcome is value-independent. They
+// are chosen inside every bounded domain the model supports (all bounded
+// domains have size >= 2).
+var (
+	probeA = model.Value(model.Int(0))
+	probeB = model.Value(model.Int(1))
+)
+
+// Response computes r(op, prev): the response the target type t gives to
+// op when the object held prev at linearization time.
+func Response(t model.ObjectType, prev model.Value, op model.Op) (model.Value, error) {
+	_, resp, err := t.Apply(prev, op)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: response of %v on %s: %w", op, t.Name(), err)
+	}
+	return resp, nil
+}
+
+// SimulatingSpec returns the object spec that simulates one object of the
+// given historyless spec: a readable swap object with the same domain size
+// and the same initial value. If the target type is not readable (it
+// supports only nontrivial operations), a plain swap object suffices and
+// is used instead — this realizes the stronger form of the simulation the
+// paper uses with Theorem 10.
+func SimulatingSpec(spec model.ObjectSpec) (model.ObjectSpec, error) {
+	if !model.Historyless(spec.Type) {
+		return model.ObjectSpec{}, fmt.Errorf("simulate: %s is not historyless", spec.Type.Name())
+	}
+	if !spec.Type.Readable() {
+		return model.ObjectSpec{Type: model.SwapType{}, Init: spec.Init}, nil
+	}
+	return model.ObjectSpec{
+		Type: model.ReadableSwapType{Domain: spec.Type.DomainSize()},
+		Init: spec.Init,
+	}, nil
+}
+
+// Protocol wraps an inner protocol over historyless objects and replaces
+// every object with its simulating (readable) swap object. States,
+// decisions, and the per-process step sequences are those of the inner
+// protocol; only the object array and the wire-level operations differ.
+type Protocol struct {
+	inner model.Protocol
+	// targets[i] is the sequential spec of inner object i, used to
+	// translate operations outward and responses inward.
+	targets []model.ObjectType
+	specs   []model.ObjectSpec
+}
+
+var (
+	_ model.Protocol      = (*Protocol)(nil)
+	_ model.InputDomainer = (*Protocol)(nil)
+)
+
+// New builds the simulated form of p. It fails if any object of p is not
+// historyless (the simulation does not apply — e.g. fetch-and-add).
+func New(p model.Protocol) (*Protocol, error) {
+	inner := p.Objects()
+	specs := make([]model.ObjectSpec, len(inner))
+	targets := make([]model.ObjectType, len(inner))
+	for i, spec := range inner {
+		sim, err := SimulatingSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("object B%d: %w", i, err)
+		}
+		specs[i] = sim
+		targets[i] = spec.Type
+	}
+	return &Protocol{inner: p, targets: targets, specs: specs}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(p model.Protocol) *Protocol {
+	sp, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Inner returns the wrapped protocol.
+func (s *Protocol) Inner() model.Protocol { return s.inner }
+
+// Name implements model.Protocol.
+func (s *Protocol) Name() string { return "simulated(" + s.inner.Name() + ")" }
+
+// NumProcesses implements model.Protocol.
+func (s *Protocol) NumProcesses() int { return s.inner.NumProcesses() }
+
+// InputDomain implements model.InputDomainer.
+func (s *Protocol) InputDomain() int { return model.InputDomain(s.inner) }
+
+// Objects implements model.Protocol. Exactly one simulating object per
+// inner object: the simulation preserves space complexity.
+func (s *Protocol) Objects() []model.ObjectSpec { return s.specs }
+
+// Init implements model.Protocol by delegation; simulated processes carry
+// exactly the inner state.
+func (s *Protocol) Init(pid, input int) model.State { return s.inner.Init(pid, input) }
+
+// Poised implements model.Protocol: it translates the inner protocol's
+// poised operation into the one-step simulating operation.
+//
+//	trivial (Read)      -> Read on the simulating readable swap object
+//	nontrivial op       -> Swap(δ(op)) on the simulating object
+func (s *Protocol) Poised(pid int, st model.State) (model.Op, bool) {
+	op, ok := s.inner.Poised(pid, st)
+	if !ok {
+		return model.Op{}, false
+	}
+	if op.Trivial() {
+		return model.Op{Object: op.Object, Kind: model.OpRead}, true
+	}
+	next, err := Transition(s.targets[op.Object], op)
+	if err != nil {
+		// Poised cannot return an error; a non-simulable operation is a
+		// construction-time bug (New vets object types), so surface it
+		// loudly rather than silently corrupting the execution.
+		panic(fmt.Sprintf("simulate: %v", err))
+	}
+	return model.Op{Object: op.Object, Kind: model.OpSwap, Arg: next}, true
+}
+
+// Observe implements model.Protocol: the raw response of the simulating
+// operation is the previous value of the object (for both Read and Swap),
+// from which the target response r(op, prev) is computed locally and fed
+// to the inner protocol.
+func (s *Protocol) Observe(pid int, st model.State, resp model.Value) model.State {
+	op, ok := s.inner.Poised(pid, st)
+	if !ok {
+		return st
+	}
+	target, err := Response(s.targets[op.Object], resp, op)
+	if err != nil {
+		panic(fmt.Sprintf("simulate: %v", err))
+	}
+	return s.inner.Observe(pid, st, target)
+}
+
+// Decision implements model.Protocol by delegation.
+func (s *Protocol) Decision(st model.State) (int, bool) { return s.inner.Decision(st) }

@@ -1,0 +1,454 @@
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestTransitionSwap(t *testing.T) {
+	op := model.Op{Kind: model.OpSwap, Arg: model.Int(7)}
+	next, err := Transition(model.SwapType{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ValuesEqual(next, model.Int(7)) {
+		t.Fatalf("Transition(Swap(7)) = %v, want 7", next)
+	}
+}
+
+func TestTransitionReadableSwap(t *testing.T) {
+	op := model.Op{Kind: model.OpSwap, Arg: model.Int(1)}
+	next, err := Transition(model.ReadableSwapType{Domain: 2}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ValuesEqual(next, model.Int(1)) {
+		t.Fatalf("Transition = %v, want 1", next)
+	}
+}
+
+func TestTransitionRegisterWrite(t *testing.T) {
+	op := model.Op{Kind: model.OpWrite, Arg: model.Int(1)}
+	next, err := Transition(model.RegisterType{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ValuesEqual(next, model.Int(1)) {
+		t.Fatalf("Transition(Write(1)) = %v, want 1", next)
+	}
+}
+
+func TestTransitionTestAndSet(t *testing.T) {
+	op := model.Op{Kind: model.OpTestAndSet}
+	next, err := Transition(model.TestAndSetType{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ValuesEqual(next, model.Int(1)) {
+		t.Fatalf("Transition(TestAndSet) = %v, want 1", next)
+	}
+}
+
+func TestTransitionRejectsRead(t *testing.T) {
+	_, err := Transition(model.RegisterType{}, model.Op{Kind: model.OpRead})
+	if err == nil {
+		t.Fatal("Transition(Read) should fail: Read is trivial")
+	}
+}
+
+func TestTransitionRejectsNonHistoryless(t *testing.T) {
+	op := model.Op{Kind: model.OpAdd, Arg: model.Int(1)}
+	_, err := Transition(model.FetchAndAddType{}, op)
+	if err == nil {
+		t.Fatal("Transition on fetch-and-add should fail: not historyless")
+	}
+}
+
+func TestResponseMatchesSequentialSpec(t *testing.T) {
+	tests := []struct {
+		name string
+		typ  model.ObjectType
+		prev model.Value
+		op   model.Op
+		want model.Value
+	}{
+		{"swap returns prev", model.SwapType{}, model.Int(3),
+			model.Op{Kind: model.OpSwap, Arg: model.Int(9)}, model.Int(3)},
+		{"write returns ack", model.RegisterType{}, model.Int(3),
+			model.Op{Kind: model.OpWrite, Arg: model.Int(9)}, model.Ack},
+		{"read returns prev", model.RegisterType{}, model.Int(3),
+			model.Op{Kind: model.OpRead}, model.Int(3)},
+		{"tas returns prev", model.TestAndSetType{}, model.Int(0),
+			model.Op{Kind: model.OpTestAndSet}, model.Int(0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Response(tt.typ, tt.prev, tt.op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !model.ValuesEqual(got, tt.want) {
+				t.Fatalf("Response = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimulatingSpecNonReadableUsesPlainSwap(t *testing.T) {
+	spec, err := SimulatingSpec(model.ObjectSpec{Type: model.SwapType{}, Init: model.Nil{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.Type.(model.SwapType); !ok {
+		t.Fatalf("non-readable target should be simulated by a plain swap object, got %s", spec.Type.Name())
+	}
+}
+
+func TestSimulatingSpecPreservesDomain(t *testing.T) {
+	for _, tt := range []struct {
+		typ    model.ObjectType
+		domain int
+	}{
+		{model.RegisterType{Domain: 2}, 2},
+		{model.RegisterType{}, 0},
+		{model.TestAndSetType{}, 2},
+		{model.ReadableSwapType{Domain: 5}, 5},
+	} {
+		spec, err := SimulatingSpec(model.ObjectSpec{Type: tt.typ, Init: model.Int(0)})
+		if err != nil {
+			t.Fatalf("%s: %v", tt.typ.Name(), err)
+		}
+		rs, ok := spec.Type.(model.ReadableSwapType)
+		if !ok {
+			t.Fatalf("%s: simulating type = %s, want readable swap", tt.typ.Name(), spec.Type.Name())
+		}
+		if rs.Domain != tt.domain {
+			t.Fatalf("%s: simulating domain = %d, want %d", tt.typ.Name(), rs.Domain, tt.domain)
+		}
+	}
+}
+
+func TestSimulatingSpecRejectsFetchAndAdd(t *testing.T) {
+	_, err := SimulatingSpec(model.ObjectSpec{Type: model.FetchAndAddType{}, Init: model.Int(0)})
+	if err == nil {
+		t.Fatal("fetch-and-add is not historyless; SimulatingSpec must reject it")
+	}
+}
+
+func TestNewRejectsNonHistorylessProtocol(t *testing.T) {
+	_, err := New(faaProto{})
+	if err == nil {
+		t.Fatal("New should reject a protocol over fetch-and-add objects")
+	}
+}
+
+// faaProto is a stub protocol over a fetch-and-add object, used only to
+// check New's vetting.
+type faaProto struct{}
+
+type faaState struct{}
+
+func (faaState) Key() string { return "s" }
+
+func (faaProto) Name() string      { return "faa-stub" }
+func (faaProto) NumProcesses() int { return 1 }
+func (faaProto) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: model.FetchAndAddType{}, Init: model.Int(0)}}
+}
+func (faaProto) Init(pid, input int) model.State { return faaState{} }
+func (faaProto) Poised(pid int, st model.State) (model.Op, bool) {
+	return model.Op{Kind: model.OpAdd, Arg: model.Int(1)}, true
+}
+func (faaProto) Observe(pid int, st model.State, resp model.Value) model.State { return st }
+func (faaProto) Decision(st model.State) (int, bool)                           { return 0, false }
+
+// TestOneStepSimulationEquivalence is the heart of [14]'s construction:
+// for every historyless type, every operation, and every current value,
+// performing Swap(δ(op)) (or Read) on the simulating object and computing
+// r(op, prev) locally yields exactly the sequential responses and values
+// of the target object.
+func TestOneStepSimulationEquivalence(t *testing.T) {
+	types := []model.ObjectType{
+		model.SwapType{},
+		model.ReadableSwapType{},
+		model.ReadableSwapType{Domain: 4},
+		model.RegisterType{},
+		model.RegisterType{Domain: 3},
+		model.TestAndSetType{},
+	}
+	opsFor := func(typ model.ObjectType, arg model.Value) []model.Op {
+		switch typ.(type) {
+		case model.SwapType:
+			return []model.Op{{Kind: model.OpSwap, Arg: arg}}
+		case model.ReadableSwapType:
+			return []model.Op{{Kind: model.OpSwap, Arg: arg}, {Kind: model.OpRead}}
+		case model.RegisterType:
+			return []model.Op{{Kind: model.OpWrite, Arg: arg}, {Kind: model.OpRead}}
+		case model.TestAndSetType:
+			return []model.Op{{Kind: model.OpTestAndSet}, {Kind: model.OpRead}}
+		default:
+			return nil
+		}
+	}
+	for _, typ := range types {
+		dom := typ.DomainSize()
+		if dom == 0 {
+			dom = 5 // probe a handful of unbounded values
+		}
+		for cur := 0; cur < dom; cur++ {
+			for arg := 0; arg < dom; arg++ {
+				for _, op := range opsFor(typ, model.Int(arg)) {
+					nativeNext, nativeResp, err := typ.Apply(model.Int(cur), op)
+					if err != nil {
+						t.Fatalf("%s: native apply %v: %v", typ.Name(), op, err)
+					}
+					// Simulation: the simulating object currently holds
+					// the same value as the target.
+					var simNext, prev model.Value
+					if op.Trivial() {
+						simNext, prev = model.Int(cur), model.Int(cur)
+					} else {
+						delta, err := Transition(typ, op)
+						if err != nil {
+							t.Fatalf("%s: transition %v: %v", typ.Name(), op, err)
+						}
+						simNext, prev = delta, model.Int(cur)
+					}
+					simResp, err := Response(typ, prev, op)
+					if err != nil {
+						t.Fatalf("%s: response %v: %v", typ.Name(), op, err)
+					}
+					if !model.ValuesEqual(simNext, nativeNext) {
+						t.Fatalf("%s %v cur=%d: simulated value %v, native %v",
+							typ.Name(), op, cur, simNext, nativeNext)
+					}
+					if !valuesEqualOrBothNil(simResp, nativeResp) {
+						t.Fatalf("%s %v cur=%d: simulated resp %v, native %v",
+							typ.Name(), op, cur, simResp, nativeResp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func valuesEqualOrBothNil(a, b model.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return model.ValuesEqual(a, b)
+}
+
+// TestSimulatedRacingCountersMatchesNative runs the register-based racing
+// counters consensus natively and in simulated form (over readable swap
+// objects) under identical schedules and checks that each process takes
+// the same number of steps and reaches the same decision — the simulation
+// is observably transparent.
+func TestSimulatedRacingCountersMatchesNative(t *testing.T) {
+	const n = 3
+	native, err := baseline.NewRacingCounters(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sim.Objects()), len(native.Objects()); got != want {
+		t.Fatalf("simulation changed space complexity: %d objects, want %d", got, want)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		inputs := []int{int(seed) % 2, int(seed+1) % 2, int(seed+2) % 2}
+		run := func(p model.Protocol) *check.Result {
+			t.Helper()
+			c, err := model.NewConfig(p, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Contention phase under a seeded scheduler, then finish solo.
+			res, err := check.Run(p, c, sched.NewRandom(seed), 64)
+			if err != nil && !errors.Is(err, check.ErrStepLimit) {
+				t.Fatal(err)
+			}
+			for pid := 0; pid < n; pid++ {
+				if _, ok := c.Decided(p, pid); ok {
+					continue
+				}
+				if _, err := check.SoloRun(p, c, pid, 4096); err != nil {
+					t.Fatalf("seed %d: solo finish pid %d: %v", seed, pid, err)
+				}
+			}
+			final, err := check.Run(p, c, &sched.Replay{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = res
+			return final
+		}
+		nres := run(native)
+		sres := run(sim)
+		if !reflect.DeepEqual(nres.Decisions, sres.Decisions) {
+			t.Fatalf("seed %d: native decisions %v, simulated %v", seed, nres.Decisions, sres.Decisions)
+		}
+	}
+}
+
+// TestSimulatedStepByStepLockstep drives the native and simulated
+// protocols through the same schedule one step at a time and asserts the
+// object values and process states coincide after every step — the
+// strongest observable-equivalence statement short of a bisimulation
+// proof.
+func TestSimulatedStepByStepLockstep(t *testing.T) {
+	const n = 3
+	native, err := baseline.NewRacingCounters(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(native)
+	inputs := []int{0, 1, 1}
+	cn := model.MustNewConfig(native, inputs)
+	cs := model.MustNewConfig(sim, inputs)
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 500; step++ {
+		active := cn.Active(native)
+		if len(active) == 0 {
+			break
+		}
+		pid := active[rng.Intn(len(active))]
+		if _, err := model.Apply(native, cn, pid); err != nil {
+			t.Fatalf("step %d native: %v", step, err)
+		}
+		if _, err := model.Apply(sim, cs, pid); err != nil {
+			t.Fatalf("step %d simulated: %v", step, err)
+		}
+		for i := range native.Objects() {
+			if !model.ValuesEqual(cn.Value(i), cs.Value(i)) {
+				t.Fatalf("step %d: object B%d diverged: native %v, simulated %v",
+					step, i, cn.Value(i), cs.Value(i))
+			}
+		}
+		if cn.StateKey([]int{pid}) != cs.StateKey([]int{pid}) {
+			t.Fatalf("step %d: state of p%d diverged", step, pid)
+		}
+	}
+}
+
+// TestSimulatedAlgorithm1StaysSwapOnly checks the Theorem 10 form: the
+// paper's Algorithm 1 uses plain swap objects (nontrivial-only), so its
+// simulated form must also be swap-only, keeping it inside the scope of
+// the Lemma 9 adversary.
+func TestSimulatedAlgorithm1StaysSwapOnly(t *testing.T) {
+	a1, err := core.New(core.Params{N: 4, K: 1, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.SwapOnly(sim) {
+		t.Fatal("simulated Algorithm 1 should use only plain swap objects")
+	}
+	if got, want := len(sim.Objects()), len(a1.Objects()); got != want {
+		t.Fatalf("object count changed: %d, want %d", got, want)
+	}
+}
+
+// TestSimulatedProtocolSolvesConsensus validates the simulated racing
+// counters as a consensus protocol in its own right, under adversarial
+// schedules: agreement and validity must survive the simulation.
+func TestSimulatedProtocolSolvesConsensus(t *testing.T) {
+	native, err := baseline.NewRacingCounters(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(native)
+	for seed := int64(0); seed < 20; seed++ {
+		inputs := []int{int(seed) % 3, int(seed>>1) % 3, int(seed>>2) % 3}
+		c := model.MustNewConfig(sim, inputs)
+		if _, err := check.Run(sim, c, sched.NewRandom(seed), 96); err != nil && !errors.Is(err, check.ErrStepLimit) {
+			t.Fatal(err)
+		}
+		for pid := 0; pid < 3; pid++ {
+			if _, ok := c.Decided(sim, pid); !ok {
+				if _, err := check.SoloRun(sim, c, pid, 4096); err != nil {
+					t.Fatalf("seed %d: solo pid %d: %v", seed, pid, err)
+				}
+			}
+		}
+		decided := c.DecidedValues(sim)
+		if len(decided) != 1 {
+			t.Fatalf("seed %d: agreement violated: decided %v", seed, decided)
+		}
+		valid := false
+		for _, in := range inputs {
+			if in == decided[0] {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("seed %d: validity violated: decided %d, inputs %v", seed, decided[0], inputs)
+		}
+	}
+}
+
+// TestQuickTransitionIndependentOfCurrent is the historylessness witness
+// as a property: for random swap/write arguments, the transition computed
+// by Transition matches Apply from any current value.
+func TestQuickTransitionIndependentOfCurrent(t *testing.T) {
+	prop := func(cur, arg uint8) bool {
+		op := model.Op{Kind: model.OpSwap, Arg: model.Int(int(arg))}
+		delta, err := Transition(model.ReadableSwapType{}, op)
+		if err != nil {
+			return false
+		}
+		next, _, err := model.ReadableSwapType{}.Apply(model.Int(int(cur)), op)
+		if err != nil {
+			return false
+		}
+		return model.ValuesEqual(delta, next)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatedNameAndDelegation covers the delegating accessors.
+func TestSimulatedNameAndDelegation(t *testing.T) {
+	native, err := baseline.NewRacingCounters(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(native)
+	if sim.Inner() != model.Protocol(native) {
+		t.Fatal("Inner should return the wrapped protocol")
+	}
+	if want := fmt.Sprintf("simulated(%s)", native.Name()); sim.Name() != want {
+		t.Fatalf("Name = %q, want %q", sim.Name(), want)
+	}
+	if sim.NumProcesses() != native.NumProcesses() {
+		t.Fatal("NumProcesses mismatch")
+	}
+	if sim.InputDomain() != 2 {
+		t.Fatalf("InputDomain = %d, want 2", sim.InputDomain())
+	}
+}
+
+func TestMustNewPanicsOnBadProtocol(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic for non-historyless protocols")
+		}
+	}()
+	MustNew(faaProto{})
+}
