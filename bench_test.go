@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ablation"
 	"repro/internal/baseline"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
@@ -571,6 +572,96 @@ func BenchmarkAblationObjects(b *testing.B) {
 			}
 			if found != tt.broken {
 				b.Fatalf("violation found=%t, want %t", found, tt.broken)
+			}
+		})
+	}
+}
+
+// --- Explorer engine benchmarks ---
+
+// exploreBenchInstance is the shared workload for the explorer
+// benchmarks: an Algorithm 1 consensus instance (N=4, K=1, M=3) explored
+// to a fixed configuration budget, so every variant below does exactly
+// the same amount of state-space work and the timings compare engines,
+// not workloads.
+func exploreBenchInstance(b *testing.B) (model.Protocol, *model.Config, []int, check.ExploreLimits) {
+	b.Helper()
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 3})
+	c := model.MustNewConfig(p, []int{0, 1, 2, 0})
+	pids := []int{0, 1, 2, 3}
+	return p, c, pids, check.ExploreLimits{MaxConfigs: 20000}
+}
+
+// BenchmarkExploreSequentialStringKey is the baseline: the original
+// single-threaded explorer deduplicating on full Config.Key() strings.
+func BenchmarkExploreSequentialStringKey(b *testing.B) {
+	p, c, pids, limits := exploreBenchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visited int
+	for i := 0; i < b.N; i++ {
+		res := check.ExploreSequential(p, c, pids, 1, limits)
+		visited = res.Visited
+	}
+	b.ReportMetric(float64(visited), "configs")
+}
+
+// BenchmarkExploreParallelFingerprint is the sharded frontier engine at
+// full parallelism with 64-bit fingerprint deduplication — the
+// configuration the model-checking CLIs use by default. On >= 4 cores it
+// beats BenchmarkExploreSequentialStringKey on the same instance.
+func BenchmarkExploreParallelFingerprint(b *testing.B) {
+	p, c, pids, limits := exploreBenchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visited int
+	for i := 0; i < b.N; i++ {
+		res := check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{Limits: limits})
+		visited = res.Visited
+	}
+	b.ReportMetric(float64(visited), "configs")
+}
+
+// BenchmarkExploreEngineMatrix isolates the two axes: worker count
+// (parallelism) and visited-set keying (fingerprint vs string).
+func BenchmarkExploreEngineMatrix(b *testing.B) {
+	p, c, pids, limits := exploreBenchInstance(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, keys := range []struct {
+			name       string
+			stringKeys bool
+		}{{"fingerprint", false}, {"stringkey", true}} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, keys.name), func(b *testing.B) {
+				opts := check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: workers, StringKeys: keys.stringKeys},
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					check.ExploreOpts(p, c, pids, 1, opts)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLowerboundSearchWorkers measures the ported schedule search
+// (Theorem 10's R-only decision hunt) across engine worker counts.
+func BenchmarkLowerboundSearchWorkers(b *testing.B) {
+	p := baseline.NewPairConsensus(2).WithProcesses(3)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			limits := lowerbound.SearchLimits{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, limits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if w == nil {
+					b.Fatal("expected a violation witness")
+				}
 			}
 		})
 	}

@@ -11,6 +11,15 @@
 //	                               (Figure 6)
 //	lbcheck -lemma16 [-n 4]        Lemma 16 X/Y covering induction
 //	                               (Figures 2-5)
+//
+// The schedule and valency searches (-theorem10, -counterexample, the
+// Lemma 16 valency certifications) run on the sharded frontier engine:
+// -workers and -shards set its parallelism (results are identical for
+// every setting) and -fingerprints switches deduplication from exact
+// string keys to 64-bit fingerprints (leaner, with a ~2^-64 per-pair
+// collision risk). The covering scans of -covering and the -forbidden
+// ledger run still use their original sequential passes and ignore the
+// engine flags. -max and -depth override any mode's default budget.
 package main
 
 import (
@@ -50,8 +59,28 @@ func run(args []string, out io.Writer) error {
 	covering := fs.Bool("covering", false, "covering scan and Lemma 13 γ search")
 	forbidden := fs.Bool("forbidden", false, "Lemma 20 ledger run (Figure 6)")
 	lemma16 := fs.Bool("lemma16", false, "Lemma 16 X/Y covering induction (Figures 2-5)")
+	workers := fs.Int("workers", 0, "search engine worker goroutines (0 = all cores)")
+	shards := fs.Int("shards", 0, "visited-set stripes (0 = default 64)")
+	maxConfigs := fs.Int("max", 0, "override the mode's configuration budget (0 = mode default)")
+	maxDepth := fs.Int("depth", 0, "override the mode's depth cap (0 = mode default)")
+	fingerprints := fs.Bool("fingerprints", false, "dedup on 64-bit fingerprints instead of exact string keys")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// limits threads the engine flags into a mode's default search
+	// limits, with -max/-depth overriding the per-mode defaults.
+	limits := func(modeConfigs, modeDepth int) lowerbound.SearchLimits {
+		if *maxConfigs > 0 {
+			modeConfigs = *maxConfigs
+		}
+		if *maxDepth > 0 {
+			modeDepth = *maxDepth
+		}
+		return lowerbound.SearchLimits{
+			MaxConfigs: modeConfigs, MaxDepth: modeDepth,
+			Workers: *workers, Shards: *shards, Fingerprints: *fingerprints,
+		}
 	}
 
 	ran := false
@@ -70,8 +99,7 @@ func run(args []string, out io.Writer) error {
 	if *theorem10 {
 		ran = true
 		p := core.MustNew(core.Params{N: *n, K: *k, M: *k + 1})
-		cert, err := lowerbound.Theorem10Driver(p, *k,
-			lowerbound.SearchLimits{MaxConfigs: 60000, MaxDepth: 48}, 0)
+		cert, err := lowerbound.Theorem10Driver(p, *k, limits(60000, 48), 0)
 		if err != nil {
 			return err
 		}
@@ -82,7 +110,7 @@ func run(args []string, out io.Writer) error {
 	if *counter {
 		ran = true
 		p := baseline.NewPairConsensus(2).WithProcesses(3)
-		w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, lowerbound.SearchLimits{})
+		w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, limits(0, 0))
 		if err != nil {
 			return err
 		}
@@ -103,7 +131,7 @@ func run(args []string, out io.Writer) error {
 		for i := range inputs {
 			inputs[i] = i % 2
 		}
-		scan, err := lowerbound.CoveringScan(p, inputs, lowerbound.SearchLimits{MaxConfigs: 50000, MaxDepth: 24})
+		scan, err := lowerbound.CoveringScan(p, inputs, limits(50000, 24))
 		if err != nil {
 			return err
 		}
@@ -124,8 +152,7 @@ func run(args []string, out io.Writer) error {
 		}
 		if len(s) > 0 {
 			res, err := lowerbound.Lemma13Gamma(p, c, []int{0, 1}, s,
-				lowerbound.SearchLimits{MaxConfigs: 5000, MaxDepth: 12},
-				lowerbound.SearchLimits{MaxConfigs: 20000, MaxDepth: 40})
+				limits(5000, 12), limits(20000, 40))
 			if err != nil {
 				fmt.Fprintf(out, "Lemma 13 search: %v\n", err)
 			} else {
@@ -159,7 +186,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := lowerbound.Lemma16Run(p, lowerbound.SearchLimits{MaxConfigs: 150000, MaxDepth: 64})
+		res, err := lowerbound.Lemma16Run(p, limits(150000, 64))
 		if err != nil {
 			return err
 		}

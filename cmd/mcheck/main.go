@@ -7,6 +7,13 @@
 // Usage:
 //
 //	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
+//	       [-workers 0] [-shards 64] [-stringkeys] [-progress]
+//
+// Exploration runs on the sharded frontier engine: -workers sets the
+// parallelism (0 = all cores), -shards the visited-set stripe count,
+// -stringkeys switches from 64-bit fingerprint dedup to exact string
+// keys, and -progress streams per-level throughput to stderr. Results are
+// identical for every -workers/-shards setting.
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ablation"
 	"repro/internal/baseline"
@@ -53,6 +61,10 @@ func run(args []string, out io.Writer) error {
 	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: pid % m)")
 	maxConfigs := fs.Int("max", 200000, "configuration budget")
 	maxDepth := fs.Int("depth", 0, "depth cap (0 = none)")
+	workers := fs.Int("workers", 0, "explorer worker goroutines (0 = all cores)")
+	shards := fs.Int("shards", 0, "visited-set stripes (0 = default 64)")
+	stringKeys := fs.Bool("stringkeys", false, "dedup on exact string keys instead of 64-bit fingerprints")
+	progress := fs.Bool("progress", false, "report per-level throughput to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,9 +102,24 @@ func run(args []string, out io.Writer) error {
 		all[i] = i
 	}
 
+	opts := check.ExploreOptions{
+		Limits: check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth},
+		Engine: check.EngineOptions{Workers: *workers, Shards: *shards, StringKeys: *stringKeys},
+	}
+	if *progress {
+		opts.Engine.Progress = func(pr check.Progress) {
+			rate := float64(pr.Processed) / pr.Elapsed.Seconds()
+			fmt.Fprintf(os.Stderr, "depth %d: frontier %d, %d visited, %.0f configs/s\n",
+				pr.Depth, pr.FrontierSize, pr.Processed, rate)
+		}
+	}
+
 	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
-	res := check.Explore(p, c, all, *k, check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth})
-	fmt.Fprintf(out, "explored %d configurations (complete: %v)\n", res.Visited, res.Complete)
+	startT := time.Now()
+	res := check.ExploreOpts(p, c, all, *k, opts)
+	elapsed := time.Since(startT)
+	fmt.Fprintf(out, "explored %d configurations in %v (%.0f configs/s, complete: %v)\n",
+		res.Visited, elapsed.Round(time.Millisecond), float64(res.Visited)/elapsed.Seconds(), res.Complete)
 	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)
 	if res.AgreementViolation != nil {
@@ -102,7 +129,7 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *k)
 
-	val := check.ClassifyValency(p, c, all, check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth})
+	val := check.ClassifyValencyOpts(p, c, all, opts)
 	fmt.Fprintf(out, "initial configuration valency (all processes): %s (values %v, complete %v)\n",
 		val.Class, val.Values, val.Complete)
 	return nil

@@ -55,6 +55,40 @@ func TestRunExplicitInputs(t *testing.T) {
 	}
 }
 
+// TestRunEngineFlagsDoNotChangeResults: the -workers/-shards/-stringkeys
+// knobs tune the engine, never the answer; every combination prints the
+// same exploration counts and verdicts.
+func TestRunEngineFlagsDoNotChangeResults(t *testing.T) {
+	extract := func(args ...string) (string, string) {
+		t.Helper()
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		var explored, decided string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "explored ") {
+				explored = strings.Fields(line)[1] // the configuration count
+			}
+			if strings.HasPrefix(line, "decided values") {
+				decided = line
+			}
+		}
+		return explored, decided
+	}
+	baseExplored, baseDecided := extract("-proto", "pair", "-n", "2", "-workers", "1")
+	for _, args := range [][]string{
+		{"-proto", "pair", "-n", "2", "-workers", "4"},
+		{"-proto", "pair", "-n", "2", "-workers", "4", "-shards", "8"},
+		{"-proto", "pair", "-n", "2", "-workers", "2", "-stringkeys"},
+	} {
+		explored, decided := extract(args...)
+		if explored != baseExplored || decided != baseDecided {
+			t.Errorf("%v: explored %s / %q, want %s / %q", args, explored, decided, baseExplored, baseDecided)
+		}
+	}
+}
+
 func TestRunBadUsage(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-proto", "nope"}, &out); err == nil {

@@ -1,0 +1,404 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// This file implements the sharded frontier engine: a level-synchronized
+// (BSP-style) parallel BFS over configuration spaces. All exhaustive
+// searches in the repository — Explore, ClassifyValency,
+// CheckObstructionFree and the lowerbound schedule searches — run on it.
+//
+// Design:
+//
+//   - The reachable space is explored one depth level at a time. Within a
+//     level, worker goroutines drain the frontier concurrently; between
+//     levels there is a barrier. Deduplication uses a mutex-striped
+//     visited set sharded by configuration fingerprint, so workers
+//     contend only on the stripe a successor hashes to.
+//
+//   - Results are deterministic regardless of worker interleaving: the
+//     set of configurations processed at each level is a pure function of
+//     the protocol and limits (budget truncation picks survivors by
+//     sorted fingerprint, not arrival order), per-worker accumulators are
+//     merged with commutative operations, and witness provenance is
+//     tie-broken by (parent fingerprint, pid) rather than discovery
+//     order.
+//
+//   - By default the visited set is keyed by 64-bit FNV-1a fingerprints
+//     of the compact binary encoding (model.Config.Fingerprint). Distinct
+//     configurations colliding on a fingerprint would be conflated
+//     (probability ~2^-64 per pair, the classic bitstate-hashing
+//     trade-off); EngineOptions.StringKeys selects exact full-key
+//     deduplication instead, which the lowerbound certificate searches
+//     use so that a collision can never silently prune a witness.
+
+// EngineOptions configures the sharded frontier engine.
+type EngineOptions struct {
+	// Workers is the number of goroutines draining each frontier level
+	// (default runtime.GOMAXPROCS(0)). Results do not depend on it.
+	Workers int
+	// Shards is the stripe count of the visited set, rounded up to a
+	// power of two (default 64).
+	Shards int
+	// StringKeys keys the visited set by the exact Config.Key() string
+	// instead of the 64-bit fingerprint: immune to hash collisions, at
+	// higher memory and hashing cost.
+	StringKeys bool
+	// Canonical, if non-nil, replaces the fingerprint function, letting
+	// callers quotient the space by a congruence — e.g.
+	// model.Config.SymmetricFingerprint for process-symmetric protocols.
+	// Incompatible with StringKeys (Canonical wins).
+	Canonical func(*model.Config) uint64
+	// Provenance retains every node's parent chain and configuration so
+	// that Node.Parent and Node.Schedule work after the run — required
+	// by the witness-extracting searches. Off by default: each node's
+	// configuration is released once visited and expanded, keeping live
+	// memory at O(frontier) configurations instead of O(visited).
+	Provenance bool
+	// Progress, if non-nil, is invoked after every completed level with
+	// cumulative throughput statistics.
+	Progress func(Progress)
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 64
+	}
+	// Round shards up to a power of two so shard selection is a mask.
+	s := 1
+	for s < o.Shards {
+		s <<= 1
+	}
+	o.Shards = s
+	return o
+}
+
+// Progress reports cumulative engine throughput after a completed level.
+type Progress struct {
+	// Depth is the level just completed.
+	Depth int
+	// FrontierSize is the number of configurations processed at it.
+	FrontierSize int
+	// Processed is the total processed so far.
+	Processed int
+	// Admitted is the total admitted (processed + queued next level).
+	Admitted int
+	// Elapsed is the wall time since the run started.
+	Elapsed time.Duration
+}
+
+// Node is one admitted configuration in an engine run, with the
+// provenance needed to replay a schedule reaching it.
+type Node struct {
+	// Cfg is the configuration. Visitors must not mutate it, and must
+	// not retain it beyond the visit unless EngineOptions.Provenance is
+	// set (without it the engine releases each configuration after the
+	// node has been visited and expanded).
+	Cfg *model.Config
+	// Depth is the BFS depth (root = 0).
+	Depth int
+	// Pid is the process whose step produced this node from its parent
+	// (-1 at the root).
+	Pid int
+
+	parent *Node
+	fp     uint64
+	key    string // set only in string-key mode
+}
+
+// Parent returns the node this one was first (deterministically) reached
+// from, or nil at the root. It is always nil unless the run used
+// EngineOptions.Provenance.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Fingerprint returns the dedup key of the node's configuration under the
+// engine's keying mode.
+func (n *Node) Fingerprint() uint64 { return n.fp }
+
+// Schedule returns the pid sequence leading from the root to n. It
+// requires a run with EngineOptions.Provenance (otherwise parent chains
+// are not retained and the schedule is truncated at n itself).
+func (n *Node) Schedule() []int {
+	var out []int
+	for m := n; m.parent != nil; m = m.parent {
+		out = append(out, m.Pid)
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// RunStats summarizes an engine run.
+type RunStats struct {
+	// Processed is the number of distinct configurations visited.
+	Processed int
+	// Complete reports whether the restricted reachable space was
+	// exhausted within the limits (early stop via afterLevel does not
+	// clear it, mirroring the sequential explorers).
+	Complete bool
+	// Levels is the number of frontier levels processed.
+	Levels int
+}
+
+// engineShard is one stripe of the visited set plus its slice of the next
+// frontier. pending maps this level's admissions so that a duplicate
+// discovery can deterministically claim provenance.
+type engineShard struct {
+	mu      sync.Mutex
+	fps     map[uint64]struct{}
+	keys    map[string]struct{}
+	next    []*Node
+	pending map[uint64]*Node
+}
+
+// RunFrontier explores the pids-only reachable space of p from start with
+// the sharded frontier engine. visit is called exactly once per distinct
+// admitted configuration, concurrently from workers (worker indices are
+// 0..Workers-1, for per-worker accumulators); afterLevel, if non-nil, is
+// called at each level barrier and may stop the run early. start is not
+// mutated. A visit error or an illegal poised operation aborts the run.
+func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits ExploreLimits, opts EngineOptions,
+	visit func(worker int, n *Node) error,
+	afterLevel func(depth, processed int) (stop bool),
+) (RunStats, error) {
+	limits = limits.withDefaults()
+	opts = opts.withDefaults()
+	stringKeys := opts.StringKeys && opts.Canonical == nil
+
+	allowed := make([]bool, p.NumProcesses())
+	for _, pid := range pids {
+		if pid >= 0 && pid < len(allowed) {
+			allowed[pid] = true
+		}
+	}
+
+	shards := make([]engineShard, opts.Shards)
+	mask := uint64(opts.Shards - 1)
+	for i := range shards {
+		if stringKeys {
+			shards[i].keys = map[string]struct{}{}
+		} else {
+			shards[i].fps = map[uint64]struct{}{}
+		}
+		shards[i].pending = map[uint64]*Node{}
+	}
+
+	fingerprint := func(c *model.Config, scratch []byte) (uint64, string, []byte) {
+		if opts.Canonical != nil {
+			return opts.Canonical(c), "", scratch
+		}
+		fp, scratch := c.FingerprintInto(scratch)
+		if stringKeys {
+			return fp, c.Key(), scratch
+		}
+		return fp, "", scratch
+	}
+
+	root := &Node{Cfg: start.Clone(), Pid: -1}
+	var rootScratch []byte
+	root.fp, root.key, rootScratch = fingerprint(root.Cfg, rootScratch)
+	_ = rootScratch
+	sh := &shards[root.fp&mask]
+	if stringKeys {
+		sh.keys[root.key] = struct{}{}
+	} else {
+		sh.fps[root.fp] = struct{}{}
+	}
+
+	var (
+		stats     = RunStats{Complete: true}
+		admitted  = int64(1)
+		closed    atomic.Bool // no further admissions (budget exhausted)
+		truncated atomic.Bool // some reachable configuration was dropped
+		runErr    atomic.Value
+		cancelled atomic.Bool
+		startTime = time.Now()
+	)
+	fail := func(err error) {
+		if err != nil && runErr.CompareAndSwap(nil, err) {
+			cancelled.Store(true)
+		}
+	}
+
+	frontier := []*Node{root}
+	for depth := 0; len(frontier) > 0; depth++ {
+		stats.Levels++
+		atDepthCap := limits.MaxDepth > 0 && depth >= limits.MaxDepth
+
+		// Process one level: visit every node, expand successors into the
+		// striped visited set and per-shard next-frontier buffers.
+		var cursor int64
+		work := func(worker int) {
+			var scratch []byte
+			for {
+				if cancelled.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				n := frontier[i]
+				if err := visit(worker, n); err != nil {
+					fail(err)
+					return
+				}
+				if atDepthCap {
+					if !opts.Provenance {
+						n.Cfg = nil
+					}
+					continue
+				}
+				for _, pid := range n.Cfg.Active(p) {
+					if !allowed[pid] {
+						continue
+					}
+					succ := n.Cfg.Clone()
+					if _, err := model.Apply(p, succ, pid); err != nil {
+						fail(fmt.Errorf("frontier engine: %w", err))
+						return
+					}
+					var fp uint64
+					var key string
+					fp, key, scratch = fingerprint(succ, scratch)
+					sh := &shards[fp&mask]
+					sh.mu.Lock()
+					var dup bool
+					if stringKeys {
+						_, dup = sh.keys[key]
+					} else {
+						_, dup = sh.fps[fp]
+					}
+					switch {
+					case !dup && closed.Load():
+						// Budget exhausted earlier: the space extends
+						// beyond what was admitted.
+						truncated.Store(true)
+					case !dup:
+						nn := &Node{Cfg: succ, Depth: depth + 1, Pid: pid, fp: fp, key: key}
+						if opts.Provenance {
+							nn.parent = n
+							sh.pending[fp] = nn
+						}
+						if stringKeys {
+							sh.keys[key] = struct{}{}
+						} else {
+							sh.fps[fp] = struct{}{}
+						}
+						sh.next = append(sh.next, nn)
+						atomic.AddInt64(&admitted, 1)
+					case opts.Provenance:
+						// Duplicate. If it was admitted this very level,
+						// claim provenance when ours is deterministically
+						// smaller, so witness schedules do not depend on
+						// discovery order.
+						if prev, ok := sh.pending[fp]; ok && (!stringKeys || prev.key == key) {
+							if n.fp < prev.parent.fp || (n.fp == prev.parent.fp && pid < prev.Pid) {
+								prev.parent, prev.Pid = n, pid
+							}
+						}
+					}
+					sh.mu.Unlock()
+				}
+				if !opts.Provenance {
+					// All successors generated; release the configuration
+					// so exploration memory stays O(frontier), not
+					// O(visited).
+					n.Cfg = nil
+				}
+			}
+		}
+
+		nw := opts.Workers
+		if nw > len(frontier) {
+			nw = len(frontier) // never more goroutines than nodes; visits
+			// may be expensive (solo runs), so do not serialize further
+		}
+		if nw <= 1 {
+			work(0)
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					work(w)
+				}(w)
+			}
+			wg.Wait()
+		}
+		if err, _ := runErr.Load().(error); err != nil {
+			stats.Complete = false
+			return stats, err
+		}
+		stats.Processed += len(frontier)
+		if atDepthCap {
+			stats.Complete = false
+			if opts.Progress != nil {
+				opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
+					Processed: stats.Processed, Admitted: int(atomic.LoadInt64(&admitted)),
+					Elapsed: time.Since(startTime)})
+			}
+			break
+		}
+
+		// Barrier: collect the next frontier from the shards.
+		next := make([]*Node, 0)
+		for i := range shards {
+			next = append(next, shards[i].next...)
+			shards[i].next = nil
+			shards[i].pending = map[uint64]*Node{}
+		}
+
+		// Budget: this level may have overshot MaxConfigs (admission is
+		// unthrottled within a level so that the admitted set stays a
+		// pure function of the space, not of thread timing). Truncate
+		// back to exactly MaxConfigs, keeping survivors by sorted
+		// (fingerprint, key) — deterministic — and close admissions.
+		if total := int(atomic.LoadInt64(&admitted)); total > limits.MaxConfigs {
+			keep := limits.MaxConfigs - (total - len(next))
+			if keep < 0 {
+				keep = 0
+			}
+			sort.Slice(next, func(i, j int) bool {
+				if next[i].fp != next[j].fp {
+					return next[i].fp < next[j].fp
+				}
+				return next[i].key < next[j].key
+			})
+			next = next[:keep]
+			atomic.StoreInt64(&admitted, int64(limits.MaxConfigs))
+			closed.Store(true)
+			truncated.Store(true)
+		}
+		if truncated.Load() {
+			stats.Complete = false
+		}
+
+		if opts.Progress != nil {
+			opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
+				Processed: stats.Processed, Admitted: int(atomic.LoadInt64(&admitted)),
+				Elapsed: time.Since(startTime)})
+		}
+		if afterLevel != nil && afterLevel(depth, stats.Processed) {
+			return stats, nil
+		}
+		frontier = next
+	}
+	if truncated.Load() {
+		stats.Complete = false
+	}
+	return stats, nil
+}

@@ -2,10 +2,14 @@ package check
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/model"
 )
+
+// DefaultMaxConfigs is the configuration budget used when ExploreLimits
+// leaves MaxConfigs unset.
+const DefaultMaxConfigs = 200000
 
 // ExploreLimits bounds an exhaustive exploration. Obstruction-free
 // protocols typically have infinite configuration spaces (lap counters
@@ -13,15 +17,20 @@ import (
 // budgeted; results report whether the budget was exhausted.
 type ExploreLimits struct {
 	// MaxConfigs caps the number of distinct configurations visited
-	// (default 200000).
+	// (<= 0 selects DefaultMaxConfigs).
 	MaxConfigs int
-	// MaxDepth caps the BFS depth (0 = unlimited until MaxConfigs).
+	// MaxDepth caps the BFS depth: configurations at depth MaxDepth are
+	// still visited but not expanded, and the result is marked
+	// incomplete. <= 0 means unlimited depth (until MaxConfigs).
 	MaxDepth int
 }
 
 func (l ExploreLimits) withDefaults() ExploreLimits {
 	if l.MaxConfigs <= 0 {
-		l.MaxConfigs = 200000
+		l.MaxConfigs = DefaultMaxConfigs
+	}
+	if l.MaxDepth < 0 {
+		l.MaxDepth = 0 // normalize "negative = unlimited" to the documented zero
 	}
 	return l
 }
@@ -40,18 +49,127 @@ type ExploreResult struct {
 	// some visited configuration, ascending.
 	DecidedValues []int
 	// AgreementViolation, if non-nil, is a configuration whose decided
-	// value set exceeds k (set only when a k was supplied).
+	// value set exceeds k (set only when a k was supplied). Among all
+	// violating configurations visited it is the deterministically
+	// smallest one (minimum BFS depth, then fingerprint), so parallel
+	// runs report the same witness as sequential ones.
 	AgreementViolation *model.Config
 	// MaxDecidedTogether is the largest number of distinct values decided
 	// within a single visited configuration.
 	MaxDecidedTogether int
 }
 
-// Explore performs BFS over all P-only executions of p from c, visiting
-// each distinct configuration once (configurations are deduplicated by
-// canonical key). If k > 0 it tracks k-agreement violations. c is not
-// mutated.
+// ExploreOptions bundles the limits with the engine knobs for the
+// options-taking explorer entry points.
+type ExploreOptions struct {
+	// Limits bounds the exploration.
+	Limits ExploreLimits
+	// Engine configures parallelism, sharding and visited-set keying.
+	Engine EngineOptions
+}
+
+// Explore performs a breadth-first exploration of all P-only executions
+// of p from c, visiting each distinct configuration once, using the
+// sharded frontier engine with default options (all cores, fingerprint
+// dedup). If k > 0 it tracks k-agreement violations. c is not mutated.
 func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits ExploreLimits) *ExploreResult {
+	return ExploreOpts(p, c, pids, k, ExploreOptions{Limits: limits})
+}
+
+// ExploreOpts is Explore with explicit engine options. The result is
+// deterministic: it does not depend on Workers or Shards (switching
+// between fingerprint and string keying, or installing a Canonical
+// quotient, changes the visited set and may legitimately change counts).
+func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts ExploreOptions) *ExploreResult {
+	res := &ExploreResult{}
+
+	// witness is a violation candidate snapshotted during its visit (the
+	// engine releases node configurations afterwards).
+	type witness struct {
+		depth int
+		fp    uint64
+		key   string
+		cfg   *model.Config
+	}
+	lessWitness := func(a, b *witness) bool {
+		if b == nil {
+			return true
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if a.fp != b.fp {
+			return a.fp < b.fp
+		}
+		return a.key < b.key
+	}
+
+	var (
+		mu        sync.Mutex
+		decided   = map[int]bool{}
+		violation *witness
+	)
+	visit := func(_ int, n *Node) error {
+		// Only count decisions by members of P; a process outside P that
+		// is decided in c decided before the exploration began and is
+		// background state.
+		var vals []int
+		for _, pid := range pids {
+			if v, ok := n.Cfg.Decided(p, pid); ok {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return nil
+		}
+		distinct := map[int]bool{}
+		for _, v := range vals {
+			distinct[v] = true
+		}
+		mu.Lock()
+		for v := range distinct {
+			decided[v] = true
+		}
+		if len(distinct) > res.MaxDecidedTogether {
+			res.MaxDecidedTogether = len(distinct)
+		}
+		if k > 0 && len(distinct) > k {
+			w := &witness{depth: n.Depth, fp: n.Fingerprint(), key: n.Cfg.Key()}
+			if lessWitness(w, violation) {
+				w.cfg = n.Cfg.Clone()
+				violation = w
+			}
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, nil)
+	if err != nil {
+		// An illegal poised op is a protocol bug; surface loudly, as the
+		// sequential explorer always has.
+		panic(fmt.Sprintf("check: explore: %v", err))
+	}
+	res.Visited = stats.Processed
+	res.Complete = stats.Complete
+	res.DecidedValues = sortedValueSet(decided)
+	if violation != nil {
+		res.AgreementViolation = violation.cfg
+	}
+	return res
+}
+
+// ExploreSequential is the single-threaded, string-keyed reference
+// explorer: the original implementation, kept as the differential-testing
+// oracle for the frontier engine and as the benchmark baseline. On
+// complete or depth-capped explorations it visits the same configuration
+// set as Explore, so counts, decided-value sets and completeness agree;
+// the AgreementViolation representative may still differ (this explorer
+// keeps the first violation in BFS insertion order, Explore the minimum
+// by (depth, fingerprint, key)). When the configuration budget binds,
+// both visit exactly MaxConfigs configurations but may pick different
+// representatives.
+func ExploreSequential(p model.Protocol, c *model.Config, pids []int, k int, limits ExploreLimits) *ExploreResult {
 	limits = limits.withDefaults()
 	res := &ExploreResult{Complete: true}
 	allowed := map[int]bool{}
@@ -72,9 +190,6 @@ func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits Explor
 		queue = queue[1:]
 		res.Visited++
 
-		// Only count decisions by members of P; a process outside P that
-		// is decided in c decided before the exploration began and is
-		// background state.
 		valsByP := map[int]bool{}
 		for _, pid := range pids {
 			if v, ok := cur.cfg.Decided(p, pid); ok {
@@ -100,7 +215,6 @@ func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits Explor
 			}
 			next := cur.cfg.Clone()
 			if _, err := model.Apply(p, next, pid); err != nil {
-				// An illegal poised op is a protocol bug; surface loudly.
 				panic(fmt.Sprintf("check: explore: %v", err))
 			}
 			key := next.Key()
@@ -116,10 +230,7 @@ func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits Explor
 		}
 	}
 
-	for v := range decided {
-		res.DecidedValues = append(res.DecidedValues, v)
-	}
-	sort.Ints(res.DecidedValues)
+	res.DecidedValues = sortedValueSet(decided)
 	return res
 }
 
@@ -177,82 +288,48 @@ type ValencyResult struct {
 // Bivalence is certified by witnesses and is sound even when incomplete;
 // univalence requires a complete exploration.
 func ClassifyValency(p model.Protocol, c *model.Config, pids []int, limits ExploreLimits) *ValencyResult {
-	ex := exploreForValency(p, c, pids, limits)
-	out := &ValencyResult{Values: ex.DecidedValues, Complete: ex.Complete}
+	return ClassifyValencyOpts(p, c, pids, ExploreOptions{Limits: limits})
+}
+
+// ClassifyValencyOpts is ClassifyValency with explicit engine options. It
+// runs on the frontier engine with an early exit at the first level
+// barrier after two decided values have been witnessed — bivalence is
+// then certain and the rest of the space is irrelevant.
+func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts ExploreOptions) *ValencyResult {
+	var (
+		mu      sync.Mutex
+		decided = map[int]bool{}
+	)
+	visit := func(_ int, n *Node) error {
+		for _, pid := range pids {
+			if v, ok := n.Cfg.Decided(p, pid); ok {
+				mu.Lock()
+				decided[v] = true
+				mu.Unlock()
+			}
+		}
+		return nil
+	}
+	afterLevel := func(_, _ int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(decided) >= 2 // bivalence certified; stopping early is sound
+	}
+	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, afterLevel)
+	if err != nil {
+		panic(fmt.Sprintf("check: explore: %v", err))
+	}
+
+	out := &ValencyResult{Values: sortedValueSet(decided), Complete: stats.Complete}
 	switch {
-	case len(ex.DecidedValues) >= 2:
+	case len(out.Values) >= 2:
 		out.Class = Bivalent
-	case ex.Complete && len(ex.DecidedValues) == 1:
+	case out.Complete && len(out.Values) == 1:
 		out.Class = Univalent
-	case ex.Complete:
+	case out.Complete:
 		out.Class = Undecidable
 	default:
 		out.Class = Unknown
 	}
 	return out
-}
-
-// exploreForValency is Explore with early exit once two decided values by
-// P have been witnessed (bivalence is then certain).
-func exploreForValency(p model.Protocol, c *model.Config, pids []int, limits ExploreLimits) *ExploreResult {
-	limits = limits.withDefaults()
-	res := &ExploreResult{Complete: true}
-	allowed := map[int]bool{}
-	for _, pid := range pids {
-		allowed[pid] = true
-	}
-	type node struct {
-		cfg   *model.Config
-		depth int
-	}
-	seen := map[string]bool{c.Key(): true}
-	queue := []node{{cfg: c.Clone(), depth: 0}}
-	decided := map[int]bool{}
-
-	flush := func() {
-		for v := range decided {
-			res.DecidedValues = append(res.DecidedValues, v)
-		}
-		sort.Ints(res.DecidedValues)
-	}
-
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		res.Visited++
-		for _, pid := range pids {
-			if v, ok := cur.cfg.Decided(p, pid); ok {
-				decided[v] = true
-			}
-		}
-		if len(decided) >= 2 {
-			flush()
-			return res // bivalence certified; exploration not exhaustive but sound
-		}
-		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
-			res.Complete = false
-			continue
-		}
-		for _, pid := range cur.cfg.Active(p) {
-			if !allowed[pid] {
-				continue
-			}
-			next := cur.cfg.Clone()
-			if _, err := model.Apply(p, next, pid); err != nil {
-				panic(fmt.Sprintf("check: explore: %v", err))
-			}
-			key := next.Key()
-			if seen[key] {
-				continue
-			}
-			if len(seen) >= limits.MaxConfigs {
-				res.Complete = false
-				continue
-			}
-			seen[key] = true
-			queue = append(queue, node{cfg: next, depth: cur.depth + 1})
-		}
-	}
-	flush()
-	return res
 }

@@ -2,6 +2,8 @@ package check
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -32,61 +34,84 @@ type ObstructionFreeReport struct {
 // infinite (lap counters grow unboundedly under adversarial schedules),
 // so exhaustion is not expected; the report says how much was covered.
 func CheckObstructionFree(p model.Protocol, inputs []int, limits ExploreLimits, soloBound int) (*ObstructionFreeReport, error) {
+	return CheckObstructionFreeOpts(p, inputs, ExploreOptions{Limits: limits}, soloBound)
+}
+
+// CheckObstructionFreeOpts is CheckObstructionFree with explicit engine
+// options. The solo runs from distinct configurations are independent, so
+// they parallelize across the engine's workers for free.
+//
+// A violation does not abort mid-level: the whole level finishes so that
+// the report's counts stay deterministic, and among all violations found
+// at that level the deterministically smallest (by configuration
+// fingerprint, then pid) is reported — identical for every worker count.
+func CheckObstructionFreeOpts(p model.Protocol, inputs []int, opts ExploreOptions, soloBound int) (*ObstructionFreeReport, error) {
 	if soloBound <= 0 {
 		return nil, fmt.Errorf("check: solo bound %d must be positive", soloBound)
 	}
-	limits = limits.withDefaults()
 	start, err := model.NewConfig(p, inputs)
 	if err != nil {
 		return nil, err
 	}
-	report := &ObstructionFreeReport{Complete: true}
-
-	type node struct {
-		cfg   *model.Config
-		depth int
+	all := make([]int, p.NumProcesses())
+	for i := range all {
+		all[i] = i
 	}
-	seen := map[string]bool{start.Key(): true}
-	queue := []node{{cfg: start}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		report.Configurations++
 
-		for _, pid := range cur.cfg.Active(p) {
-			solo := cur.cfg.Clone()
+	// violation is the smallest failing (configuration, pid) pair seen.
+	type violation struct {
+		fp    uint64
+		pid   int
+		depth int
+		err   error
+	}
+	var (
+		mu                     sync.Mutex
+		failed                 *violation
+		soloRuns, maxSoloSteps atomic.Int64
+	)
+	visit := func(_ int, n *Node) error {
+		for _, pid := range n.Cfg.Active(p) {
+			solo := n.Cfg.Clone()
 			res, err := SoloRun(p, solo, pid, soloBound)
 			if err != nil {
-				return report, fmt.Errorf(
-					"check: obstruction-freedom violated: p%d does not decide within %d solo steps from a configuration at depth %d: %w",
-					pid, soloBound, cur.depth, err)
+				mu.Lock()
+				if failed == nil || n.fp < failed.fp || (n.fp == failed.fp && pid < failed.pid) {
+					failed = &violation{fp: n.fp, pid: pid, depth: n.Depth, err: err}
+				}
+				mu.Unlock()
+				continue
 			}
-			report.SoloRuns++
-			if res.Steps > report.MaxSoloSteps {
-				report.MaxSoloSteps = res.Steps
+			soloRuns.Add(1)
+			for {
+				old := maxSoloSteps.Load()
+				if int64(res.Steps) <= old || maxSoloSteps.CompareAndSwap(old, int64(res.Steps)) {
+					break
+				}
 			}
 		}
+		return nil
+	}
+	afterLevel := func(_, _ int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return failed != nil
+	}
 
-		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
-			report.Complete = false
-			continue
-		}
-		for _, pid := range cur.cfg.Active(p) {
-			next := cur.cfg.Clone()
-			if _, err := model.Apply(p, next, pid); err != nil {
-				return report, fmt.Errorf("check: obstruction scan: %w", err)
-			}
-			key := next.Key()
-			if seen[key] {
-				continue
-			}
-			if len(seen) >= limits.MaxConfigs {
-				report.Complete = false
-				continue
-			}
-			seen[key] = true
-			queue = append(queue, node{cfg: next, depth: cur.depth + 1})
-		}
+	stats, err := RunFrontier(p, start, all, opts.Limits, opts.Engine, visit, afterLevel)
+	report := &ObstructionFreeReport{
+		Configurations: stats.Processed,
+		SoloRuns:       int(soloRuns.Load()),
+		MaxSoloSteps:   int(maxSoloSteps.Load()),
+		Complete:       stats.Complete,
+	}
+	if err != nil {
+		return report, err
+	}
+	if failed != nil {
+		return report, fmt.Errorf(
+			"check: obstruction-freedom violated: p%d does not decide within %d solo steps from a configuration at depth %d: %w",
+			failed.pid, soloBound, failed.depth, failed.err)
 	}
 	return report, nil
 }

@@ -3,6 +3,32 @@
 // computes valency (the bivalent/univalent classification of Section 2 of
 // the paper), and checks the k-set agreement correctness properties
 // (k-agreement, validity) and solo termination (obstruction-freedom).
+//
+// # The frontier engine
+//
+// All exhaustive searches (Explore, ClassifyValency, CheckObstructionFree
+// and, via the lowerbound package, the schedule searches) run on a shared
+// level-synchronized parallel BFS — the sharded frontier engine
+// (RunFrontier). Its knobs live in EngineOptions:
+//
+//   - Workers: goroutines draining each frontier level (default
+//     runtime.GOMAXPROCS(0)). Results never depend on it: per-level
+//     barriers, commutative merging and sorted-fingerprint budget
+//     truncation make every aggregate deterministic.
+//   - Shards: stripe count of the mutex-striped visited set (default 64,
+//     rounded to a power of two). Purely a contention knob.
+//   - StringKeys: dedup on the exact Config.Key() string instead of the
+//     default 64-bit FNV-1a fingerprint of the compact binary encoding.
+//     Fingerprints are faster and ~10x smaller but admit a ~2^-64
+//     per-pair collision risk (bitstate-hashing trade-off); certificate
+//     searches that must never silently prune a witness use StringKeys.
+//   - Canonical: an optional quotient fingerprint, e.g.
+//     model.Config.SymmetricFingerprint, to collapse process-symmetric
+//     configurations. Opt-in because soundness depends on the protocol
+//     actually being symmetric.
+//
+// ExploreSequential is the original single-threaded explorer, retained as
+// the differential-testing oracle and benchmark baseline.
 package check
 
 import (
@@ -37,8 +63,15 @@ func (r *Result) DecidedValues() []int {
 	for _, v := range r.Decisions {
 		seen[v] = true
 	}
-	out := make([]int, 0, len(seen))
-	for v := range seen {
+	return sortedValueSet(seen)
+}
+
+// sortedValueSet returns the elements of set in ascending order; it is
+// the one decided-value-set helper shared by Result.DecidedValues and the
+// explorers' aggregation.
+func sortedValueSet(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
 		out = append(out, v)
 	}
 	sort.Ints(out)

@@ -114,6 +114,8 @@ func Lemma16Run(p model.Protocol, limits SearchLimits) (*Lemma16Result, error) {
 	}
 	limits = limits.withDefaults()
 	exploreLimits := check.ExploreLimits{MaxConfigs: limits.MaxConfigs}
+	_, engOpts := limits.engineOptions()
+	engOpts.Provenance = false // valency needs no witness schedules
 
 	// Initial configuration: q0 input 0, q1 input 1, P input split.
 	inputs := make([]int, n)
@@ -130,7 +132,7 @@ func Lemma16Run(p model.Protocol, limits SearchLimits) (*Lemma16Result, error) {
 	inXY := map[int]bool{}
 
 	bivalent := func(c *model.Config) (bool, error) {
-		v := check.ClassifyValency(p, c, q, exploreLimits)
+		v := check.ClassifyValencyOpts(p, c, q, check.ExploreOptions{Limits: exploreLimits, Engine: engOpts})
 		switch v.Class {
 		case check.Bivalent:
 			return true, nil

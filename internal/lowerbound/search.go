@@ -3,16 +3,28 @@ package lowerbound
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/check"
 	"repro/internal/model"
 )
 
-// SearchLimits bounds the schedule searches in this file.
+// SearchLimits bounds the schedule searches in this file and carries the
+// frontier-engine knobs through to them.
 type SearchLimits struct {
 	// MaxConfigs caps distinct configurations visited (default 300000).
 	MaxConfigs int
 	// MaxDepth caps schedule length (0 = until MaxConfigs).
 	MaxDepth int
+	// Workers is the engine worker count (default all cores). Search
+	// results, including witness schedules, do not depend on it.
+	Workers int
+	// Shards is the visited-set stripe count (default 64).
+	Shards int
+	// Fingerprints switches deduplication from exact string keys to
+	// 64-bit fingerprints: faster and leaner, but a hash collision could
+	// silently prune a witness, so certificate searches default to exact.
+	Fingerprints bool
 }
 
 func (l SearchLimits) withDefaults() SearchLimits {
@@ -20,6 +32,15 @@ func (l SearchLimits) withDefaults() SearchLimits {
 		l.MaxConfigs = 300000
 	}
 	return l
+}
+
+// engineOptions translates the limits into frontier-engine options.
+func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions) {
+	l = l.withDefaults()
+	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
+		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
+			// Witness extraction replays parent chains after the run.
+			Provenance: true}
 }
 
 // Witness is a found schedule together with what it demonstrates.
@@ -54,91 +75,73 @@ func FindKDistinctDecisions(p model.Protocol, inputs []int, restrict []int, k in
 	})
 }
 
-// searchDecisions is a BFS over schedules with parent tracking, stopping
-// when goal(decidedValues) becomes true.
+// searchDecisions is a breadth-first search over schedules with parent
+// tracking, stopping when goal(decidedValues) becomes true. It runs on
+// the check package's sharded frontier engine: goal configurations are
+// detected during parallel level processing, the run stops at the first
+// level containing one, and the reported witness is the deterministically
+// smallest goal node of that level (by fingerprint, then key), so the
+// schedule does not depend on worker count or interleaving.
 func searchDecisions(p model.Protocol, inputs []int, restrict []int, limits SearchLimits, goal func(map[int]bool) bool) (*Witness, error) {
-	limits = limits.withDefaults()
 	start, err := model.NewConfig(p, inputs)
 	if err != nil {
 		return nil, err
 	}
-	allowed := map[int]bool{}
-	if restrict == nil {
-		for pid := 0; pid < p.NumProcesses(); pid++ {
-			allowed[pid] = true
-		}
-	} else {
-		for _, pid := range restrict {
-			allowed[pid] = true
+	pids := restrict
+	if pids == nil {
+		pids = make([]int, p.NumProcesses())
+		for i := range pids {
+			pids[i] = i
 		}
 	}
 
-	type node struct {
-		cfg    *model.Config
-		parent int // index into nodes; -1 for root
-		pid    int // step taken from parent
-		depth  int
+	var (
+		mu                sync.Mutex
+		best              *check.Node
+		bestDec           []int
+		bestKey           string
+		exLimits, engOpts = limits.engineOptions()
+	)
+	visit := func(_ int, n *check.Node) error {
+		dec := map[int]bool{}
+		for pid := range n.Cfg.States {
+			if v, ok := n.Cfg.Decided(p, pid); ok {
+				dec[v] = true
+			}
+		}
+		if !goal(dec) {
+			return nil
+		}
+		key := n.Cfg.Key()
+		mu.Lock()
+		// Goal nodes all sit in the first level containing one (the run
+		// stops at its barrier), so depth never differs here.
+		if best == nil || n.Fingerprint() < best.Fingerprint() ||
+			(n.Fingerprint() == best.Fingerprint() && key < bestKey) {
+			best, bestKey = n, key
+			bestDec = make([]int, 0, len(dec))
+			for v := range dec {
+				bestDec = append(bestDec, v)
+			}
+		}
+		mu.Unlock()
+		return nil
 	}
-	nodes := []node{{cfg: start, parent: -1, pid: -1}}
-	seen := map[string]int{start.Key(): 0}
-	visited := 0
+	afterLevel := func(_, _ int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return best != nil
+	}
 
-	decidedSet := func(c *model.Config) map[int]bool {
-		out := map[int]bool{}
-		for pid := range c.States {
-			if v, ok := c.Decided(p, pid); ok {
-				out[v] = true
-			}
-		}
-		return out
+	stats, err := check.RunFrontier(p, start, pids, exLimits, engOpts, visit, afterLevel)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: search: %w", err)
 	}
-
-	extract := func(idx int, dec map[int]bool) *Witness {
-		var sched []int
-		for i := idx; nodes[i].parent != -1; i = nodes[i].parent {
-			sched = append(sched, nodes[i].pid)
-		}
-		for l, r := 0, len(sched)-1; l < r; l, r = l+1, r-1 {
-			sched[l], sched[r] = sched[r], sched[l]
-		}
-		vals := make([]int, 0, len(dec))
-		for v := range dec {
-			vals = append(vals, v)
-		}
-		sort.Ints(vals)
-		return &Witness{Schedule: sched, Decided: vals, Visited: visited}
+	if best == nil {
+		return nil, nil // space or budget exhausted, no witness
 	}
-
-	for head := 0; head < len(nodes); head++ {
-		cur := nodes[head]
-		visited++
-		dec := decidedSet(cur.cfg)
-		if goal(dec) {
-			return extract(head, dec), nil
-		}
-		if limits.MaxDepth > 0 && cur.depth >= limits.MaxDepth {
-			continue
-		}
-		for _, pid := range cur.cfg.Active(p) {
-			if !allowed[pid] {
-				continue
-			}
-			next := cur.cfg.Clone()
-			if _, err := model.Apply(p, next, pid); err != nil {
-				return nil, fmt.Errorf("lowerbound: search: %w", err)
-			}
-			key := next.Key()
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			if len(nodes) >= limits.MaxConfigs {
-				return nil, nil // budget exhausted, no witness
-			}
-			seen[key] = len(nodes)
-			nodes = append(nodes, node{cfg: next, parent: head, pid: pid, depth: cur.depth + 1})
-		}
-	}
-	return nil, nil
+	sort.Ints(bestDec)
+	return &Witness{Schedule: best.Schedule(), Decided: bestDec, Visited: stats.Processed}, nil
 }
 
 // Theorem10Step records one level of the Theorem 10 induction.
