@@ -30,6 +30,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/sched"
 	"repro/internal/simulate"
+	"repro/internal/sweep"
 )
 
 // benchValidate is the shared validation workload: a fixed number of
@@ -47,6 +48,31 @@ func benchValidate(b *testing.B, p model.Protocol, k int) {
 }
 
 // --- Table 1 row benchmarks ---
+//
+// Each row benchmark drives the shared scenario definition from
+// internal/sweep — the same code path cmd/table1 and cmd/sweep execute —
+// with the benchmark validation workload (5 adversarial schedules).
+
+// benchSweepRow runs one sweep scenario cell per iteration, failing on
+// any validation or certification shortfall, and returns the last
+// outcome for metric reporting.
+func benchSweepRow(b *testing.B, key string, n, k int) *sweep.Outcome {
+	b.Helper()
+	cell := sweep.Cell{Row: key, N: n, K: k, Schedules: 5, Seed: 1}
+	var out *sweep.Outcome
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := sweep.RunCell(cell)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Failed != "" {
+			b.Fatal(o.Failed)
+		}
+		out = o
+	}
+	return out
+}
 
 // BenchmarkTable1ConsensusRegisters regenerates the row
 // "Consensus / Registers: LB n [16], UB n [3,12]" by validating the
@@ -54,11 +80,8 @@ func benchValidate(b *testing.B, p model.Protocol, k int) {
 func BenchmarkTable1ConsensusRegisters(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 6} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rc, err := baseline.NewRacingCounters(n, 2)
-			if err != nil {
-				b.Fatal(err)
-			}
-			benchValidate(b, rc, 1)
+			out := benchSweepRow(b, "consensus-registers", n, 1)
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
 }
@@ -69,21 +92,12 @@ func BenchmarkTable1ConsensusRegisters(b *testing.B) {
 func BenchmarkTable1ConsensusSwap(b *testing.B) {
 	for _, n := range []int{3, 4, 6, 8} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			p := core.MustNew(core.Params{N: n, K: 1, M: 2})
-			var certified int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cert, err := lowerbound.ConsensusCertificate(p, 0)
-				if err != nil {
-					b.Fatal(err)
-				}
-				certified = len(cert.Objects)
+			out := benchSweepRow(b, "consensus-swap", n, 1)
+			if out.Certified != n-1 {
+				b.Fatalf("certified %d, want n-1 = %d", out.Certified, n-1)
 			}
-			if certified != n-1 {
-				b.Fatalf("certified %d, want n-1 = %d", certified, n-1)
-			}
-			b.ReportMetric(float64(certified), "certified-objects")
-			b.ReportMetric(float64(len(p.Objects())), "objects")
+			b.ReportMetric(float64(out.Certified), "certified-objects")
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
 }
@@ -148,11 +162,8 @@ func BenchmarkTable1BoundedDomain(b *testing.B) {
 func BenchmarkTable1EGSZ(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 6} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rr, err := baseline.NewReadableRace(n, 2)
-			if err != nil {
-				b.Fatal(err)
-			}
-			benchValidate(b, rr, 1)
+			out := benchSweepRow(b, "consensus-readable-unbounded", n, 1)
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
 }
@@ -162,37 +173,24 @@ func BenchmarkTable1EGSZ(b *testing.B) {
 func BenchmarkTable1KSetRegisters(b *testing.B) {
 	for _, tt := range []struct{ n, k int }{{4, 2}, {6, 2}, {6, 3}} {
 		b.Run(fmt.Sprintf("n=%d,k=%d", tt.n, tt.k), func(b *testing.B) {
-			p, err := baseline.NewRegisterKSet(tt.n, tt.k, tt.k+1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			benchValidate(b, p, tt.k)
+			out := benchSweepRow(b, "kset-registers", tt.n, tt.k)
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
 }
 
 // BenchmarkTable1KSetSwap regenerates the row "k-set / Swap objects:
-// LB ⌈n/k⌉-1 [Thm 10], UB n-k [Alg 1]": the full Theorem 10 induction
-// against Algorithm 1.
+// LB ⌈n/k⌉-1 [Thm 10], UB n-k [Alg 1]": adversarial validation plus the
+// full Theorem 10 induction against Algorithm 1.
 func BenchmarkTable1KSetSwap(b *testing.B) {
 	for _, tt := range []struct{ n, k int }{{4, 2}, {6, 2}, {6, 3}} {
 		b.Run(fmt.Sprintf("n=%d,k=%d", tt.n, tt.k), func(b *testing.B) {
-			p := core.MustNew(core.Params{N: tt.n, K: tt.k, M: tt.k + 1})
-			limits := lowerbound.SearchLimits{MaxConfigs: 40000, MaxDepth: 40}
-			var certified int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cert, err := lowerbound.Theorem10Driver(p, tt.k, limits, 0)
-				if err != nil {
-					b.Fatal(err)
-				}
-				certified = cert.Objects
+			out := benchSweepRow(b, "kset-swap", tt.n, tt.k)
+			if want := lowerbound.Theorem10Bound(tt.n, tt.k); out.Certified < want {
+				b.Fatalf("certified %d < paper bound %d", out.Certified, want)
 			}
-			if want := lowerbound.Theorem10Bound(tt.n, tt.k); certified < want {
-				b.Fatalf("certified %d < paper bound %d", certified, want)
-			}
-			b.ReportMetric(float64(certified), "certified-objects")
-			b.ReportMetric(float64(tt.n-tt.k), "objects")
+			b.ReportMetric(float64(out.Certified), "certified-objects")
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
 }
@@ -203,10 +201,37 @@ func BenchmarkTable1KSetSwap(b *testing.B) {
 func BenchmarkTable1KSetReadableSwap(b *testing.B) {
 	for _, tt := range []struct{ n, k int }{{4, 2}, {6, 3}} {
 		b.Run(fmt.Sprintf("n=%d,k=%d", tt.n, tt.k), func(b *testing.B) {
-			p := core.MustNew(core.Params{N: tt.n, K: tt.k, M: tt.k + 1, Readable: true})
-			benchValidate(b, p, tt.k)
+			out := benchSweepRow(b, "kset-readable", tt.n, tt.k)
+			b.ReportMetric(float64(out.Measured), "objects")
 		})
 	}
+}
+
+// BenchmarkSweepSmallGrid measures the sweep subsystem end to end: the CI
+// smoke grid (Table 1 rows plus an exploration cell at n=4, k=2) expanded
+// and executed concurrently by the grid runner.
+func BenchmarkSweepSmallGrid(b *testing.B) {
+	grid, err := sweep.NamedGrid("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.Run(cells, sweep.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Gates() {
+				b.Fatalf("cell %s: %s %s", r.Cell, r.Status, r.Error)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cells)), "cells")
 }
 
 // --- Figure benchmarks ---

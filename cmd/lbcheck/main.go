@@ -12,12 +12,16 @@
 //	lbcheck -lemma16 [-n 4]        Lemma 16 X/Y covering induction
 //	                               (Figures 2-5)
 //
+// Each mode's default search budget and protocol instance are defined
+// once in internal/sweep's mode registry, shared with the sweep runner.
+//
 // The schedule and valency searches (-theorem10, -counterexample, the
 // Lemma 16 valency certifications) run on the sharded frontier engine:
 // -workers and -shards set its parallelism (results are identical for
-// every setting) and -fingerprints switches deduplication from exact
-// string keys to 64-bit fingerprints (leaner, with a ~2^-64 per-pair
-// collision risk). The covering scans of -covering and the -forbidden
+// every setting), -fingerprints switches deduplication from exact string
+// keys to 64-bit fingerprints (leaner, with a ~2^-64 per-pair collision
+// risk), and -progress streams per-level throughput to stderr, keeping
+// stdout parseable. The covering scans of -covering and the -forbidden
 // ledger run still use their original sequential passes and ignore the
 // engine flags. -max and -depth override any mode's default budget.
 package main
@@ -29,10 +33,10 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/check"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -64,30 +68,56 @@ func run(args []string, out io.Writer) error {
 	maxConfigs := fs.Int("max", 0, "override the mode's configuration budget (0 = mode default)")
 	maxDepth := fs.Int("depth", 0, "override the mode's depth cap (0 = mode default)")
 	fingerprints := fs.Bool("fingerprints", false, "dedup on 64-bit fingerprints instead of exact string keys")
+	progress := fs.Bool("progress", false, "report per-level engine throughput to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// limits threads the engine flags into a mode's default search
-	// limits, with -max/-depth overriding the per-mode defaults.
-	limits := func(modeConfigs, modeDepth int) lowerbound.SearchLimits {
+	// withOverrides threads the engine flags into a search budget, with
+	// -max/-depth overriding the given defaults.
+	withOverrides := func(modeConfigs, modeDepth int) lowerbound.SearchLimits {
 		if *maxConfigs > 0 {
 			modeConfigs = *maxConfigs
 		}
 		if *maxDepth > 0 {
 			modeDepth = *maxDepth
 		}
-		return lowerbound.SearchLimits{
+		l := lowerbound.SearchLimits{
 			MaxConfigs: modeConfigs, MaxDepth: modeDepth,
 			Workers: *workers, Shards: *shards, Fingerprints: *fingerprints,
 		}
+		if *progress {
+			l.Progress = check.ProgressPrinter(os.Stderr)
+		}
+		return l
+	}
+	// limits resolves a mode's default budget from the shared sweep
+	// registry and applies the overrides.
+	limits := func(modeKey string) lowerbound.SearchLimits {
+		mode, ok := sweep.LBModeByKey(modeKey)
+		if !ok {
+			panic("lbcheck: unregistered mode " + modeKey)
+		}
+		return withOverrides(mode.MaxConfigs, mode.MaxDepth)
+	}
+	// instance builds a mode's protocol and canonical inputs from the
+	// shared definition.
+	instance := func(modeKey string) (model.Protocol, []int, error) {
+		mode, ok := sweep.LBModeByKey(modeKey)
+		if !ok {
+			return nil, nil, fmt.Errorf("unregistered mode %s", modeKey)
+		}
+		return mode.Build(*n, *k)
 	}
 
 	ran := false
 
 	if *figure1 {
 		ran = true
-		p := core.MustNew(core.Params{N: *n, K: 1, M: 2})
+		p, _, err := instance("figure1")
+		if err != nil {
+			return err
+		}
 		res, err := lowerbound.ConsensusCertificate(p, 0)
 		if err != nil {
 			return err
@@ -98,8 +128,11 @@ func run(args []string, out io.Writer) error {
 
 	if *theorem10 {
 		ran = true
-		p := core.MustNew(core.Params{N: *n, K: *k, M: *k + 1})
-		cert, err := lowerbound.Theorem10Driver(p, *k, limits(60000, 48), 0)
+		p, _, err := instance("theorem10")
+		if err != nil {
+			return err
+		}
+		cert, err := lowerbound.Theorem10Driver(p, *k, limits("theorem10"), 0)
 		if err != nil {
 			return err
 		}
@@ -109,8 +142,11 @@ func run(args []string, out io.Writer) error {
 
 	if *counter {
 		ran = true
-		p := baseline.NewPairConsensus(2).WithProcesses(3)
-		w, err := lowerbound.FindAgreementViolation(p, []int{0, 1, 1}, 1, limits(0, 0))
+		p, inputs, err := instance("counterexample")
+		if err != nil {
+			return err
+		}
+		w, err := lowerbound.FindAgreementViolation(p, inputs, 1, limits("counterexample"))
 		if err != nil {
 			return err
 		}
@@ -123,15 +159,11 @@ func run(args []string, out io.Writer) error {
 
 	if *covering {
 		ran = true
-		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		p, inputs, err := instance("covering")
 		if err != nil {
 			return err
 		}
-		inputs := make([]int, *n)
-		for i := range inputs {
-			inputs[i] = i % 2
-		}
-		scan, err := lowerbound.CoveringScan(p, inputs, limits(50000, 24))
+		scan, err := lowerbound.CoveringScan(p, inputs, limits("covering"))
 		if err != nil {
 			return err
 		}
@@ -152,7 +184,7 @@ func run(args []string, out io.Writer) error {
 		}
 		if len(s) > 0 {
 			res, err := lowerbound.Lemma13Gamma(p, c, []int{0, 1}, s,
-				limits(5000, 12), limits(20000, 40))
+				withOverrides(5000, 12), withOverrides(20000, 40))
 			if err != nil {
 				fmt.Fprintf(out, "Lemma 13 search: %v\n", err)
 			} else {
@@ -164,13 +196,9 @@ func run(args []string, out io.Writer) error {
 
 	if *forbidden {
 		ran = true
-		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		p, inputs, err := instance("forbidden")
 		if err != nil {
 			return err
-		}
-		inputs := make([]int, *n)
-		for i := range inputs {
-			inputs[i] = i % 2
 		}
 		ledgerRun, err := lowerbound.RunLedger(p, inputs, 0)
 		if err != nil {
@@ -182,11 +210,11 @@ func run(args []string, out io.Writer) error {
 
 	if *lemma16 {
 		ran = true
-		p, err := baseline.NewToyBitRace(*n, maxInt(2, *n-1))
+		p, _, err := instance("lemma16")
 		if err != nil {
 			return err
 		}
-		res, err := lowerbound.Lemma16Run(p, limits(150000, 64))
+		res, err := lowerbound.Lemma16Run(p, limits("lemma16"))
 		if err != nil {
 			return err
 		}
@@ -198,11 +226,4 @@ func run(args []string, out io.Writer) error {
 		return errUsage
 	}
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -107,11 +107,9 @@ func run(args []string, out io.Writer) error {
 		Engine: check.EngineOptions{Workers: *workers, Shards: *shards, StringKeys: *stringKeys},
 	}
 	if *progress {
-		opts.Engine.Progress = func(pr check.Progress) {
-			rate := float64(pr.Processed) / pr.Elapsed.Seconds()
-			fmt.Fprintf(os.Stderr, "depth %d: frontier %d, %d visited, %.0f configs/s\n",
-				pr.Depth, pr.FrontierSize, pr.Processed, rate)
-		}
+		// Progress always goes to stderr: stdout must stay parseable when
+		// mcheck is piped into the sweep runner or other tooling.
+		opts.Engine.Progress = check.ProgressPrinter(os.Stderr)
 	}
 
 	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)

@@ -1,0 +1,218 @@
+// Command sweep runs a declarative experiment matrix — scenario rows ×
+// n × k × engine options — concurrently, streams one JSON Lines record
+// per cell, and renders the human Table 1. On the default grid its stdout
+// reproduces cmd/table1's output byte for byte.
+//
+// Usage:
+//
+//	sweep [-grid default|small|engine] [-spec grid.json]
+//	      [-n 8] [-k 2] [-rows a,b,c] [-schedules N] [-seed S]
+//	      [-max N] [-depth N] [-par N] [-timeout SECONDS]
+//	      [-out sweep.json] [-json] [-progress]
+//
+// -out appends JSONL records to the file and makes the run resumable:
+// cells whose IDs already appear in the file are skipped, so an
+// interrupted grid picks up where it left off. -json streams the records
+// to stdout instead of the table. -progress reports per-cell completions
+// to stderr, keeping stdout parseable.
+//
+// Exit status: 0 when every cell is ok, 1 when any cell reports a
+// violation, failure, timeout or error (the CI gate), 2 on usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// errCells reports that some cell did not come back clean.
+var errCells = errors.New("sweep: some cells did not pass")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errCells):
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	gridName := fs.String("grid", "default", "built-in grid: default|small|engine")
+	specFile := fs.String("spec", "", "JSON grid spec file (overrides -grid)")
+	nFlag := fs.String("n", "", "comma-separated process counts (override the grid's axis)")
+	kFlag := fs.String("k", "", "comma-separated agreement parameters (override the grid's axis)")
+	rowsFlag := fs.String("rows", "", "comma-separated row keys (override the grid's rows)")
+	schedules := fs.Int("schedules", 0, "adversarial schedules per validation (0 = grid/harness default)")
+	seed := fs.Int64("seed", 0, "schedule seed (0 = grid default)")
+	maxConfigs := fs.Int("max", 0, "configuration budget override")
+	maxDepth := fs.Int("depth", 0, "depth cap override")
+	par := fs.Int("par", 0, "concurrently executing cells (0 = all cores)")
+	timeout := fs.Int("timeout", -1, "per-cell wall-time budget in seconds (-1 = grid default, 0 = none)")
+	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
+	jsonOut := fs.Bool("json", false, "stream JSONL records to stdout instead of the table")
+	progress := fs.Bool("progress", false, "report per-cell completions to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	grid, err := loadGrid(*specFile, *gridName)
+	if err != nil {
+		return err
+	}
+	if *nFlag != "" {
+		if grid.Ns, err = parseInts(*nFlag); err != nil {
+			return fmt.Errorf("-n: %w", err)
+		}
+	}
+	if *kFlag != "" {
+		if grid.Ks, err = parseInts(*kFlag); err != nil {
+			return fmt.Errorf("-k: %w", err)
+		}
+	}
+	if *rowsFlag != "" {
+		grid.Rows = strings.Split(*rowsFlag, ",")
+	}
+	if *schedules > 0 {
+		grid.Schedules = *schedules
+	}
+	if *seed != 0 {
+		grid.Seed = *seed
+	}
+	if *maxConfigs > 0 {
+		grid.MaxConfigs = *maxConfigs
+	}
+	if *maxDepth > 0 {
+		grid.MaxDepth = *maxDepth
+	}
+	if *timeout >= 0 {
+		grid.TimeoutSec = *timeout
+	}
+
+	cells, err := grid.Cells()
+	if err != nil {
+		return err
+	}
+
+	opts := sweep.RunOptions{Parallelism: *par}
+
+	// Checkpoint resume: prior records in -out become the skip set, and
+	// fresh records are appended to the same file.
+	var outF *os.File
+	if *outFile != "" {
+		prior, err := readCheckpoint(*outFile)
+		if err != nil {
+			return err
+		}
+		opts.Skip = prior
+		outF, err = os.OpenFile(*outFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer outF.Close()
+		opts.Out = outF
+	}
+	if *jsonOut && opts.Out == nil {
+		opts.Out = stdout
+	}
+
+	if *progress {
+		done := 0
+		opts.OnResult = func(r sweep.Result, cached bool) {
+			done++
+			note := ""
+			if cached {
+				note = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "cell %d/%d %-40s %s %.0fms%s\n",
+				done, len(cells), r.Cell, r.Status, r.WallMS, note)
+		}
+	}
+
+	results, err := sweep.Run(cells, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut && *outFile != "" {
+		// Records went to the file; mirror the full set (including
+		// checkpointed cells) to stdout for the pipe consumer.
+		for _, r := range results {
+			if err := sweep.WriteResult(stdout, r); err != nil {
+				return err
+			}
+		}
+	}
+	if !*jsonOut {
+		fmt.Fprint(stdout, sweep.RenderResults(results))
+	}
+
+	bad := 0
+	for _, r := range results {
+		if r.Gates() {
+			bad++
+			fmt.Fprintf(os.Stderr, "sweep: cell %s: %s%s\n", r.Cell, r.Status, errDetail(r))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%w: %d of %d cells", errCells, bad, len(results))
+	}
+	return nil
+}
+
+func loadGrid(specFile, gridName string) (sweep.Grid, error) {
+	if specFile == "" {
+		return sweep.NamedGrid(gridName)
+	}
+	data, err := os.ReadFile(specFile)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	return sweep.ParseGrid(data)
+}
+
+func readCheckpoint(path string) (map[string]sweep.Result, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	prior, err := sweep.ReadResults(f)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Checkpoint(prior), nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func errDetail(r sweep.Result) string {
+	if r.Error != "" {
+		return ": " + r.Error
+	}
+	return ""
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+// TestDefaultGridReproducesTable1 is the contract with cmd/table1: on the
+// default grid (shrunk to n=4, k=2 with 2 schedules to keep the test
+// fast) the sweep's stdout must be byte-for-byte the table1 output —
+// header, table, nothing else.
+func TestDefaultGridReproducesTable1(t *testing.T) {
+	rows, err := sweep.Table1Rows(4, 2, harness.ValidateOptions{Schedules: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Table 1 (Ovens, PODC 2022) regenerated for n=4, k=2\n\n" + harness.RenderTable(rows)
+
+	var out strings.Builder
+	if err := run([]string{"-grid", "default", "-n", "4", "-k", "2", "-schedules", "2", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want {
+		t.Errorf("sweep output diverged from table1:\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestResumeExecutesOnlyMissingCells: interrupt a grid by truncating its
+// result file, re-run, and verify the file ends with exactly one record
+// per cell and a third run appends nothing.
+func TestResumeExecutesOnlyMissingCells(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "sweep.json")
+	args := []string{"-grid", "small", "-out", outFile}
+	var sink strings.Builder
+	if err := run(args, &sink); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := nonEmptyLines(string(full))
+	if len(lines) == 0 {
+		t.Fatal("no records written")
+	}
+
+	// Truncate to a prefix — an interrupted run.
+	keep := len(lines) / 2
+	if err := os.WriteFile(outFile, []byte(strings.Join(lines[:keep], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+	if err := run(args, &sink); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nonEmptyLines(string(resumed))
+	if len(got) != len(lines) {
+		t.Fatalf("resumed file has %d records, want %d (only missing cells re-run)", len(got), len(lines))
+	}
+	records, err := sweep.ReadResults(strings.NewReader(string(resumed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range records {
+		seen[r.Cell]++
+	}
+	for cell, count := range seen {
+		if count != 1 {
+			t.Errorf("cell %s recorded %d times after resume", cell, count)
+		}
+	}
+
+	// A third run with a complete file must execute nothing new.
+	sink.Reset()
+	if err := run(args, &sink); err != nil {
+		t.Fatal(err)
+	}
+	final, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nonEmptyLines(string(final))) != len(lines) {
+		t.Errorf("fully-checkpointed re-run appended records")
+	}
+}
+
+// TestJSONOutputIsParseable: -json streams records, not the table.
+func TestJSONOutputIsParseable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rows", "consensus-readable-b2,consensus-readable-bb", "-n", "4", "-k", "1", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("stdout is not JSONL: %v\n%s", err, out.String())
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	if strings.Contains(out.String(), "Table 1") {
+		t.Error("-json must suppress the human table")
+	}
+}
+
+// TestGateFailsOnBadCell: a grid containing a failing cell must exit
+// non-zero (the CI violation gate).
+func TestGateFailsOnBadCell(t *testing.T) {
+	var out strings.Builder
+	// violation-hunt with a depth cap of 1 cannot find its witness → fail.
+	err := run([]string{"-rows", "violation-hunt", "-n", "3", "-k", "1", "-depth", "1", "-json"}, &out)
+	if err == nil {
+		t.Fatal("failing cell must yield a non-nil error (exit 1)")
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	specFile := filepath.Join(t.TempDir(), "grid.json")
+	spec := `{"name":"custom","rows":["explore"],"ns":[3],"ks":[1],"max_configs":1000}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", specFile, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].Grid != "custom" || records[0].States == 0 {
+		t.Fatalf("unexpected records: %+v", records)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-grid", "bogus"}, &out); err == nil {
+		t.Error("unknown grid must be rejected")
+	}
+	if err := run([]string{"-rows", "no-such-row"}, &out); err == nil {
+		t.Error("unknown row must be rejected")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag must be rejected")
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}

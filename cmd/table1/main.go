@@ -5,6 +5,10 @@
 // lower bounds are this paper's contributions — runs the executable
 // Lemma 9 / Theorem 10 constructions to certify the lower bound.
 //
+// The row scenarios themselves are defined once in internal/sweep and
+// shared with cmd/sweep (which adds the full experiment matrix, JSONL
+// results and checkpointing) and the benchmark harness.
+//
 // Usage:
 //
 //	table1 [-n 8] [-k 2] [-schedules 25] [-solo] [-sweep]
@@ -22,7 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/lowerbound"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -39,7 +43,7 @@ func run(args []string, out io.Writer) error {
 	schedules := fs.Int("schedules", 25, "adversarial schedules per validation")
 	seed := fs.Int64("seed", 1, "schedule seed")
 	solo := fs.Bool("solo", false, "run the Lemma 8 solo step census")
-	sweep := fs.Bool("sweep", false, "sweep Theorem 10 certificates over an (n,k) grid")
+	sweepFlag := fs.Bool("sweep", false, "sweep Theorem 10 certificates over an (n,k) grid")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need n > k >= 1 (got n=%d k=%d)", *n, *k)
 	}
 
-	rows, err := harness.Table1(*n, *k, harness.ValidateOptions{Schedules: *schedules, Seed: *seed})
+	rows, err := sweep.Table1Rows(*n, *k, harness.ValidateOptions{Schedules: *schedules, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -72,22 +76,44 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *sweep {
+	if *sweepFlag {
+		// The (n, k) certificate grid is a sweep of the shared "theorem10"
+		// scenario, executed concurrently by the grid runner; the cells
+		// come back in grid order, so the rendering is deterministic.
 		fmt.Fprintf(out, "\nTheorem 10 certificates (certified vs ⌈n/k⌉-1):\n")
+		grid := sweep.Grid{Name: "theorem10", Rows: []string{"theorem10"}}
 		for nn := 3; nn <= *n; nn++ {
-			for kk := 1; kk < nn && kk <= *k; kk++ {
-				p := core.MustNew(core.Params{N: nn, K: kk, M: kk + 1})
-				cert, err := lowerbound.Theorem10Driver(p, kk,
-					lowerbound.SearchLimits{MaxConfigs: 40000, MaxDepth: 40}, 0)
-				if err != nil {
-					fmt.Fprintf(out, "  n=%d k=%d: FAILED: %v\n", nn, kk, err)
+			grid.Ns = append(grid.Ns, nn)
+		}
+		for kk := 1; kk <= *k; kk++ {
+			grid.Ks = append(grid.Ks, kk)
+		}
+		// n < 3 leaves the axis empty: nothing to certify (matching the
+		// original empty loop, and keeping Cells() from substituting its
+		// default axis).
+		if len(grid.Ns) > 0 {
+			cells, err := grid.Cells()
+			if err != nil {
+				return err
+			}
+			for i := range cells {
+				cells[i].MaxConfigs = 40000
+				cells[i].MaxDepth = 40
+			}
+			results, err := sweep.Run(cells, sweep.RunOptions{})
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				if r.Status == sweep.StatusError {
+					fmt.Fprintf(out, "  n=%d k=%d: FAILED: %s\n", r.N, r.K, r.Error)
 					continue
 				}
 				ok := "OK"
-				if cert.Objects < cert.Bound {
+				if r.Certified < r.Bound {
 					ok = "SHORT"
 				}
-				fmt.Fprintf(out, "  n=%2d k=%d: certified %2d, bound %2d  %s\n", nn, kk, cert.Objects, cert.Bound, ok)
+				fmt.Fprintf(out, "  n=%2d k=%d: certified %2d, bound %2d  %s\n", r.N, r.K, r.Certified, r.Bound, ok)
 			}
 		}
 	}

@@ -1,0 +1,20 @@
+package check
+
+import (
+	"fmt"
+	"io"
+)
+
+// ProgressPrinter returns a Progress callback that streams one line per
+// completed frontier level to w. The CLIs pass os.Stderr so that stdout
+// stays parseable when piped into the sweep runner or other tooling.
+func ProgressPrinter(w io.Writer) func(Progress) {
+	return func(pr Progress) {
+		rate := 0.0
+		if pr.Elapsed > 0 {
+			rate = float64(pr.Processed) / pr.Elapsed.Seconds()
+		}
+		fmt.Fprintf(w, "depth %d: frontier %d, %d visited, %.0f configs/s\n",
+			pr.Depth, pr.FrontierSize, pr.Processed, rate)
+	}
+}

@@ -10,10 +10,7 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/baseline"
 	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/lowerbound"
 	"repro/internal/model"
 	"repro/internal/sched"
 )
@@ -172,7 +169,10 @@ func MeasureSolo(p model.Protocol, k int, trials int, bound int, seed int64) (*S
 	return census, nil
 }
 
-// Row is one regenerated row of Table 1.
+// Row is one regenerated row of Table 1. The row *definitions* — which
+// protocol each row validates and which construction certifies it — live
+// in internal/sweep's scenario registry; this package keeps the
+// validation primitives and the rendering.
 type Row struct {
 	// Task and Objects identify the row as in the paper.
 	Task, Objects string
@@ -188,148 +188,6 @@ type Row struct {
 	Certified int
 	// Status summarizes validation.
 	Status string
-}
-
-// Table1 regenerates the paper's Table 1 for the given n and k, running
-// each implemented algorithm through the adversarial validator and the
-// paper's own lower-bound constructions through the certifiers.
-func Table1(n, k int, opts ValidateOptions) ([]Row, error) {
-	if n <= k || k < 1 {
-		return nil, fmt.Errorf("harness: need n > k >= 1, got n=%d k=%d", n, k)
-	}
-	var rows []Row
-
-	// Row 1: Consensus / Registers. LB n [16], UB n [3, 12].
-	rc, err := baseline.NewRacingCounters(n, 2)
-	if err != nil {
-		return nil, err
-	}
-	status := validateStatus(rc, 1, opts)
-	rows = append(rows, Row{
-		Task: "Consensus", Objects: "Registers",
-		PaperLB:  fmt.Sprintf("n = %d [16]", lowerbound.EGZRegisterBound(n)),
-		PaperUB:  fmt.Sprintf("n = %d [3,12]", n),
-		Measured: len(rc.Objects()), Certified: -1, Status: status,
-	})
-
-	// Row 2: Consensus / Swap. LB n-1 (Theorem 10), UB n-1 (Algorithm 1).
-	a1, err := core.New(core.Params{N: n, K: 1, M: 2})
-	if err != nil {
-		return nil, err
-	}
-	status = validateStatus(a1, 1, opts)
-	cert, err := lowerbound.ConsensusCertificate(a1, 0)
-	certified := -1
-	if err == nil {
-		certified = len(cert.Objects)
-	} else {
-		status += "; certificate FAILED: " + err.Error()
-	}
-	rows = append(rows, Row{
-		Task: "Consensus", Objects: "Swap objects",
-		PaperLB:  fmt.Sprintf("n-1 = %d [Thm 10]", lowerbound.Theorem10Bound(n, 1)),
-		PaperUB:  fmt.Sprintf("n-1 = %d [Alg 1]", lowerbound.Algorithm1Objects(n, 1)),
-		Measured: len(a1.Objects()), Certified: certified, Status: status,
-	})
-
-	// Row 3: Consensus / Readable binary swap. LB n-2 (Theorem 18),
-	// UB 2n-1 [7]. The upper-bound algorithm is cited prior work whose
-	// report is unavailable; the ledger/covering machinery realizes the
-	// lower-bound side (see cmd/lbcheck).
-	rows = append(rows, Row{
-		Task: "Consensus", Objects: "Readable swap, domain 2",
-		PaperLB:  fmt.Sprintf("n-2 = %d [Thm 18]", lowerbound.Theorem18Bound(n)),
-		PaperUB:  fmt.Sprintf("2n-1 = %d [7]", lowerbound.BowmanObjects(n)),
-		Measured: -1, Certified: -1,
-		Status: "LB machinery: covering + ledger (cmd/lbcheck); UB cited (report unavailable)",
-	})
-
-	// Row 4: Consensus / Readable swap, domain b (b = 2..5 summarized).
-	var capNotes []string
-	for _, b := range []int{2, 3, 4, 8} {
-		capNotes = append(capNotes, fmt.Sprintf("b=%d:⌈(n-2)/(3b+1)⌉=%d", b, lowerbound.Theorem22Bound(n, b)))
-	}
-	rows = append(rows, Row{
-		Task: "Consensus", Objects: "Readable swap, domain b",
-		PaperLB:  "(n-2)/(3b+1) [Thm 22]",
-		PaperUB:  fmt.Sprintf("2n-1 = %d [7]", lowerbound.BowmanObjects(n)),
-		Measured: -1, Certified: -1,
-		Status: strings.Join(capNotes, " "),
-	})
-
-	// Row 5: Consensus / Readable swap, unbounded. LB Ω(√n) [17], UB n-1 [15].
-	rr, err := baseline.NewReadableRace(n, 2)
-	if err != nil {
-		return nil, err
-	}
-	status = validateStatus(rr, 1, opts)
-	rows = append(rows, Row{
-		Task: "Consensus", Objects: "Readable swap, unbounded",
-		PaperLB:  "Ω(√n) [17]",
-		PaperUB:  fmt.Sprintf("n-1 = %d [15]", lowerbound.EGSZObjects(n)),
-		Measured: len(rr.Objects()), Certified: -1, Status: status,
-	})
-
-	// Row 6: k-set / Registers. LB ⌈n/k⌉ [16], UB n-k+1 [6].
-	if k >= 1 && n > k {
-		rks, err := baseline.NewRegisterKSet(n, k, k+1)
-		if err != nil {
-			return nil, err
-		}
-		status = validateStatus(rks, k, opts)
-		rows = append(rows, Row{
-			Task: fmt.Sprintf("%d-set agreement", k), Objects: "Registers",
-			PaperLB:  fmt.Sprintf("⌈n/k⌉ = %d [16]", lowerbound.EGZRegisterKSetBound(n, k)),
-			PaperUB:  fmt.Sprintf("n-k+1 = %d [6]", lowerbound.RegisterKSetObjects(n, k)),
-			Measured: len(rks.Objects()), Certified: -1, Status: status,
-		})
-	}
-
-	// Row 7: k-set / Swap. LB ⌈n/k⌉-1 (Theorem 10), UB n-k (Algorithm 1).
-	aks, err := core.New(core.Params{N: n, K: k, M: k + 1})
-	if err != nil {
-		return nil, err
-	}
-	status = validateStatus(aks, k, opts)
-	certified = -1
-	t10, err := lowerbound.Theorem10Driver(aks, k, lowerbound.SearchLimits{MaxConfigs: 40000, MaxDepth: 40}, 0)
-	if err == nil {
-		certified = t10.Objects
-	} else {
-		status += "; certificate FAILED: " + err.Error()
-	}
-	rows = append(rows, Row{
-		Task: fmt.Sprintf("%d-set agreement", k), Objects: "Swap objects",
-		PaperLB:  fmt.Sprintf("⌈n/k⌉-1 = %d [Thm 10]", lowerbound.Theorem10Bound(n, k)),
-		PaperUB:  fmt.Sprintf("n-k = %d [Alg 1]", lowerbound.Algorithm1Objects(n, k)),
-		Measured: len(aks.Objects()), Certified: certified, Status: status,
-	})
-
-	// Row 8: k-set / Readable swap, unbounded. LB 1, UB n-k (Algorithm 1).
-	akr, err := core.New(core.Params{N: n, K: k, M: k + 1, Readable: true})
-	if err != nil {
-		return nil, err
-	}
-	status = validateStatus(akr, k, opts)
-	rows = append(rows, Row{
-		Task: fmt.Sprintf("%d-set agreement", k), Objects: "Readable swap, unbounded",
-		PaperLB:  "1",
-		PaperUB:  fmt.Sprintf("n-k = %d [Alg 1]", lowerbound.Algorithm1Objects(n, k)),
-		Measured: len(akr.Objects()), Certified: -1, Status: status,
-	})
-
-	return rows, nil
-}
-
-func validateStatus(p model.Protocol, k int, opts ValidateOptions) string {
-	if err := ValidateProtocol(p, k, opts); err != nil {
-		return "FAILED: " + err.Error()
-	}
-	eff := opts.Schedules
-	if eff <= 0 {
-		eff = 25
-	}
-	return fmt.Sprintf("agreement+validity OK over %d adversarial schedules", eff)
 }
 
 // RenderTable renders rows in the paper's Table 1 layout.
@@ -351,11 +209,4 @@ func RenderTable(rows []Row) string {
 			r.Task, r.Objects, r.PaperLB, r.PaperUB, meas, cert, r.Status)
 	}
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/lowerbound"
 )
 
 func TestValidateProtocolAcceptsAlgorithm1(t *testing.T) {
@@ -62,72 +61,6 @@ func TestMeasureSoloRespectsLemma8(t *testing.T) {
 		if census.Trials == 0 {
 			t.Fatalf("(n=%d,k=%d): no trials measured", tt.n, tt.k)
 		}
-	}
-}
-
-func TestTable1RowShape(t *testing.T) {
-	rows, err := harness.Table1(5, 2, harness.ValidateOptions{Schedules: 4, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 8 {
-		t.Fatalf("Table1 produced %d rows, want 8 (as in the paper)", len(rows))
-	}
-	for _, r := range rows {
-		if r.Task == "" || r.Objects == "" || r.PaperLB == "" || r.PaperUB == "" {
-			t.Errorf("row %+v has empty identity fields", r)
-		}
-		if strings.Contains(r.Status, "FAILED") {
-			t.Errorf("row %s/%s failed validation: %s", r.Task, r.Objects, r.Status)
-		}
-	}
-}
-
-// TestTable1BoundsMatchPaper checks the numeric content of the regenerated
-// table against the paper's formulas for several n, k.
-func TestTable1BoundsMatchPaper(t *testing.T) {
-	for _, tt := range []struct{ n, k int }{{4, 1}, {5, 2}, {7, 3}} {
-		rows, err := harness.Table1(tt.n, tt.k, harness.ValidateOptions{Schedules: 2, Seed: 6})
-		if err != nil {
-			t.Fatal(err)
-		}
-		byKey := map[string]harness.Row{}
-		for _, r := range rows {
-			byKey[r.Task+"/"+r.Objects] = r
-		}
-
-		// Consensus from swap: measured n-1, certified n-1 (Theorem 10, k=1).
-		r := byKey["Consensus/Swap objects"]
-		if r.Measured != tt.n-1 {
-			t.Errorf("n=%d: consensus/swap measured %d, want n-1=%d", tt.n, r.Measured, tt.n-1)
-		}
-		if r.Certified != lowerbound.Theorem10Bound(tt.n, 1) {
-			t.Errorf("n=%d: consensus/swap certified %d, want %d", tt.n, r.Certified, lowerbound.Theorem10Bound(tt.n, 1))
-		}
-
-		// k-set from swap: measured n-k, certified ⌈n/k⌉-1.
-		var ks harness.Row
-		for key, row := range byKey {
-			if strings.Contains(key, "-set agreement/Swap objects") {
-				ks = row
-			}
-		}
-		if ks.Measured != tt.n-tt.k {
-			t.Errorf("(n=%d,k=%d): k-set/swap measured %d, want n-k=%d", tt.n, tt.k, ks.Measured, tt.n-tt.k)
-		}
-		if ks.Certified != lowerbound.Theorem10Bound(tt.n, tt.k) {
-			t.Errorf("(n=%d,k=%d): k-set/swap certified %d, want ⌈n/k⌉-1=%d",
-				tt.n, tt.k, ks.Certified, lowerbound.Theorem10Bound(tt.n, tt.k))
-		}
-	}
-}
-
-func TestTable1RejectsBadParams(t *testing.T) {
-	if _, err := harness.Table1(3, 3, harness.ValidateOptions{}); err == nil {
-		t.Error("n == k should be rejected")
-	}
-	if _, err := harness.Table1(3, 0, harness.ValidateOptions{}); err == nil {
-		t.Error("k == 0 should be rejected")
 	}
 }
 

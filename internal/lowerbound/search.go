@@ -25,6 +25,9 @@ type SearchLimits struct {
 	// 64-bit fingerprints: faster and leaner, but a hash collision could
 	// silently prune a witness, so certificate searches default to exact.
 	Fingerprints bool
+	// Progress, if non-nil, receives per-level engine throughput (the
+	// CLIs stream it to stderr so stdout stays parseable).
+	Progress func(check.Progress)
 }
 
 func (l SearchLimits) withDefaults() SearchLimits {
@@ -40,7 +43,7 @@ func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions)
 	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
 		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
 			// Witness extraction replays parent chains after the run.
-			Provenance: true}
+			Provenance: true, Progress: l.Progress}
 }
 
 // Witness is a found schedule together with what it demonstrates.

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// LBMode is the shared definition of one lower-bound checker mode: the
+// default search budget and the protocol instance it runs against.
+// cmd/lbcheck and the sweep scenarios both resolve modes here, so a
+// budget or instance change lands in one place.
+type LBMode struct {
+	// Key names the mode (the lbcheck flag name).
+	Key string
+	// MaxConfigs and MaxDepth are the mode's default search budget
+	// (0 = the search's own default).
+	MaxConfigs, MaxDepth int
+	// Build constructs the protocol instance and the canonical input
+	// assignment for (n, k). Inputs is nil for modes that manage their
+	// own assignments (e.g. the Theorem 10 driver).
+	Build func(n, k int) (model.Protocol, []int, error)
+}
+
+// lbModes: one entry per lbcheck search mode. The figure1/forbidden modes
+// take no budget (their constructions are direct, not searches) but still
+// define their protocol instances here.
+var lbModes = map[string]LBMode{
+	"figure1": {
+		Key: "figure1",
+		Build: func(n, k int) (model.Protocol, []int, error) {
+			p, err := core.New(core.Params{N: n, K: 1, M: 2})
+			return p, nil, err
+		},
+	},
+	"theorem10": {
+		Key: "theorem10", MaxConfigs: 60000, MaxDepth: 48,
+		Build: func(n, k int) (model.Protocol, []int, error) {
+			p, err := core.New(core.Params{N: n, K: k, M: k + 1})
+			return p, nil, err
+		},
+	},
+	"counterexample": {
+		Key: "counterexample",
+		Build: func(n, k int) (model.Protocol, []int, error) {
+			// The 2-process pair consensus run with 3 processes — the
+			// paper's Section 1 motivation. n and k are fixed by the
+			// construction.
+			return baseline.NewPairConsensus(2).WithProcesses(3), []int{0, 1, 1}, nil
+		},
+	},
+	"covering": {
+		Key: "covering", MaxConfigs: 50000, MaxDepth: 24,
+		Build: toyBitInstance,
+	},
+	"forbidden": {
+		Key:   "forbidden",
+		Build: toyBitInstance,
+	},
+	"lemma16": {
+		Key: "lemma16", MaxConfigs: 150000, MaxDepth: 64,
+		Build: toyBitInstance,
+	},
+}
+
+// toyBitInstance is the bounded-domain instance the covering, ledger and
+// Lemma 16 modes analyze: an n-process toy bit race with alternating
+// binary inputs.
+func toyBitInstance(n, k int) (model.Protocol, []int, error) {
+	dom := n - 1
+	if dom < 2 {
+		dom = 2
+	}
+	p, err := baseline.NewToyBitRace(n, dom)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	return p, inputs, nil
+}
+
+// LBModeByKey resolves a lower-bound mode definition.
+func LBModeByKey(key string) (LBMode, bool) {
+	m, ok := lbModes[key]
+	return m, ok
+}

@@ -1,0 +1,347 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Cell statuses in Result records.
+const (
+	// StatusOK: the scenario ran and met its success criterion.
+	StatusOK = "ok"
+	// StatusFail: the scenario ran but validation or certification fell
+	// short (a FAILED table row, a certificate below the bound, an
+	// expected violation not found).
+	StatusFail = "fail"
+	// StatusViolation: an agreement violation was witnessed by a scenario
+	// that does not expect one.
+	StatusViolation = "violation"
+	// StatusTimeout: the cell exceeded its wall-time budget.
+	StatusTimeout = "timeout"
+	// StatusError: the scenario aborted with an error.
+	StatusError = "error"
+)
+
+// Violation is the JSONL form of a replayable violation witness.
+type Violation struct {
+	// Schedule is the pid sequence from the initial configuration.
+	Schedule []int `json:"schedule"`
+	// Decided is the decided-value set at the end of the schedule.
+	Decided []int `json:"decided"`
+}
+
+// Result is one JSON Lines record: everything known about one executed
+// cell. Measured and Certified use -1 for "not applicable".
+type Result struct {
+	Grid    string `json:"grid,omitempty"`
+	Cell    string `json:"cell"`
+	Row     string `json:"row"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	Workers int    `json:"workers,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
+	Keys    string `json:"keys,omitempty"`
+
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	States        int          `json:"states,omitempty"`
+	Measured      int          `json:"measured"`
+	Certified     int          `json:"certified"`
+	Bound         int          `json:"bound,omitempty"`
+	Decided       []int        `json:"decided,omitempty"`
+	Complete      bool         `json:"complete,omitempty"`
+	Violation     *Violation   `json:"violation,omitempty"`
+	WallMS        float64      `json:"wall_ms"`
+	ConfigsPerSec float64      `json:"configs_per_sec,omitempty"`
+	Table         *harness.Row `json:"table,omitempty"`
+}
+
+// Gates reports whether the record should fail a gating consumer (CI):
+// anything but a clean "ok" does.
+func (r Result) Gates() bool { return r.Status != StatusOK }
+
+// RunOptions configures a grid run.
+type RunOptions struct {
+	// Parallelism bounds concurrently executing cells
+	// (0 = runtime.GOMAXPROCS(0)).
+	Parallelism int
+	// Out, when non-nil, receives one JSON line per freshly executed cell
+	// as it completes (checkpointed cells are not re-emitted).
+	Out io.Writer
+	// Skip maps cell IDs to prior results; cells found here are not
+	// re-executed and their prior record is carried into the result set.
+	Skip map[string]Result
+	// OnResult, when non-nil, observes every record as its cell finalizes
+	// — checkpointed cells up front, fresh cells as they complete, so a
+	// long grid reports live progress. Calls are serialized but their
+	// order follows completion, not cell order.
+	OnResult func(r Result, cached bool)
+}
+
+// Run executes the cells with bounded parallelism, honoring per-cell
+// timeouts and the checkpoint skip set, and returns one record per cell
+// in the cells' order. Scenario-level problems are captured in record
+// statuses; the returned error reports only infrastructure failures
+// (an unknown row key or a JSONL write error).
+func Run(cells []Cell, opts RunOptions) ([]Result, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	// Validate every cell before spawning anything: a mid-loop error
+	// return must not leave scenario goroutines running (and writing to
+	// opts.Out) behind the caller's back.
+	for i, cell := range cells {
+		if _, ok := RowByKey(cell.Row); !ok {
+			return nil, fmt.Errorf("sweep: unknown row %q in cell %d", cell.Row, i)
+		}
+	}
+
+	results := make([]Result, len(cells))
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, par)
+		mu     sync.Mutex // guards Out writes, outErr and OnResult calls
+		outErr error
+	)
+	for i, cell := range cells {
+		if prior, ok := opts.Skip[cell.ID()]; ok {
+			results[i] = prior
+			if opts.OnResult != nil {
+				mu.Lock()
+				opts.OnResult(prior, true)
+				mu.Unlock()
+			}
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cell Cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec := RunCellRecord(cell)
+			mu.Lock()
+			results[i] = rec
+			if opts.Out != nil && outErr == nil {
+				if err := WriteResult(opts.Out, rec); err != nil {
+					outErr = err
+				}
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(rec, false)
+			}
+			mu.Unlock()
+		}(i, cell)
+	}
+	wg.Wait()
+	if outErr != nil {
+		return results, fmt.Errorf("sweep: write results: %w", outErr)
+	}
+	return results, nil
+}
+
+// RunCell resolves and executes one cell's scenario directly, with no
+// timeout or recording — the entry point the benchmarks drive.
+func RunCell(cell Cell) (*Outcome, error) {
+	spec, ok := RowByKey(cell.Row)
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown row %q", cell.Row)
+	}
+	return spec.Run(cell)
+}
+
+// RunCellRecord executes one cell under its timeout and packages the
+// outcome as a Result record.
+func RunCellRecord(cell Cell) Result {
+	rec := Result{
+		Grid: cell.Grid, Cell: cell.ID(), Row: cell.Row, N: cell.N, K: cell.K,
+		Workers: cell.Engine.Workers, Shards: cell.Engine.Shards, Keys: cell.Engine.Keys,
+		Measured: -1, Certified: -1,
+	}
+	spec, ok := RowByKey(cell.Row)
+	if !ok {
+		rec.Status = StatusError
+		rec.Error = fmt.Sprintf("unknown row %q", cell.Row)
+		return rec
+	}
+
+	type done struct {
+		out *Outcome
+		err error
+	}
+	start := time.Now()
+	var d done
+	if cell.Timeout <= 0 {
+		d.out, d.err = spec.Run(cell)
+	} else {
+		ch := make(chan done, 1)
+		go func() {
+			out, err := spec.Run(cell)
+			ch <- done{out, err}
+		}()
+		select {
+		case d = <-ch:
+		case <-time.After(cell.Timeout):
+			// The scenario goroutine is abandoned (searches are not
+			// interruptible mid-level); the record says so and the runner
+			// moves on, which is what a large grid needs to survive.
+			rec.Status = StatusTimeout
+			rec.Error = fmt.Sprintf("exceeded %v", cell.Timeout)
+			rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+			return rec
+		}
+	}
+	elapsed := time.Since(start)
+	rec.WallMS = float64(elapsed) / float64(time.Millisecond)
+
+	if d.err != nil {
+		rec.Status = StatusError
+		rec.Error = d.err.Error()
+		return rec
+	}
+	out := d.out
+	rec.States = out.States
+	rec.Measured = out.Measured
+	rec.Certified = out.Certified
+	rec.Bound = out.Bound
+	rec.Decided = out.Decided
+	rec.Complete = out.Complete
+	rec.Table = out.Table
+	if out.Violation != nil {
+		rec.Violation = &Violation{Schedule: out.Violation.Schedule, Decided: out.Violation.Decided}
+	}
+	if out.States > 0 && elapsed > 0 {
+		rec.ConfigsPerSec = float64(out.States) / elapsed.Seconds()
+	}
+	rec.Status = cellStatus(spec, out)
+	return rec
+}
+
+// cellStatus derives the record status from a completed outcome.
+func cellStatus(spec RowSpec, out *Outcome) string {
+	if spec.ExpectViolation {
+		if out.Violation != nil || out.Violated {
+			return StatusOK
+		}
+		return StatusFail
+	}
+	if out.Violation != nil || out.Violated {
+		return StatusViolation
+	}
+	if out.Failed != "" {
+		return StatusFail
+	}
+	return StatusOK
+}
+
+// WriteResult encodes one record as a JSON line — the single encoding
+// used for -out files and -json streams.
+func WriteResult(w io.Writer, rec Result) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadResults parses a JSON Lines result stream, skipping blank lines.
+func ReadResults(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Result
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("sweep: results line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: read results: %w", err)
+	}
+	return out, nil
+}
+
+// Checkpoint indexes prior results by cell ID (last record wins), the
+// skip set for a resumed run.
+func Checkpoint(results []Result) map[string]Result {
+	idx := make(map[string]Result, len(results))
+	for _, r := range results {
+		idx[r.Cell] = r
+	}
+	return idx
+}
+
+// RenderResults renders the human tables from a result set: one Table 1
+// block per (n, k) group in first-appearance order, each byte-for-byte in
+// cmd/table1's format. Records without a table payload (exploration
+// scenarios, errors, timeouts) are summarized in a trailing section, one
+// line each; a result set that is all table rows renders tables only.
+func RenderResults(results []Result) string {
+	type group struct{ n, k int }
+	var (
+		order  []group
+		tables = map[group][]harness.Row{}
+		extras []string
+	)
+	for _, r := range results {
+		if r.Table != nil {
+			g := group{r.N, r.K}
+			if _, ok := tables[g]; !ok {
+				order = append(order, g)
+			}
+			tables[g] = append(tables[g], *r.Table)
+			continue
+		}
+		extras = append(extras, fmt.Sprintf("%-40s %-9s states=%d wall=%.0fms%s",
+			r.Cell, r.Status, r.States, r.WallMS, extraDetail(r)))
+	}
+
+	var b strings.Builder
+	for i, g := range order {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "Table 1 (Ovens, PODC 2022) regenerated for n=%d, k=%d\n\n", g.n, g.k)
+		b.WriteString(harness.RenderTable(tables[g]))
+	}
+	if len(extras) > 0 {
+		if len(order) > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString("Other cells:\n")
+		for _, line := range extras {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String()
+}
+
+func extraDetail(r Result) string {
+	switch {
+	case r.Error != "":
+		return " " + r.Error
+	case r.Violation != nil:
+		return fmt.Sprintf(" violation schedule len=%d decided=%v", len(r.Violation.Schedule), r.Violation.Decided)
+	case r.Certified >= 0 && r.Bound > 0:
+		return fmt.Sprintf(" certified=%d bound=%d", r.Certified, r.Bound)
+	}
+	return ""
+}

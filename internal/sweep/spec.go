@@ -1,0 +1,251 @@
+// Package sweep is the experiment-matrix subsystem: it owns the
+// declarative definitions of every evaluation scenario in the repository
+// (the eight Table 1 rows, the exhaustive-exploration model check, the
+// Theorem 10 certificate hunt, and the lower-bound checker modes), expands
+// a grid spec — rows × n × k × engine options — into cells, executes the
+// cells concurrently with bounded parallelism and per-cell timeouts, and
+// streams one machine-readable JSON Lines record per cell. cmd/sweep is
+// the CLI; cmd/table1, cmd/lbcheck and the benchmark harness drive their
+// scenarios through the same definitions, so an experiment is specified in
+// exactly one place.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+)
+
+// EngineSpec selects frontier-engine options for one grid axis point. The
+// zero value means "each scenario's default": all cores, default shards,
+// fingerprint keying for exploration and exact string keying for
+// certificate searches (the same asymmetry as the mcheck/lbcheck flag
+// defaults).
+type EngineSpec struct {
+	// Workers is the engine worker-goroutine count (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+	// Shards is the visited-set stripe count (0 = engine default).
+	Shards int `json:"shards,omitempty"`
+	// Keys is the visited-set keying: "" (scenario default),
+	// "fingerprint", or "string".
+	Keys string `json:"keys,omitempty"`
+}
+
+// label is the engine's contribution to a cell ID.
+func (e EngineSpec) label() string {
+	keys := e.Keys
+	if keys == "" {
+		keys = "default"
+	}
+	return fmt.Sprintf("w%d-s%d-%s", e.Workers, e.Shards, keys)
+}
+
+// Grid is a declarative experiment matrix. Expanding it yields one cell
+// per (row, n, k, engine) combination with n > k; cells inherit the
+// grid-level validation and budget settings.
+type Grid struct {
+	// Name identifies the grid in results (e.g. "default", "small").
+	Name string `json:"name,omitempty"`
+	// Rows lists row keys in render order (empty = the Table 1 rows).
+	Rows []string `json:"rows,omitempty"`
+	// Ns and Ks are the process-count and agreement-parameter axes
+	// (empty = {8} and {2}, the cmd/table1 defaults).
+	Ns []int `json:"ns,omitempty"`
+	Ks []int `json:"ks,omitempty"`
+	// Engines is the engine-option axis (empty = one default engine).
+	Engines []EngineSpec `json:"engines,omitempty"`
+	// Schedules and Seed configure adversarial-schedule validation
+	// (0 = the harness defaults: 25 schedules, seed as given).
+	Schedules int   `json:"schedules,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	// MaxConfigs and MaxDepth override each scenario's default search
+	// budget when positive.
+	MaxConfigs int `json:"max_configs,omitempty"`
+	MaxDepth   int `json:"max_depth,omitempty"`
+	// TimeoutSec bounds each cell's wall time (0 = no timeout).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// ParseGrid decodes a JSON grid spec, rejecting unknown fields and row
+// keys so a typo in a spec file fails loudly rather than silently
+// shrinking the matrix.
+func ParseGrid(data []byte) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: parse grid: %w", err)
+	}
+	for _, key := range g.Rows {
+		if _, ok := RowByKey(key); !ok {
+			return Grid{}, fmt.Errorf("sweep: parse grid: unknown row %q (have %v)", key, RowKeys())
+		}
+	}
+	return g, nil
+}
+
+// NamedGrid returns a built-in grid. The names:
+//
+//	default  the full Table 1 at n=8, k=2 — cmd/table1's exact output
+//	small    Table 1 plus an exploration cell at n=4, k=2 with small
+//	         budgets; the CI bench-smoke grid
+//	engine   the exploration scenario across a workers × keying matrix
+func NamedGrid(name string) (Grid, error) {
+	switch name {
+	case "default":
+		// Seed 1 matches cmd/table1's -seed default: the byte-for-byte
+		// contract must hold for the schedules actually validated, not
+		// just the rendering.
+		return Grid{Name: "default", Seed: 1}, nil
+	case "small":
+		rows := append(append([]string{}, TableRowKeys()...), "explore")
+		return Grid{
+			Name: "small", Rows: rows,
+			Ns: []int{4}, Ks: []int{2},
+			Schedules: 2, Seed: 1,
+			MaxConfigs: 20000, TimeoutSec: 120,
+		}, nil
+	case "engine":
+		var engines []EngineSpec
+		for _, w := range []int{1, 2, 4} {
+			for _, keys := range []string{"fingerprint", "string"} {
+				engines = append(engines, EngineSpec{Workers: w, Keys: keys})
+			}
+		}
+		return Grid{
+			Name: "engine", Rows: []string{"explore"},
+			Ns: []int{4}, Ks: []int{1},
+			Engines: engines, MaxConfigs: 20000, TimeoutSec: 120,
+		}, nil
+	default:
+		return Grid{}, fmt.Errorf("sweep: unknown grid %q (have default, small, engine)", name)
+	}
+}
+
+// Cell is one point of an expanded grid: a scenario instance ready to run.
+type Cell struct {
+	// Grid is the owning grid's name (results provenance only).
+	Grid string
+	// Row is the RowSpec key.
+	Row string
+	// N and K are the instance parameters (N > K >= 1).
+	N, K int
+	// Engine selects frontier-engine options.
+	Engine EngineSpec
+	// Schedules and Seed configure validation (0 = harness defaults).
+	Schedules int
+	Seed      int64
+	// MaxConfigs and MaxDepth override the scenario's search budget when
+	// positive.
+	MaxConfigs, MaxDepth int
+	// Timeout bounds the cell's wall time (0 = none).
+	Timeout time.Duration
+}
+
+// ID is the cell's stable identity, used for checkpoint resume: a cell
+// re-expanded from the same grid axes maps to the same ID across runs.
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/n=%d/k=%d/%s", c.Row, c.N, c.K, c.Engine.label())
+}
+
+// ValidateOptions translates the cell into harness validation options.
+func (c Cell) ValidateOptions() harness.ValidateOptions {
+	return harness.ValidateOptions{Schedules: c.Schedules, Seed: c.Seed}
+}
+
+// SearchLimits translates the cell into lower-bound search limits, using
+// the scenario's default budget where the cell does not override it.
+// Certificate searches default to exact string keys; Keys "fingerprint"
+// opts into fingerprint dedup.
+func (c Cell) SearchLimits(defConfigs, defDepth int) lowerbound.SearchLimits {
+	if c.MaxConfigs > 0 {
+		defConfigs = c.MaxConfigs
+	}
+	if c.MaxDepth > 0 {
+		defDepth = c.MaxDepth
+	}
+	return lowerbound.SearchLimits{
+		MaxConfigs: defConfigs, MaxDepth: defDepth,
+		Workers: c.Engine.Workers, Shards: c.Engine.Shards,
+		Fingerprints: c.Engine.Keys == "fingerprint",
+	}
+}
+
+// ExploreOptions translates the cell into explorer options. Exploration
+// defaults to fingerprint dedup; Keys "string" opts into exact keys.
+func (c Cell) ExploreOptions() check.ExploreOptions {
+	return check.ExploreOptions{
+		Limits: check.ExploreLimits{MaxConfigs: c.MaxConfigs, MaxDepth: c.MaxDepth},
+		Engine: check.EngineOptions{
+			Workers: c.Engine.Workers, Shards: c.Engine.Shards,
+			StringKeys: c.Engine.Keys == "string",
+		},
+	}
+}
+
+// Cells expands the grid into its cell list: n outer, then k, then rows,
+// then engines — the order the human table renders in. Scenarios whose
+// applicability predicate rejects an (n, k) point are skipped, as are
+// points with n <= k.
+func (g Grid) Cells() ([]Cell, error) {
+	rows := g.Rows
+	if len(rows) == 0 {
+		rows = TableRowKeys()
+	}
+	ns := g.Ns
+	if len(ns) == 0 {
+		ns = []int{8}
+	}
+	ks := g.Ks
+	if len(ks) == 0 {
+		ks = []int{2}
+	}
+	engines := g.Engines
+	if len(engines) == 0 {
+		engines = []EngineSpec{{}}
+	}
+
+	var cells []Cell
+	for _, n := range ns {
+		for _, k := range ks {
+			if n <= k || k < 1 {
+				continue
+			}
+			for _, key := range rows {
+				spec, ok := RowByKey(key)
+				if !ok {
+					return nil, fmt.Errorf("sweep: unknown row %q (have %v)", key, RowKeys())
+				}
+				if spec.Applies != nil && !spec.Applies(n, k) {
+					continue
+				}
+				for _, e := range engines {
+					cells = append(cells, Cell{
+						Grid: g.Name, Row: key, N: n, K: k, Engine: e,
+						Schedules: g.Schedules, Seed: g.Seed,
+						MaxConfigs: g.MaxConfigs, MaxDepth: g.MaxDepth,
+						Timeout: time.Duration(g.TimeoutSec) * time.Second,
+					})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: grid %q expands to no cells (need some n > k >= 1)", g.Name)
+	}
+	return cells, nil
+}
+
+// RowKeys lists every registered scenario key, sorted.
+func RowKeys() []string {
+	keys := make([]string, 0, len(rowOrder))
+	keys = append(keys, rowOrder...)
+	sort.Strings(keys)
+	return keys
+}
