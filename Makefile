@@ -1,0 +1,32 @@
+# Development entry points. The repo is plain `go build ./...`-able; these
+# targets just name the common workflows.
+
+.PHONY: all build test race bench bench-check lint
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -run 'Parallel|Deterministic|Workers|Quotient|Frontier' ./internal/check ./internal/lowerbound
+
+# bench writes the next BENCH_<n>.json snapshot of the explorer benchmark
+# suite (ns/op, states/sec, allocs/op per scenario). Commit the file to
+# extend the bench trajectory; see README "Performance".
+bench:
+	go run ./cmd/sweep -bench -progress
+
+# bench-check reruns the suite and fails if states/sec regressed >20%
+# against the highest BENCH_<n>.json present — the CI gate (in a clean
+# checkout that is the committed baseline). The fresh
+# snapshot goes to BENCH_ci.json (not part of the trajectory).
+bench-check:
+	go run ./cmd/sweep -bench -progress -out BENCH_ci.json -benchbaseline auto
+
+lint:
+	gofmt -l .
+	go vet ./...

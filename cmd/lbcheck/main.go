@@ -36,6 +36,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
+	"repro/internal/prof"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -69,9 +70,20 @@ func run(args []string, out io.Writer) error {
 	maxDepth := fs.Int("depth", 0, "override the mode's depth cap (0 = mode default)")
 	fingerprints := fs.Bool("fingerprints", false, "dedup on 64-bit fingerprints instead of exact string keys")
 	progress := fs.Bool("progress", false, "report per-level engine throughput to stderr")
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "lbcheck:", perr)
+		}
+	}()
 
 	// withOverrides threads the engine flags into a search budget, with
 	// -max/-depth overriding the given defaults.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/prof"
 )
 
 // errViolation distinguishes a detected agreement violation (exit 1) from
@@ -65,9 +66,20 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "visited-set stripes (0 = default 64)")
 	stringKeys := fs.Bool("stringkeys", false, "dedup on exact string keys instead of 64-bit fingerprints")
 	progress := fs.Bool("progress", false, "report per-level throughput to stderr")
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "mcheck:", perr)
+		}
+	}()
 
 	p, err := buildProtocol(*proto, *n, *k, *m)
 	if err != nil {

@@ -16,8 +16,24 @@
 // to stdout instead of the table. -progress reports per-cell completions
 // to stderr, keeping stdout parseable.
 //
+// Benchmark trajectory:
+//
+//	sweep -bench [-out BENCH_1.json] [-benchbaseline BENCH_0.json|auto]
+//
+// -bench runs the explorer benchmark suite (internal/bench) instead of a
+// grid and writes one BENCH_<n>.json snapshot — ns/op, states/sec and
+// allocs/op per explorer benchmark — to -out (default: the next free
+// BENCH_<n>.json in the current directory). -benchbaseline compares the
+// fresh run against a committed snapshot ("auto" = the highest-numbered
+// BENCH_<n>.json) and exits 1 if any scenario's states/sec regressed more
+// than 20%.
+//
+// -cpuprofile/-memprofile capture pprof profiles of whatever the
+// invocation runs (a grid or the bench suite).
+//
 // Exit status: 0 when every cell is ok, 1 when any cell reports a
-// violation, failure, timeout or error (the CI gate), 2 on usage errors.
+// violation, failure, timeout or error, or a benchmark regressed beyond
+// tolerance (the CI gates), 2 on usage errors.
 package main
 
 import (
@@ -29,17 +45,22 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bench"
+	"repro/internal/prof"
 	"repro/internal/sweep"
 )
 
 // errCells reports that some cell did not come back clean.
 var errCells = errors.New("sweep: some cells did not pass")
 
+// errBench reports a benchmark regression beyond tolerance.
+var errBench = errors.New("sweep: benchmark regression")
+
 func main() {
 	err := run(os.Args[1:], os.Stdout)
 	switch {
 	case err == nil:
-	case errors.Is(err, errCells):
+	case errors.Is(err, errCells), errors.Is(err, errBench):
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	default:
@@ -64,8 +85,25 @@ func run(args []string, stdout io.Writer) error {
 	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
 	jsonOut := fs.Bool("json", false, "stream JSONL records to stdout instead of the table")
 	progress := fs.Bool("progress", false, "report per-cell completions to stderr")
+	benchRun := fs.Bool("bench", false, "run the explorer benchmark suite and write a BENCH_<n>.json snapshot")
+	benchBaseline := fs.String("benchbaseline", "", "compare -bench against this snapshot (\"auto\" = highest committed BENCH_<n>.json); >20% states/sec regression fails")
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", perr)
+		}
+	}()
+
+	if *benchRun {
+		return runBench(*outFile, *benchBaseline, *progress, stdout)
 	}
 
 	grid, err := loadGrid(*specFile, *gridName)
@@ -168,6 +206,62 @@ func run(args []string, stdout io.Writer) error {
 	if bad > 0 {
 		return fmt.Errorf("%w: %d of %d cells", errCells, bad, len(results))
 	}
+	return nil
+}
+
+// runBench executes the explorer benchmark suite, writes the snapshot and
+// applies the optional baseline gate.
+func runBench(outFile, baseline string, progress bool, stdout io.Writer) error {
+	var report func(string)
+	if progress {
+		report = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	// Resolve and read the baseline before writing the fresh snapshot, so
+	// the new file can never be compared against itself (neither via
+	// "auto" nor via -out and -benchbaseline naming the same path).
+	var base bench.Snapshot
+	if baseline == "auto" {
+		path, ok, err := bench.LatestBaseline("")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("-benchbaseline auto: no BENCH_<n>.json found")
+		}
+		baseline = path
+	}
+	if baseline != "" {
+		var err error
+		if base, err = bench.Read(baseline); err != nil {
+			return err
+		}
+	}
+
+	snap := bench.Measure(report)
+
+	if outFile == "" {
+		next, err := bench.NextSnapshotPath("")
+		if err != nil {
+			return err
+		}
+		outFile = next
+	}
+	if err := bench.Write(outFile, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", outFile, len(snap.Records))
+
+	if baseline == "" {
+		return nil
+	}
+	regressions := bench.Compare(base, snap, 0.20)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "sweep: bench:", r)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%w: %d scenario(s) vs %s", errBench, len(regressions), baseline)
+	}
+	fmt.Fprintf(stdout, "no states/sec regression beyond 20%% vs %s\n", baseline)
 	return nil
 }
 

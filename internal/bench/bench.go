@@ -1,0 +1,331 @@
+// Package bench is the benchmark-trajectory subsystem: it defines the
+// explorer benchmark suite as ordinary Go code (run through
+// testing.Benchmark, so the numbers match `go test -bench`), serializes
+// each run as a machine-readable BENCH_<n>.json snapshot, and compares a
+// fresh run against a committed baseline so CI can fail on throughput
+// regressions.
+//
+// The trajectory convention: BENCH_0.json is the pre-optimization
+// baseline committed with the first bench-gated change; every subsequent
+// performance PR appends the next BENCH_<n>.json. `make bench` (or
+// `go run ./cmd/sweep -bench`) writes the next snapshot;
+// `go run ./cmd/sweep -bench -benchbaseline BENCH_0.json` additionally
+// gates the fresh run against the baseline.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+)
+
+// Schema identifies the snapshot format (bump on incompatible changes).
+const Schema = "repro-bench/v1"
+
+// Record is one benchmark's measurement in a snapshot.
+type Record struct {
+	// Name is the scenario name, stable across snapshots.
+	Name string `json:"name"`
+	// NsPerOp is wall nanoseconds per operation (one full exploration).
+	NsPerOp float64 `json:"ns_per_op"`
+	// StatesPerSec is distinct configurations visited per wall second,
+	// the throughput metric the CI gate compares.
+	StatesPerSec float64 `json:"states_per_sec"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// Configs is the number of distinct configurations visited per op.
+	Configs int `json:"configs"`
+}
+
+// Snapshot is the BENCH_<n>.json file content.
+type Snapshot struct {
+	Schema     string   `json:"schema"`
+	CreatedAt  string   `json:"created_at,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Records    []Record `json:"benchmarks"`
+}
+
+// Scenario is one explorer benchmark: a fixed state-space workload whose
+// per-iteration cost and visited-configuration count are measured.
+type Scenario struct {
+	// Name is the stable scenario identity.
+	Name string
+	// Run performs one iteration and returns the number of distinct
+	// configurations it visited.
+	Run func() int
+}
+
+// row3Instance is the Table 1 row-3 explorer workload: the Algorithm 1
+// consensus instance (N=4, K=1, M=3) behind BenchmarkExplore* in
+// bench_test.go, explored to a fixed 20000-configuration budget so every
+// engine variant does identical state-space work.
+func row3Instance() (model.Protocol, *model.Config, []int, check.ExploreLimits) {
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 3})
+	c := model.MustNewConfig(p, []int{0, 1, 2, 0})
+	return p, c, []int{0, 1, 2, 3}, check.ExploreLimits{MaxConfigs: 20000}
+}
+
+// Suite returns the explorer benchmark scenarios, in snapshot order.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			// The original single-threaded string-key explorer: the fixed
+			// reference every snapshot can be normalized against.
+			Name: "explore/row3/sequential-stringkey",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return check.ExploreSequential(p, c, pids, 1, limits).Visited
+			},
+		},
+		{
+			// Frontier engine, one worker, fingerprint dedup: single-core
+			// engine throughput, the headline number of the hot-path work.
+			Name: "explore/row3/engine-1worker",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 1},
+				}).Visited
+			},
+		},
+		{
+			// Frontier engine at full parallelism with fingerprint dedup —
+			// the configuration the CLIs use by default.
+			Name: "explore/row3/engine-parallel",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{Limits: limits}).Visited
+			},
+		},
+		{
+			// Exact string-key mode (certificate searches): the fallback
+			// path that disables incremental fingerprint shortcuts.
+			Name: "explore/row3/engine-stringkey",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{StringKeys: true},
+				}).Visited
+			},
+		},
+		{
+			// Provenance-tracking schedule search (lowerbound port): the
+			// witness-extracting consumer of the engine.
+			Name: "search/pair3-violation",
+			Run: func() int {
+				p := core.MustNew(core.Params{N: 3, K: 1, M: 2})
+				w, err := lowerbound.FindAgreementViolation(
+					p, []int{0, 1, 1}, 1,
+					lowerbound.SearchLimits{MaxConfigs: 20000, MaxDepth: 20})
+				if err != nil {
+					panic(err)
+				}
+				if w != nil {
+					return w.Visited
+				}
+				return 20000
+			},
+		},
+	}
+}
+
+// Measure runs every scenario through testing.Benchmark and assembles a
+// snapshot. progress, when non-nil, receives one line per completed
+// scenario (the CLIs stream it to stderr).
+func Measure(progress func(string)) Snapshot {
+	return measureScenarios(Suite(), progress)
+}
+
+func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
+	snap := Snapshot{
+		Schema:     Schema,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, sc := range scenarios {
+		var configs int
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				configs = sc.Run()
+			}
+		})
+		rec := Record{
+			Name:        sc.Name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			Configs:     configs,
+		}
+		if rec.NsPerOp > 0 {
+			rec.StatesPerSec = float64(configs) / (rec.NsPerOp / 1e9)
+		}
+		snap.Records = append(snap.Records, rec)
+		if progress != nil {
+			progress(fmt.Sprintf("bench %-40s %12.0f ns/op %12.0f states/s %8.0f allocs/op",
+				rec.Name, rec.NsPerOp, rec.StatesPerSec, rec.AllocsPerOp))
+		}
+	}
+	return snap
+}
+
+// Write serializes a snapshot to path (indented JSON, trailing newline).
+func Write(path string, snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a snapshot and validates its schema.
+func Read(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if snap.Schema != Schema {
+		return Snapshot{}, fmt.Errorf("bench: %s has schema %q, want %q", path, snap.Schema, Schema)
+	}
+	return snap, nil
+}
+
+// ReferenceScenario is the normalization anchor for cross-machine
+// comparisons: the sequential string-key explorer, whose cost tracks the
+// host's single-thread speed but none of the engine optimizations.
+const ReferenceScenario = "explore/row3/sequential-stringkey"
+
+// Compare checks a fresh snapshot against a baseline and returns one
+// diagnostic per scenario whose states/sec regressed by more than
+// tolerance (e.g. 0.20 = fail below 80% of baseline throughput).
+//
+// When both snapshots contain ReferenceScenario, a scenario is flagged
+// only if it regressed beyond tolerance on BOTH measures: absolute
+// states/sec AND throughput normalized to its own snapshot's reference
+// (the speedup-over-sequential ratio). The conjunction makes the gate
+// robust to single-run noise in either dimension — a reference scenario
+// that happens to run fast cannot spuriously fail every ratio, and a
+// slower CI host cannot spuriously fail every absolute number — while a
+// real engine regression registers on both. The deliberate cost is
+// conservatism: a regression visible on only one measure (e.g. uniform
+// slowdown of all scenarios on much slower hardware) passes; the
+// committed BENCH_<n>.json trajectory remains the precise record for
+// offline comparison. Without a shared reference the comparison is
+// absolute-only. Scenarios present in only one snapshot are skipped:
+// the trajectory may add scenarios without invalidating older
+// baselines.
+func Compare(baseline, fresh Snapshot, tolerance float64) []string {
+	base := map[string]Record{}
+	for _, r := range baseline.Records {
+		base[r.Name] = r
+	}
+	freshRef, baseRef := 0.0, 0.0
+	for _, r := range fresh.Records {
+		if r.Name == ReferenceScenario {
+			freshRef = r.StatesPerSec
+		}
+	}
+	if b, ok := base[ReferenceScenario]; ok {
+		baseRef = b.StatesPerSec
+	}
+	normalized := freshRef > 0 && baseRef > 0
+
+	var regressions []string
+	for _, r := range fresh.Records {
+		b, ok := base[r.Name]
+		if !ok || b.StatesPerSec <= 0 || r.Name == ReferenceScenario {
+			continue
+		}
+		absRegressed := r.StatesPerSec < b.StatesPerSec*(1-tolerance)
+		if normalized {
+			got, want := r.StatesPerSec/freshRef, b.StatesPerSec/baseRef
+			if absRegressed && got < want*(1-tolerance) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f states/s (%.0f%% of baseline %.0f) and %.2fx the sequential reference (was %.2fx); tolerance %.0f%%",
+					r.Name, r.StatesPerSec, 100*r.StatesPerSec/b.StatesPerSec,
+					b.StatesPerSec, got, want, 100*(1-tolerance)))
+			}
+			continue
+		}
+		if absRegressed {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f states/s is %.0f%% of baseline %.0f (tolerance %.0f%%)",
+				r.Name, r.StatesPerSec, 100*r.StatesPerSec/b.StatesPerSec,
+				b.StatesPerSec, 100*(1-tolerance)))
+		}
+	}
+	return regressions
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// maxSnapshotIndex scans dir for BENCH_<n>.json files and returns the
+// highest index, or -1 when none exists.
+func maxSnapshotIndex(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return -1, err
+	}
+	best := -1
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// LatestBaseline finds the highest-numbered BENCH_<n>.json present in
+// dir ("" = current directory). It returns ok == false when none exists.
+// Note it scans the working directory, not git history: in a clean
+// checkout (CI) that is the latest committed snapshot, but a local
+// uncommitted snapshot — e.g. one a previous `-bench` run just wrote —
+// shadows the committed trajectory.
+func LatestBaseline(dir string) (path string, ok bool, err error) {
+	if dir == "" {
+		dir = "."
+	}
+	best, err := maxSnapshotIndex(dir)
+	if err != nil || best < 0 {
+		return "", false, err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", best)), true, nil
+}
+
+// NextSnapshotPath returns dir/BENCH_<n+1>.json where n is the highest
+// snapshot index present (BENCH_0.json when none exists yet).
+func NextSnapshotPath(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	best, err := maxSnapshotIndex(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", best+1)), nil
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: Write then Read preserves records and enforces
+// the schema tag.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0.json")
+	snap := Snapshot{
+		Schema:     Schema,
+		GoVersion:  "go0.0",
+		GoMaxProcs: 4,
+		Records: []Record{
+			{Name: "explore/x", NsPerOp: 1e6, StatesPerSec: 2e6, AllocsPerOp: 10, Configs: 2000},
+		},
+	}
+	if err := Write(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0] != snap.Records[0] {
+		t.Fatalf("round trip changed records: %+v", got.Records)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted a foreign schema")
+	}
+}
+
+// TestCompare: regressions beyond tolerance are reported, improvements and
+// unmatched scenarios are not (absolute fallback: no shared reference).
+func TestCompare(t *testing.T) {
+	baseline := Snapshot{Records: []Record{
+		{Name: "a", StatesPerSec: 1000},
+		{Name: "b", StatesPerSec: 1000},
+		{Name: "only-in-baseline", StatesPerSec: 1000},
+	}}
+	fresh := Snapshot{Records: []Record{
+		{Name: "a", StatesPerSec: 790},  // 21% down: regression
+		{Name: "b", StatesPerSec: 3000}, // improvement
+		{Name: "only-in-fresh", StatesPerSec: 1},
+	}}
+	regs := Compare(baseline, fresh, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("Compare = %v, want exactly the scenario-a regression", regs)
+	}
+}
+
+// TestCompareNormalized: with the sequential reference in both snapshots,
+// a scenario must regress on BOTH absolute states/sec and its
+// speedup-over-reference ratio to be flagged, so a uniformly slower host
+// passes (ratio intact) while a collapsed engine speedup fails (both
+// measures down).
+func TestCompareNormalized(t *testing.T) {
+	baseline := Snapshot{Records: []Record{
+		{Name: ReferenceScenario, StatesPerSec: 100000},
+		{Name: "engine", StatesPerSec: 300000}, // 3.0x the reference
+	}}
+
+	// Same 3.0x ratio on a host half as fast: no regression.
+	slowHost := Snapshot{Records: []Record{
+		{Name: ReferenceScenario, StatesPerSec: 50000},
+		{Name: "engine", StatesPerSec: 150000},
+	}}
+	if regs := Compare(baseline, slowHost, 0.20); len(regs) != 0 {
+		t.Fatalf("uniformly slower host flagged: %v", regs)
+	}
+
+	// Fast host, but the engine speedup collapsed to 1.1x: regression.
+	lostSpeedup := Snapshot{Records: []Record{
+		{Name: ReferenceScenario, StatesPerSec: 200000},
+		{Name: "engine", StatesPerSec: 220000},
+	}}
+	if regs := Compare(baseline, lostSpeedup, 0.20); len(regs) != 1 {
+		t.Fatalf("collapsed speedup not flagged: %v", regs)
+	}
+}
+
+// TestBaselineDiscovery: LatestBaseline picks the highest index and
+// NextSnapshotPath continues the trajectory.
+func TestBaselineDiscovery(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, ok, err := LatestBaseline(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v, want no baseline", ok, err)
+	}
+	next, err := NextSnapshotPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0.json" {
+		t.Fatalf("NextSnapshotPath(empty) = %q, %v", next, err)
+	}
+
+	for _, name := range []string{"BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.md"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, ok, err := LatestBaseline(dir)
+	if err != nil || !ok || filepath.Base(path) != "BENCH_10.json" {
+		t.Fatalf("LatestBaseline = %q ok=%v err=%v, want BENCH_10.json", path, ok, err)
+	}
+	next, err = NextSnapshotPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("NextSnapshotPath = %q, %v, want BENCH_11.json", next, err)
+	}
+}
+
+// TestMeasureSmoke runs one tiny scenario end to end through
+// testing.Benchmark to keep Measure's plumbing honest without paying for
+// the full suite in unit tests.
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var lines []string
+	snap := measureScenarios([]Scenario{{Name: "noop", Run: func() int { return 7 }}},
+		func(s string) { lines = append(lines, s) })
+	if len(snap.Records) != 1 || snap.Records[0].Configs != 7 {
+		t.Fatalf("snapshot = %+v", snap.Records)
+	}
+	if snap.Records[0].StatesPerSec <= 0 {
+		t.Fatalf("states/sec not derived: %+v", snap.Records[0])
+	}
+	if len(lines) != 1 {
+		t.Fatalf("progress lines = %v", lines)
+	}
+}

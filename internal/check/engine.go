@@ -16,13 +16,28 @@ import (
 // searches in the repository — Explore, ClassifyValency,
 // CheckObstructionFree and the lowerbound schedule searches — run on it.
 //
-// Design:
+// Design (the zero-allocation hot path):
 //
 //   - The reachable space is explored one depth level at a time. Within a
 //     level, worker goroutines drain the frontier concurrently; between
-//     levels there is a barrier. Deduplication uses a mutex-striped
-//     visited set sharded by configuration fingerprint, so workers
-//     contend only on the stripe a successor hashes to.
+//     levels there is a barrier.
+//
+//   - Successor generation is arena-backed and copy-on-write: each worker
+//     owns a model.Stepper whose append-only intern arena canonicalizes
+//     object values and process states, so a successor shares every
+//     unchanged slot with its parent and its fingerprint is maintained
+//     incrementally (model.Stepper.ApplyCOW re-hashes only the two slots
+//     a step touches). Node buffers — the Config slices and slot-hash
+//     vectors — are recycled through a sync.Pool, so expanding a state
+//     performs no per-successor heap allocation in the steady case.
+//
+//   - Deduplication is partitioned by fingerprint. Each partition's
+//     visited table — an open-addressing fpSet (or an exact-key map in
+//     string-key mode) — is owned by a single dedup goroutine; workers
+//     deliver successors in ~256-node batches over per-partition
+//     channels, amortizing all cross-goroutine synchronization over the
+//     batch. No mutex is taken per successor. Levels processed by a
+//     single worker skip the goroutines entirely and admit inline.
 //
 //   - Results are deterministic regardless of worker interleaving: the
 //     set of configurations processed at each level is a pure function of
@@ -32,25 +47,30 @@ import (
 //     tie-broken by (parent fingerprint, pid) rather than discovery
 //     order.
 //
-//   - By default the visited set is keyed by 64-bit FNV-1a fingerprints
-//     of the compact binary encoding (model.Config.Fingerprint). Distinct
-//     configurations colliding on a fingerprint would be conflated
-//     (probability ~2^-64 per pair, the classic bitstate-hashing
-//     trade-off); EngineOptions.StringKeys selects exact full-key
-//     deduplication instead, which the lowerbound certificate searches
-//     use so that a collision can never silently prune a witness.
+//   - By default the visited set is keyed by the 64-bit incremental slot
+//     fingerprint (model.Config.SlotFingerprint). Distinct configurations
+//     colliding on a fingerprint would be conflated (probability ~2^-64
+//     per pair, the classic bitstate-hashing trade-off);
+//     EngineOptions.StringKeys selects exact binary-encoding
+//     deduplication instead — the exact-encoding fallback the lowerbound
+//     certificate searches use so that a collision can never silently
+//     prune a witness. Exact keying re-encodes every successor in full,
+//     which disables the incremental-fingerprint savings by construction.
 
 // EngineOptions configures the sharded frontier engine.
 type EngineOptions struct {
 	// Workers is the number of goroutines draining each frontier level
 	// (default runtime.GOMAXPROCS(0)). Results do not depend on it.
 	Workers int
-	// Shards is the stripe count of the visited set, rounded up to a
-	// power of two (default 64).
+	// Shards caps the number of visited-set partitions. The engine uses
+	// min(Shards, Workers) partitions, rounded up to a power of two
+	// (default 64); each partition's table is owned by one dedup
+	// goroutine. Purely a contention knob — results do not depend on it.
 	Shards int
-	// StringKeys keys the visited set by the exact Config.Key() string
-	// instead of the 64-bit fingerprint: immune to hash collisions, at
-	// higher memory and hashing cost.
+	// StringKeys keys the visited set by the exact binary encoding of
+	// each configuration instead of the 64-bit fingerprint: immune to
+	// hash collisions, at higher memory and hashing cost (every
+	// successor is re-encoded in full).
 	StringKeys bool
 	// Canonical, if non-nil, replaces the fingerprint function, letting
 	// callers quotient the space by a congruence — e.g.
@@ -59,9 +79,12 @@ type EngineOptions struct {
 	Canonical func(*model.Config) uint64
 	// Provenance retains every node's parent chain and configuration so
 	// that Node.Parent and Node.Schedule work after the run — required
-	// by the witness-extracting searches. Off by default: each node's
-	// configuration is released once visited and expanded, keeping live
-	// memory at O(frontier) configurations instead of O(visited).
+	// by the witness-extracting searches. Off by default: node buffers
+	// are recycled once visited and expanded, keeping live *node* memory
+	// at O(frontier) instead of O(visited) configurations. (Per-worker
+	// intern arenas and transition memos still grow with the number of
+	// distinct slot encodings and transitions seen — typically far
+	// smaller than the configuration count, but not frontier-bounded.)
 	Provenance bool
 	// Progress, if non-nil, is invoked after every completed level with
 	// cumulative throughput statistics.
@@ -75,7 +98,7 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	if o.Shards <= 0 {
 		o.Shards = 64
 	}
-	// Round shards up to a power of two so shard selection is a mask.
+	// Round shards up to a power of two so partition selection is a mask.
 	s := 1
 	for s < o.Shards {
 		s <<= 1
@@ -103,7 +126,7 @@ type Progress struct {
 type Node struct {
 	// Cfg is the configuration. Visitors must not mutate it, and must
 	// not retain it beyond the visit unless EngineOptions.Provenance is
-	// set (without it the engine releases each configuration after the
+	// set (without it the engine recycles each node's buffers after the
 	// node has been visited and expanded).
 	Cfg *model.Config
 	// Depth is the BFS depth (root = 0).
@@ -113,8 +136,10 @@ type Node struct {
 	Pid int
 
 	parent *Node
-	fp     uint64
-	key    string // set only in string-key mode
+	fp     uint64   // dedup fingerprint (slot fp, or Canonical's value)
+	slotFP uint64   // incremental slot fingerprint (ApplyCOW chain)
+	slotH  []uint64 // per-slot content hashes, parallel to Cfg slots
+	key    string   // exact encoding, set only in string-key mode
 }
 
 // Parent returns the node this one was first (deterministically) reached
@@ -152,15 +177,119 @@ type RunStats struct {
 	Levels int
 }
 
-// engineShard is one stripe of the visited set plus its slice of the next
-// frontier. pending maps this level's admissions so that a duplicate
-// discovery can deterministically claim provenance.
-type engineShard struct {
-	mu      sync.Mutex
-	fps     map[uint64]struct{}
+// batchSize is the successor-batch granularity: workers hand nodes to the
+// dedup owners in chunks of up to this many, amortizing channel
+// synchronization over the batch.
+const batchSize = 256
+
+// dedupOwner is one visited-set partition: its table, its slice of the
+// next frontier and its per-level pending admissions (for deterministic
+// provenance claims). During a parallel level it is owned exclusively by
+// one goroutine consuming ch; during single-worker levels the worker
+// calls admit directly. Either way, no lock is ever taken.
+type dedupOwner struct {
+	fps     *fpSet
 	keys    map[string]struct{}
 	next    []*Node
 	pending map[uint64]*Node
+	ch      chan []*Node
+}
+
+// engineRun carries the per-run state shared by the level loop, the
+// workers and the dedup owners.
+type engineRun struct {
+	stringKeys bool
+	provenance bool
+	owners     []*dedupOwner
+	ownerMask  uint64
+	nodePool   *sync.Pool
+	batchPool  *sync.Pool
+
+	admitted  atomic.Int64
+	closed    atomic.Bool // no further admissions (budget exhausted)
+	truncated atomic.Bool // some reachable configuration was dropped
+}
+
+// newNode hands out a recycled (or fresh) node with correctly-shaped
+// buffers.
+func (r *engineRun) newNode() *Node { return r.nodePool.Get().(*Node) }
+
+// recycle returns a visited frontier node's buffers to the pool — unless
+// the run tracks provenance, in which case every admitted node stays
+// live (parent chains may reference it).
+func (r *engineRun) recycle(n *Node) {
+	if r.provenance {
+		return
+	}
+	r.recycleAlways(n)
+}
+
+// recycleAlways recycles a node that is provably unreferenced even in
+// provenance mode: rejected duplicate candidates (pending only ever
+// retains the first-admitted node) and budget-truncated admissions
+// (dropped before anything could point at them).
+func (r *engineRun) recycleAlways(n *Node) {
+	n.parent = nil
+	n.key = ""
+	r.nodePool.Put(n)
+}
+
+// admit applies the dedup/admission protocol to one candidate successor.
+// It runs on the owner's goroutine (or the sole worker), so it touches
+// the partition state without locking. In the common open-admissions
+// case the visited table is probed exactly once (fpSet.Add reports
+// newly-added); only the rare sticky closed state needs a read-only Has.
+func (o *dedupOwner) admit(r *engineRun, nn *Node) {
+	if r.closed.Load() {
+		var dup bool
+		if r.stringKeys {
+			_, dup = o.keys[nn.key]
+		} else {
+			dup = o.fps.Has(nn.fp)
+		}
+		if !dup {
+			// Budget exhausted earlier: the space extends beyond what
+			// was admitted.
+			r.truncated.Store(true)
+			r.recycleAlways(nn)
+			return
+		}
+		o.claimProvenance(r, nn)
+		return
+	}
+	var added bool
+	if r.stringKeys {
+		if _, dup := o.keys[nn.key]; !dup {
+			o.keys[nn.key] = struct{}{}
+			added = true
+		}
+	} else {
+		added = o.fps.Add(nn.fp)
+	}
+	if added {
+		if r.provenance {
+			o.pending[nn.fp] = nn
+		}
+		o.next = append(o.next, nn)
+		r.admitted.Add(1)
+		return
+	}
+	o.claimProvenance(r, nn)
+}
+
+// claimProvenance handles a duplicate candidate: if its configuration was
+// admitted this very level, claim provenance when ours is
+// deterministically smaller, so witness schedules do not depend on
+// discovery order; then recycle the candidate.
+func (o *dedupOwner) claimProvenance(r *engineRun, nn *Node) {
+	if r.provenance {
+		if prev, ok := o.pending[nn.fp]; ok && (!r.stringKeys || prev.key == nn.key) {
+			if nn.parent.fp < prev.parent.fp || (nn.parent.fp == prev.parent.fp && nn.Pid < prev.Pid) {
+				prev.parent, prev.Pid = nn.parent, nn.Pid
+			}
+		}
+	}
+	r.recycleAlways(nn)
 }
 
 // RunFrontier explores the pids-only reachable space of p from start with
@@ -175,53 +304,103 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 ) (RunStats, error) {
 	limits = limits.withDefaults()
 	opts = opts.withDefaults()
-	stringKeys := opts.StringKeys && opts.Canonical == nil
 
-	allowed := make([]bool, p.NumProcesses())
+	nObj := len(p.Objects())
+	nProc := p.NumProcesses()
+	if len(start.Objects) != nObj || len(start.States) != nProc {
+		return RunStats{}, fmt.Errorf("frontier engine: start configuration has %d objects and %d states, protocol declares %d and %d",
+			len(start.Objects), len(start.States), nObj, nProc)
+	}
+	slots := nObj + nProc
+
+	allowed := make([]bool, nProc)
 	for _, pid := range pids {
 		if pid >= 0 && pid < len(allowed) {
 			allowed[pid] = true
 		}
 	}
 
-	shards := make([]engineShard, opts.Shards)
-	mask := uint64(opts.Shards - 1)
-	for i := range shards {
-		if stringKeys {
-			shards[i].keys = map[string]struct{}{}
+	run := &engineRun{
+		stringKeys: opts.StringKeys && opts.Canonical == nil,
+		provenance: opts.Provenance,
+		nodePool: &sync.Pool{New: func() any {
+			return &Node{
+				Cfg: &model.Config{
+					Objects: make([]model.Value, nObj),
+					States:  make([]model.State, nProc),
+				},
+				slotH: make([]uint64, slots),
+			}
+		}},
+		batchPool: &sync.Pool{New: func() any {
+			b := make([]*Node, 0, batchSize)
+			return &b
+		}},
+	}
+
+	// Visited-set partitions: one single-owner table per partition,
+	// min(Shards, Workers) of them rounded up to a power of two. The
+	// partition count is fixed for the whole run (tables persist across
+	// levels, so the fp -> partition routing must not move).
+	numOwners := 1
+	for numOwners < opts.Shards && numOwners < opts.Workers {
+		numOwners <<= 1
+	}
+	run.owners = make([]*dedupOwner, numOwners)
+	run.ownerMask = uint64(numOwners - 1)
+	for i := range run.owners {
+		o := &dedupOwner{pending: map[uint64]*Node{}}
+		if run.stringKeys {
+			o.keys = map[string]struct{}{}
 		} else {
-			shards[i].fps = map[uint64]struct{}{}
+			o.fps = newFpSet(1024)
 		}
-		shards[i].pending = map[uint64]*Node{}
+		run.owners[i] = o
 	}
 
-	fingerprint := func(c *model.Config, scratch []byte) (uint64, string, []byte) {
-		if opts.Canonical != nil {
-			return opts.Canonical(c), "", scratch
+	// Per-worker steppers: each owns an append-only intern arena and the
+	// COW apply fast path. They persist across levels so the arenas keep
+	// their intern tables and transition memos warm. Exact-key runs use
+	// memo-free steppers: their guarantee is that no hash shortcut can
+	// substitute a wrong configuration, so every step is recomputed.
+	steppers := make([]*model.Stepper, opts.Workers)
+	stepperFor := func(worker int) *model.Stepper {
+		if steppers[worker] == nil {
+			if run.stringKeys {
+				steppers[worker] = model.NewStepperExact(p)
+			} else {
+				steppers[worker] = model.NewStepper(p)
+			}
 		}
-		fp, scratch := c.FingerprintInto(scratch)
-		if stringKeys {
-			return fp, c.Key(), scratch
-		}
-		return fp, "", scratch
+		return steppers[worker]
 	}
 
-	root := &Node{Cfg: start.Clone(), Pid: -1}
-	var rootScratch []byte
-	root.fp, root.key, rootScratch = fingerprint(root.Cfg, rootScratch)
-	_ = rootScratch
-	sh := &shards[root.fp&mask]
-	if stringKeys {
-		sh.keys[root.key] = struct{}{}
+	// Root node.
+	root := run.newNode()
+	root.Cfg.CopyFrom(start)
+	root.Depth, root.Pid = 0, -1
+	root.slotFP = stepperFor(0).InitSlots(root.Cfg, root.slotH)
+	var encScratch []byte
+	switch {
+	case opts.Canonical != nil:
+		root.fp = opts.Canonical(root.Cfg)
+	case run.stringKeys:
+		root.fp = root.slotFP
+		encScratch = root.Cfg.AppendEncoding(encScratch[:0])
+		root.key = string(encScratch)
+	default:
+		root.fp = root.slotFP
+	}
+	rootOwner := run.owners[root.fp&run.ownerMask]
+	if run.stringKeys {
+		rootOwner.keys[root.key] = struct{}{}
 	} else {
-		sh.fps[root.fp] = struct{}{}
+		rootOwner.fps.Add(root.fp)
 	}
+	run.admitted.Store(1)
 
 	var (
 		stats     = RunStats{Complete: true}
-		admitted  = int64(1)
-		closed    atomic.Bool // no further admissions (budget exhausted)
-		truncated atomic.Bool // some reachable configuration was dropped
 		runErr    atomic.Value
 		cancelled atomic.Bool
 		startTime = time.Now()
@@ -237,98 +416,115 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		stats.Levels++
 		atDepthCap := limits.MaxDepth > 0 && depth >= limits.MaxDepth
 
-		// Process one level: visit every node, expand successors into the
-		// striped visited set and per-shard next-frontier buffers.
-		var cursor int64
-		work := func(worker int) {
-			var scratch []byte
-			for {
-				if cancelled.Load() {
-					return
-				}
-				i := int(atomic.AddInt64(&cursor, 1)) - 1
-				if i >= len(frontier) {
-					return
-				}
-				n := frontier[i]
-				if err := visit(worker, n); err != nil {
-					fail(err)
-					return
-				}
-				if atDepthCap {
-					if !opts.Provenance {
-						n.Cfg = nil
-					}
-					continue
-				}
-				for _, pid := range n.Cfg.Active(p) {
-					if !allowed[pid] {
-						continue
-					}
-					succ := n.Cfg.Clone()
-					if _, err := model.Apply(p, succ, pid); err != nil {
-						fail(fmt.Errorf("frontier engine: %w", err))
-						return
-					}
-					var fp uint64
-					var key string
-					fp, key, scratch = fingerprint(succ, scratch)
-					sh := &shards[fp&mask]
-					sh.mu.Lock()
-					var dup bool
-					if stringKeys {
-						_, dup = sh.keys[key]
-					} else {
-						_, dup = sh.fps[fp]
-					}
-					switch {
-					case !dup && closed.Load():
-						// Budget exhausted earlier: the space extends
-						// beyond what was admitted.
-						truncated.Store(true)
-					case !dup:
-						nn := &Node{Cfg: succ, Depth: depth + 1, Pid: pid, fp: fp, key: key}
-						if opts.Provenance {
-							nn.parent = n
-							sh.pending[fp] = nn
-						}
-						if stringKeys {
-							sh.keys[key] = struct{}{}
-						} else {
-							sh.fps[fp] = struct{}{}
-						}
-						sh.next = append(sh.next, nn)
-						atomic.AddInt64(&admitted, 1)
-					case opts.Provenance:
-						// Duplicate. If it was admitted this very level,
-						// claim provenance when ours is deterministically
-						// smaller, so witness schedules do not depend on
-						// discovery order.
-						if prev, ok := sh.pending[fp]; ok && (!stringKeys || prev.key == key) {
-							if n.fp < prev.parent.fp || (n.fp == prev.parent.fp && pid < prev.Pid) {
-								prev.parent, prev.Pid = n, pid
-							}
-						}
-					}
-					sh.mu.Unlock()
-				}
-				if !opts.Provenance {
-					// All successors generated; release the configuration
-					// so exploration memory stays O(frontier), not
-					// O(visited).
-					n.Cfg = nil
-				}
-			}
-		}
-
 		nw := opts.Workers
 		if nw > len(frontier) {
 			nw = len(frontier) // never more goroutines than nodes; visits
 			// may be expensive (solo runs), so do not serialize further
 		}
-		if nw <= 1 {
+		inline := nw <= 1
+
+		// work visits and expands the frontier slice cooperatively. In
+		// inline mode successors are admitted directly; otherwise they
+		// are batched to the partition owners.
+		var cursor int64
+		work := func(worker int) {
+			st := stepperFor(worker)
+			var scratch []byte
+			var buckets [][]*Node
+			if !inline {
+				buckets = make([][]*Node, numOwners)
+			}
+			deliver := func(oi uint64, nn *Node) {
+				if inline {
+					run.owners[oi].admit(run, nn)
+					return
+				}
+				if buckets[oi] == nil {
+					buckets[oi] = (*run.batchPool.Get().(*[]*Node))[:0]
+				}
+				buckets[oi] = append(buckets[oi], nn)
+				if len(buckets[oi]) == batchSize {
+					run.owners[oi].ch <- buckets[oi]
+					buckets[oi] = nil
+				}
+			}
+			for !cancelled.Load() {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(frontier) {
+					break
+				}
+				n := frontier[i]
+				if err := visit(worker, n); err != nil {
+					fail(err)
+					break
+				}
+				if atDepthCap {
+					run.recycle(n)
+					continue
+				}
+				for pid := 0; pid < nProc; pid++ {
+					if !allowed[pid] {
+						continue
+					}
+					succ := run.newNode()
+					fp, ok, err := st.ApplyCOW(n.Cfg, n.slotFP, n.slotH, pid, succ.Cfg, succ.slotH)
+					if err != nil {
+						run.recycleAlways(succ)
+						fail(fmt.Errorf("frontier engine: %w", err))
+						break // stop expanding; fall through to the flush
+					}
+					if !ok { // pid has decided; no step
+						run.recycleAlways(succ)
+						continue
+					}
+					succ.slotFP = fp
+					succ.Depth = n.Depth + 1
+					succ.Pid = pid
+					succ.parent = nil
+					if run.provenance {
+						succ.parent = n
+					}
+					switch {
+					case opts.Canonical != nil:
+						succ.fp = opts.Canonical(succ.Cfg)
+					case run.stringKeys:
+						succ.fp = fp
+						scratch = succ.Cfg.AppendEncoding(scratch[:0])
+						succ.key = string(scratch)
+					default:
+						succ.fp = fp
+					}
+					deliver(succ.fp&run.ownerMask, succ)
+				}
+				run.recycle(n)
+			}
+			// Flush partial batches so the owners see every candidate
+			// before their channels close.
+			for oi, b := range buckets {
+				if len(b) > 0 {
+					run.owners[oi].ch <- b
+				}
+			}
+		}
+
+		if inline {
 			work(0)
 		} else {
+			var ownerWG sync.WaitGroup
+			for _, o := range run.owners {
+				o.ch = make(chan []*Node, 2*nw)
+				ownerWG.Add(1)
+				go func(o *dedupOwner) {
+					defer ownerWG.Done()
+					for batch := range o.ch {
+						for _, nn := range batch {
+							o.admit(run, nn)
+						}
+						batch = batch[:0]
+						run.batchPool.Put(&batch)
+					}
+				}(o)
+			}
 			var wg sync.WaitGroup
 			for w := 0; w < nw; w++ {
 				wg.Add(1)
@@ -338,6 +534,10 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 				}(w)
 			}
 			wg.Wait()
+			for _, o := range run.owners {
+				close(o.ch)
+			}
+			ownerWG.Wait()
 		}
 		if err, _ := runErr.Load().(error); err != nil {
 			stats.Complete = false
@@ -348,18 +548,18 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			stats.Complete = false
 			if opts.Progress != nil {
 				opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
-					Processed: stats.Processed, Admitted: int(atomic.LoadInt64(&admitted)),
+					Processed: stats.Processed, Admitted: int(run.admitted.Load()),
 					Elapsed: time.Since(startTime)})
 			}
 			break
 		}
 
-		// Barrier: collect the next frontier from the shards.
+		// Barrier: collect the next frontier from the partitions.
 		next := make([]*Node, 0)
-		for i := range shards {
-			next = append(next, shards[i].next...)
-			shards[i].next = nil
-			shards[i].pending = map[uint64]*Node{}
+		for _, o := range run.owners {
+			next = append(next, o.next...)
+			o.next = nil
+			clear(o.pending)
 		}
 
 		// Budget: this level may have overshot MaxConfigs (admission is
@@ -367,7 +567,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		// pure function of the space, not of thread timing). Truncate
 		// back to exactly MaxConfigs, keeping survivors by sorted
 		// (fingerprint, key) — deterministic — and close admissions.
-		if total := int(atomic.LoadInt64(&admitted)); total > limits.MaxConfigs {
+		if total := int(run.admitted.Load()); total > limits.MaxConfigs {
 			keep := limits.MaxConfigs - (total - len(next))
 			if keep < 0 {
 				keep = 0
@@ -378,18 +578,21 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 				}
 				return next[i].key < next[j].key
 			})
+			for _, dropped := range next[keep:] {
+				run.recycleAlways(dropped)
+			}
 			next = next[:keep]
-			atomic.StoreInt64(&admitted, int64(limits.MaxConfigs))
-			closed.Store(true)
-			truncated.Store(true)
+			run.admitted.Store(int64(limits.MaxConfigs))
+			run.closed.Store(true)
+			run.truncated.Store(true)
 		}
-		if truncated.Load() {
+		if run.truncated.Load() {
 			stats.Complete = false
 		}
 
 		if opts.Progress != nil {
 			opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
-				Processed: stats.Processed, Admitted: int(atomic.LoadInt64(&admitted)),
+				Processed: stats.Processed, Admitted: int(run.admitted.Load()),
 				Elapsed: time.Since(startTime)})
 		}
 		if afterLevel != nil && afterLevel(depth, stats.Processed) {
@@ -397,7 +600,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}
 		frontier = next
 	}
-	if truncated.Load() {
+	if run.truncated.Load() {
 		stats.Complete = false
 	}
 	return stats, nil

@@ -270,6 +270,42 @@ func TestEngineProgressCallback(t *testing.T) {
 	}
 }
 
+// TestFrontierBatchedDedupRace exercises the batched shard-dedup path
+// under maximal goroutine churn: many workers, few partitions (so every
+// partition owner consumes batches from several workers concurrently),
+// both keying modes, and a budget small enough to trigger the truncation
+// path. Run with -race (the CI engine race job does) it is the data-race
+// detector for the owner-goroutine handoff and node recycling.
+func TestFrontierBatchedDedupRace(t *testing.T) {
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 3})
+	c := model.MustNewConfig(p, []int{0, 1, 2, 0})
+	pids := []int{0, 1, 2, 3}
+
+	want := check.ExploreSequential(p, c, pids, 1, check.ExploreLimits{MaxDepth: 8})
+	for _, stringKeys := range []bool{false, true} {
+		for _, limits := range []check.ExploreLimits{
+			{MaxDepth: 8},                  // level-parallel, no truncation
+			{MaxDepth: 8, MaxConfigs: 700}, // budget truncation mid-run
+		} {
+			got := check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+				Limits: limits,
+				Engine: check.EngineOptions{Workers: 8, Shards: 2, StringKeys: stringKeys},
+			})
+			if limits.MaxConfigs == 0 {
+				if got.Visited != want.Visited || got.Complete != want.Complete {
+					t.Errorf("stringKeys=%v: visited %d complete %v, want %d %v",
+						stringKeys, got.Visited, got.Complete, want.Visited, want.Complete)
+				}
+			} else {
+				if got.Visited != limits.MaxConfigs || got.Complete {
+					t.Errorf("stringKeys=%v truncated: visited %d complete %v, want exactly %d and incomplete",
+						stringKeys, got.Visited, got.Complete, limits.MaxConfigs)
+				}
+			}
+		}
+	}
+}
+
 // TestRunFrontierSchedules: Node.Schedule replays to the node's own
 // configuration — the provenance chains the engine maintains are real
 // executions.

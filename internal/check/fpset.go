@@ -1,0 +1,108 @@
+package check
+
+// fpSet is an open-addressing (linear-probing) hash set of 64-bit
+// fingerprints — the visited-set table each dedup partition owns. It is
+// not safe for concurrent use; the engine gives every partition a single
+// owner goroutine, which is what lets the table drop per-probe locking
+// entirely.
+//
+// Every fingerprint in one partition's table shares its low
+// log2(numOwners) bits (that is how the engine routed it here), so probe
+// starts must not come from the low bits or they would cluster on every
+// numOwners-th slot. probeStart therefore remixes multiplicatively and
+// takes the HIGH bits (Fibonacci hashing), which routing never touches.
+// The zero fingerprint is representable: it is tracked out of band so 0
+// can stay the empty-slot sentinel.
+type fpSet struct {
+	slots   []uint64
+	mask    uint64
+	shift   uint // 64 - log2(len(slots)), for probeStart
+	n       int
+	hasZero bool
+}
+
+// newFpSet returns a set pre-sized for about capHint elements.
+func newFpSet(capHint int) *fpSet {
+	size := 1024
+	for size < capHint*2 {
+		size <<= 1
+	}
+	s := &fpSet{}
+	s.setSlots(make([]uint64, size))
+	return s
+}
+
+func (s *fpSet) setSlots(slots []uint64) {
+	s.slots = slots
+	s.mask = uint64(len(slots) - 1)
+	s.shift = 64
+	for size := len(slots); size > 1; size >>= 1 {
+		s.shift--
+	}
+}
+
+func (s *fpSet) probeStart(fp uint64) uint64 {
+	return (fp * 0x9E3779B97F4A7C15) >> s.shift
+}
+
+// Len returns the number of fingerprints in the set.
+func (s *fpSet) Len() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}
+
+// Has reports membership.
+func (s *fpSet) Has(fp uint64) bool {
+	if fp == 0 {
+		return s.hasZero
+	}
+	for i := s.probeStart(fp); ; i = (i + 1) & s.mask {
+		switch s.slots[i] {
+		case fp:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// Add inserts fp and reports whether it was absent (true = newly added).
+func (s *fpSet) Add(fp uint64) bool {
+	if fp == 0 {
+		added := !s.hasZero
+		s.hasZero = true
+		return added
+	}
+	for i := s.probeStart(fp); ; i = (i + 1) & s.mask {
+		switch s.slots[i] {
+		case fp:
+			return false
+		case 0:
+			s.slots[i] = fp
+			s.n++
+			// Grow at 70% load so probe chains stay short.
+			if uint64(s.n)*10 > uint64(len(s.slots))*7 {
+				s.grow()
+			}
+			return true
+		}
+	}
+}
+
+func (s *fpSet) grow() {
+	old := s.slots
+	s.setSlots(make([]uint64, len(old)*2))
+	for _, fp := range old {
+		if fp == 0 {
+			continue
+		}
+		for i := s.probeStart(fp); ; i = (i + 1) & s.mask {
+			if s.slots[i] == 0 {
+				s.slots[i] = fp
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFpSet drives the open-addressing table against a reference map,
+// covering the zero-fingerprint sentinel and growth across several
+// doublings.
+func TestFpSet(t *testing.T) {
+	s := newFpSet(16)
+	ref := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(1))
+
+	insert := func(fp uint64) {
+		t.Helper()
+		added := s.Add(fp)
+		if added == ref[fp] {
+			t.Fatalf("Add(%#x) = %v with ref present=%v", fp, added, ref[fp])
+		}
+		ref[fp] = true
+	}
+
+	insert(0) // zero is a representable fingerprint, not the empty sentinel
+	if !s.Has(0) {
+		t.Fatal("Has(0) = false after Add(0)")
+	}
+	if s.Add(0) {
+		t.Fatal("Add(0) reported newly-added twice")
+	}
+
+	for i := 0; i < 20000; i++ {
+		fp := rng.Uint64() >> uint(rng.Intn(40)) // skewed: force probe collisions
+		insert(fp)
+		insert(fp) // immediate duplicate must report already-present
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
+	}
+	for fp := range ref {
+		if !s.Has(fp) {
+			t.Fatalf("Has(%#x) = false for inserted fingerprint", fp)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		fp := rng.Uint64()
+		if !ref[fp] && s.Has(fp) {
+			t.Fatalf("Has(%#x) = true for absent fingerprint", fp)
+		}
+	}
+}
+
+// TestFpSetPartitionedLowBits inserts fingerprints that all share their
+// low bits — exactly the population a partition's table sees, since the
+// engine routes by fp & ownerMask — across several growths.
+func TestFpSetPartitionedLowBits(t *testing.T) {
+	s := newFpSet(16)
+	const low = 0x2a // partition 42 of 64
+	for i := uint64(1); i <= 50000; i++ {
+		fp := i<<6 | low
+		if !s.Add(fp) {
+			t.Fatalf("Add(%#x) reported duplicate on first insert", fp)
+		}
+		if !s.Has(fp) {
+			t.Fatalf("Has(%#x) = false immediately after Add", fp)
+		}
+	}
+	if s.Len() != 50000 {
+		t.Fatalf("Len = %d, want 50000", s.Len())
+	}
+	if s.Has(1<<6 | 0x2b) {
+		t.Fatal("Has reported a fingerprint from another partition")
+	}
+}

@@ -70,10 +70,26 @@ func CheckObstructionFreeOpts(p model.Protocol, inputs []int, opts ExploreOption
 		failed                 *violation
 		soloRuns, maxSoloSteps atomic.Int64
 	)
+	// Solo runs mutate a scratch configuration refreshed from each visited
+	// node; the scratches are pooled so the inner loop — one run per
+	// (configuration, undecided process) pair, by far the dominant cost —
+	// allocates neither configurations nor step records (SoloSteps counts
+	// without recording).
+	scratchPool := sync.Pool{New: func() any {
+		return &model.Config{
+			Objects: make([]model.Value, len(p.Objects())),
+			States:  make([]model.State, p.NumProcesses()),
+		}
+	}}
 	visit := func(_ int, n *Node) error {
-		for _, pid := range n.Cfg.Active(p) {
-			solo := n.Cfg.Clone()
-			res, err := SoloRun(p, solo, pid, soloBound)
+		solo := scratchPool.Get().(*model.Config)
+		defer scratchPool.Put(solo)
+		for pid := range n.Cfg.States {
+			if _, decided := n.Cfg.Decided(p, pid); decided {
+				continue
+			}
+			solo.CopyFrom(n.Cfg)
+			steps, err := SoloSteps(p, solo, pid, soloBound)
 			if err != nil {
 				mu.Lock()
 				if failed == nil || n.fp < failed.fp || (n.fp == failed.fp && pid < failed.pid) {
@@ -85,7 +101,7 @@ func CheckObstructionFreeOpts(p model.Protocol, inputs []int, opts ExploreOption
 			soloRuns.Add(1)
 			for {
 				old := maxSoloSteps.Load()
-				if int64(res.Steps) <= old || maxSoloSteps.CompareAndSwap(old, int64(res.Steps)) {
+				if int64(steps) <= old || maxSoloSteps.CompareAndSwap(old, int64(steps)) {
 					break
 				}
 			}

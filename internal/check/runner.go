@@ -9,19 +9,26 @@
 // All exhaustive searches (Explore, ClassifyValency, CheckObstructionFree
 // and, via the lowerbound package, the schedule searches) run on a shared
 // level-synchronized parallel BFS — the sharded frontier engine
-// (RunFrontier). Its knobs live in EngineOptions:
+// (RunFrontier). Its hot path is allocation-free in the steady case:
+// successors are produced by arena-backed copy-on-write steps with
+// incrementally-maintained fingerprints (model.Stepper), node buffers are
+// recycled through sync.Pool, and deduplication runs on single-owner
+// open-addressing tables fed by batched channels instead of a
+// mutex-striped map. The engine knobs live in EngineOptions:
 //
 //   - Workers: goroutines draining each frontier level (default
 //     runtime.GOMAXPROCS(0)). Results never depend on it: per-level
 //     barriers, commutative merging and sorted-fingerprint budget
 //     truncation make every aggregate deterministic.
-//   - Shards: stripe count of the mutex-striped visited set (default 64,
-//     rounded to a power of two). Purely a contention knob.
-//   - StringKeys: dedup on the exact Config.Key() string instead of the
-//     default 64-bit FNV-1a fingerprint of the compact binary encoding.
-//     Fingerprints are faster and ~10x smaller but admit a ~2^-64
-//     per-pair collision risk (bitstate-hashing trade-off); certificate
-//     searches that must never silently prune a witness use StringKeys.
+//   - Shards: cap on the visited-set partition count (default 64; the
+//     engine uses min(Shards, Workers) single-owner partitions). Purely
+//     a contention knob.
+//   - StringKeys: dedup on the exact compact binary encoding instead of
+//     the default 64-bit incremental slot fingerprint. Fingerprints are
+//     faster and ~10x smaller but admit a ~2^-64 per-pair collision risk
+//     (bitstate-hashing trade-off); certificate searches that must never
+//     silently prune a witness use StringKeys, which also disables the
+//     hash-keyed transition memos (every step is recomputed exactly).
 //   - Canonical: an optional quotient fingerprint, e.g.
 //     model.Config.SymmetricFingerprint, to collapse process-symmetric
 //     configurations. Opt-in because soundness depends on the protocol
@@ -126,6 +133,26 @@ func RunFromInputs(p model.Protocol, inputs []int, s sched.Scheduler, maxSteps i
 // execution by pid from C".
 func SoloRun(p model.Protocol, c *model.Config, pid, maxSteps int) (*Result, error) {
 	return Run(p, c, sched.Solo{Pid: pid}, maxSteps)
+}
+
+// SoloSteps is the record-free SoloRun: it runs pid alone from c (mutated
+// in place) until it decides or maxSteps is exceeded and returns only the
+// step count, allocating no Execution or StepRecord buffers. It is the
+// inner loop of the obstruction-freedom checker, which performs one solo
+// run per (reachable configuration, undecided process) pair and only ever
+// consumes the count.
+func SoloSteps(p model.Protocol, c *model.Config, pid, maxSteps int) (int, error) {
+	for steps := 0; ; steps++ {
+		if _, decided := c.Decided(p, pid); decided {
+			return steps, nil
+		}
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("check: %w after %d steps (%s)", ErrStepLimit, steps, p.Name())
+		}
+		if _, err := model.Apply(p, c, pid); err != nil {
+			return steps, err
+		}
+	}
 }
 
 func fillDecisions(p model.Protocol, c *model.Config, res *Result) {

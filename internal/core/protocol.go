@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/model"
 )
@@ -75,6 +74,11 @@ func (a *Protocol) Objects() []model.ObjectSpec { return a.specs }
 type state struct {
 	// u is the local lap counter U[0..m-1].
 	u model.Vec
+	// uVal is u pre-boxed as a model.Value, set whenever u is set, so the
+	// exploration hot path (Poised builds ⟨U, pid⟩ for every poised-op
+	// query) does not re-box the vector each call. Derived from u; not
+	// part of the canonical key.
+	uVal model.Value
 	// idx is the index (0-based) of the next object to swap in the loop
 	// on lines 6-12.
 	idx int
@@ -83,31 +87,40 @@ type state struct {
 	// decided is the decided value, or -1 while undecided.
 	decided int
 	// laps counts completed laps (diagnostic only, used by the
-	// step-census experiments; not consulted by the algorithm).
+	// step-census experiments; not consulted by the algorithm). It is
+	// deliberately excluded from Key, so the frontier engine's intern
+	// arena may canonicalize Key-equal states across executions with
+	// different lap counts; read it only from states produced by direct
+	// model.Apply runs (as the census harness does), not from
+	// engine-visited configurations.
 	laps int
 }
 
-var _ model.State = state{}
+var (
+	_ model.State       = state{}
+	_ model.KeyAppender = state{}
+)
 
 // Key implements model.State.
-func (s state) Key() string {
-	var b strings.Builder
-	b.WriteString(s.u.Key())
-	b.WriteByte('/')
-	b.WriteString(strconv.Itoa(s.idx))
+func (s state) Key() string { return string(s.AppendKey(nil)) }
+
+// AppendKey implements model.KeyAppender (byte-identical to Key).
+func (s state) AppendKey(buf []byte) []byte {
+	buf = s.u.AppendKey(buf)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(s.idx), 10)
 	if s.conflict {
-		b.WriteString("/c")
+		buf = append(buf, "/c"...)
 	}
-	b.WriteByte('/')
-	b.WriteString(strconv.Itoa(s.decided))
-	return b.String()
+	buf = append(buf, '/')
+	return strconv.AppendInt(buf, int64(s.decided), 10)
 }
 
 // Init implements model.Protocol: lines 2-3 of the pseudocode.
 func (a *Protocol) Init(pid int, input int) model.State {
 	u := make(model.Vec, a.params.M)
 	u[input] = 1
-	return state{u: u, idx: 0, conflict: false, decided: -1}
+	return state{u: u, uVal: u, idx: 0, conflict: false, decided: -1}
 }
 
 // Poised implements model.Protocol: an undecided process is always poised
@@ -120,7 +133,7 @@ func (a *Protocol) Poised(pid int, st model.State) (model.Op, bool) {
 	return model.Op{
 		Object: s.idx,
 		Kind:   model.OpSwap,
-		Arg:    cellValue(s.u, model.Int(pid)),
+		Arg:    model.Pair{First: s.uVal, Second: model.Int(pid)},
 	}, true
 }
 
@@ -143,6 +156,7 @@ func (a *Protocol) Observe(pid int, st model.State, resp model.Value) model.Stat
 		next.conflict = true
 		if !respU.Equal(s.u) {
 			next.u = s.u.Clone().MaxInto(respU)
+			next.uVal = next.u
 		}
 	}
 
@@ -179,6 +193,7 @@ func (a *Protocol) Observe(pid int, st model.State, resp model.Value) model.Stat
 	u2 := u.Clone()
 	u2[v] = c + 1
 	next.u = u2
+	next.uVal = u2
 	return next
 }
 

@@ -21,9 +21,11 @@ type SearchLimits struct {
 	Workers int
 	// Shards is the visited-set stripe count (default 64).
 	Shards int
-	// Fingerprints switches deduplication from exact string keys to
-	// 64-bit fingerprints: faster and leaner, but a hash collision could
-	// silently prune a witness, so certificate searches default to exact.
+	// Fingerprints switches deduplication from exact encoding keys to
+	// 64-bit incremental slot fingerprints: faster and leaner (and it
+	// enables the engine's hash-keyed transition memos), but a hash
+	// collision could silently prune a witness or substitute a wrong
+	// transition, so certificate searches default to exact.
 	Fingerprints bool
 	// Progress, if non-nil, receives per-level engine throughput (the
 	// CLIs stream it to stderr so stdout stays parseable).

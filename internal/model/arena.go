@@ -1,0 +1,345 @@
+package model
+
+import "fmt"
+
+// This file implements the zero-allocation exploration hot path: an
+// append-only intern arena for object values and process states, and a
+// copy-on-write Apply (Stepper.ApplyCOW) that maintains per-slot content
+// hashes so a successor's fingerprint is computed by re-hashing only the
+// two slots a step touches, instead of re-encoding the whole Config.
+//
+// Design:
+//
+//   - An Arena is owned by exactly one explorer worker (it is not safe
+//     for concurrent use). Each distinct value/state *encoding* is stored
+//     once in an append-only byte arena; interning returns a dense ref,
+//     the canonical Value/State, and the 64-bit FNV-1a hash of the
+//     encoding (the slot hash). Configurations produced by the same
+//     worker therefore share canonical objects for all repeated slots —
+//     the memory discipline of compact shared pools.
+//
+//   - Slot hashes are *content* hashes: equal encodings yield equal
+//     hashes in every arena, so fingerprints assembled from them agree
+//     across workers even though each worker interns independently.
+//
+//   - The slot fingerprint of a configuration is the XOR over all slots
+//     of mixSlot(slot, contentHash). XOR makes the combine invertible:
+//     replacing one slot's content is two XORs, which is what lets
+//     ApplyCOW return the successor fingerprint after hashing only the
+//     touched object slot and process-state slot. mixSlot's strong
+//     position-salted mixing keeps the combine from cancelling across
+//     slots. Like the FNV fingerprint, distinct configurations may
+//     collide (~2^-64 per pair, the bitstate trade-off); exact-encoding
+//     keying remains available for certificate searches.
+
+// mixSlot combines a slot index with the content hash of the value stored
+// there into that slot's fingerprint contribution (splitmix64-style
+// finalizer over a position-salted hash).
+func mixSlot(slot int, h uint64) uint64 {
+	x := h ^ (uint64(slot)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashEncoding is the slot-content hash: FNV-1a over the compact
+// encoding bytes.
+func hashEncoding(enc []byte) uint64 { return fnv1a(fnvOffset64, enc) }
+
+// SlotFingerprint returns the incremental-compatible fingerprint of c,
+// computed from scratch: the XOR over all slots of the position-mixed
+// content hash. Stepper.ApplyCOW maintains exactly this quantity
+// incrementally; the equality is what the arena fuzz test pins down.
+func (c *Config) SlotFingerprint() uint64 {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	var fp uint64
+	for i, v := range c.Objects {
+		buf = appendValue(buf[:0], v)
+		fp ^= mixSlot(i, hashEncoding(buf))
+	}
+	n := len(c.Objects)
+	for pid, s := range c.States {
+		buf = appendState(buf[:0], s)
+		fp ^= mixSlot(n+pid, hashEncoding(buf))
+	}
+	*bp = buf
+	keyBufPool.Put(bp)
+	return fp
+}
+
+// arenaEntry locates one interned encoding: its span in the byte arena
+// and the canonical interface object it decodes to. (The content hash is
+// not stored: the index maps are keyed by it, so every candidate in a
+// collision chain already shares it and lookups compare encoding bytes.)
+type arenaEntry struct {
+	off, end uint32
+	val      Value // canonical Value (value pool entries)
+	st       State // canonical State (state pool entries)
+}
+
+// Arena is a per-worker append-only intern pool for object values and
+// process states. It must not be shared between goroutines; the canonical
+// Values and States it hands out are immutable and may be shared freely.
+type Arena struct {
+	data    []byte
+	vals    []arenaEntry
+	sts     []arenaEntry
+	valIdx  map[uint64][]uint32 // content hash -> value refs (collision chain)
+	stIdx   map[uint64][]uint32 // content hash -> state refs
+	scratch []byte
+}
+
+// NewArena returns an empty intern arena.
+func NewArena() *Arena {
+	return &Arena{
+		valIdx:  make(map[uint64][]uint32, 256),
+		stIdx:   make(map[uint64][]uint32, 1024),
+		scratch: make([]byte, 0, 128),
+	}
+}
+
+// Len reports the number of interned values and states (diagnostics).
+func (a *Arena) Len() (values, states int) { return len(a.vals), len(a.sts) }
+
+// internBytes finds or adds enc in the given pool and returns the ref.
+func (a *Arena) internBytes(enc []byte, h uint64, entries *[]arenaEntry, idx map[uint64][]uint32) (uint32, bool) {
+	for _, ref := range idx[h] {
+		e := (*entries)[ref]
+		if string(a.data[e.off:e.end]) == string(enc) { // compiles to memcmp, no alloc
+			return ref, true
+		}
+	}
+	off := uint32(len(a.data))
+	a.data = append(a.data, enc...)
+	ref := uint32(len(*entries))
+	*entries = append(*entries, arenaEntry{off: off, end: uint32(len(a.data))})
+	idx[h] = append(idx[h], ref)
+	return ref, false
+}
+
+// InternValue returns the canonical representative of v and the content
+// hash of its encoding. The first instance seen for an encoding becomes
+// canonical; later equal values are dropped in its favor.
+func (a *Arena) InternValue(v Value) (Value, uint64) {
+	a.scratch = appendValue(a.scratch[:0], v)
+	h := hashEncoding(a.scratch)
+	ref, found := a.internBytes(a.scratch, h, &a.vals, a.valIdx)
+	if !found {
+		a.vals[ref].val = v
+	}
+	return a.vals[ref].val, h
+}
+
+// InternState is InternValue for process states. States with equal Keys
+// are interchangeable by the model's State contract, so canonicalizing
+// them is behavior-preserving — including for fields a protocol excludes
+// from its Key (e.g. core's diagnostic lap counter): such fields carry no
+// behavioral content by that same contract, and an engine-produced
+// configuration may hold any Key-equal representative's values for them.
+func (a *Arena) InternState(s State) (State, uint64) {
+	a.scratch = appendState(a.scratch[:0], s)
+	h := hashEncoding(a.scratch)
+	ref, found := a.internBytes(a.scratch, h, &a.sts, a.stIdx)
+	if !found {
+		a.sts[ref].st = s
+	}
+	return a.sts[ref].st, h
+}
+
+// poisedKey memoizes Poised by (pid, state content hash): protocols are
+// deterministic, so the poised operation — and whether the process has
+// decided — is a pure function of the pair.
+type poisedKey struct {
+	pid int32
+	stH uint64
+}
+
+type poisedVal struct {
+	op      Op
+	decided bool
+}
+
+// transKey memoizes a whole transition: for a deterministic protocol over
+// historyless objects, the successor (object value, process state) pair
+// is a pure function of (pid, the actor's state, the targeted object's
+// current value). Keying by content hashes makes the memo arena- and
+// worker-independent.
+type transKey struct {
+	pid  int32
+	obj  int32
+	stH  uint64 // actor state slot hash
+	valH uint64 // targeted object slot hash
+}
+
+type transVal struct {
+	val Value // canonical successor value of the targeted object
+	st  State // canonical successor state of the actor
+	vh  uint64
+	sh  uint64
+}
+
+// Stepper is the arena-backed expansion hot path: a per-worker object
+// that performs copy-on-write Apply steps, interning the touched slots
+// and maintaining the incremental slot fingerprint. One Stepper serves
+// one goroutine.
+//
+// By default the Stepper also memoizes poised operations and whole
+// transitions by slot content hash, which makes repeated transitions —
+// the overwhelmingly common case in a BFS — entirely allocation-free: no
+// Poised, Observe or encoding call happens on a memo hit. Hash-keyed
+// memoization inherits the fingerprint mode's ~2^-64 per-pair collision
+// tolerance; exact-keyed (certificate) searches construct their Stepper
+// with NewStepperExact, which disables the memos so every step is
+// recomputed from the configuration itself.
+type Stepper struct {
+	p      Protocol
+	specs  []ObjectSpec
+	arena  *Arena
+	poised map[poisedKey]poisedVal
+	trans  map[transKey]transVal
+}
+
+// NewStepper returns a Stepper for p with its own arena and transition
+// memoization enabled (fingerprint-grade guarantees).
+func NewStepper(p Protocol) *Stepper {
+	return &Stepper{
+		p: p, specs: p.Objects(), arena: NewArena(),
+		poised: make(map[poisedKey]poisedVal, 1024),
+		trans:  make(map[transKey]transVal, 4096),
+	}
+}
+
+// NewStepperExact returns a Stepper without hash-keyed memoization: every
+// step calls the protocol and re-encodes the touched slots, so a hash
+// collision can never substitute a wrong transition. The exact-keying
+// engine mode uses it.
+func NewStepperExact(p Protocol) *Stepper {
+	return &Stepper{p: p, specs: p.Objects(), arena: NewArena()}
+}
+
+// Arena exposes the stepper's intern pool (diagnostics and tests).
+func (st *Stepper) Arena() *Arena { return st.arena }
+
+// Slots returns the slot-hash vector length for the stepper's protocol:
+// one slot per object plus one per process.
+func (st *Stepper) Slots() int { return len(st.specs) + st.p.NumProcesses() }
+
+// InitSlots interns every slot of c in place (rewriting c's slots to
+// their canonical representatives), fills slotH — which must have length
+// Slots() — with the per-slot content hashes, and returns the slot
+// fingerprint. It is the root-of-exploration counterpart of ApplyCOW.
+func (st *Stepper) InitSlots(c *Config, slotH []uint64) uint64 {
+	var fp uint64
+	for i, v := range c.Objects {
+		cv, h := st.arena.InternValue(v)
+		c.Objects[i] = cv
+		slotH[i] = h
+		fp ^= mixSlot(i, h)
+	}
+	n := len(c.Objects)
+	for pid, s := range c.States {
+		cs, h := st.arena.InternState(s)
+		c.States[pid] = cs
+		slotH[n+pid] = h
+		fp ^= mixSlot(n+pid, h)
+	}
+	return fp
+}
+
+// ApplyCOW performs the poised step of process pid from parent, writing
+// the successor into dst without mutating parent. dst's slices must
+// already have the configuration's shape (the engine pools them); all
+// slots except the touched object and state are shared with the parent
+// (canonical interned objects), which is the copy-on-write discipline.
+// dstH receives parent's slot hashes with the two touched slots updated,
+// and the returned fp is the successor's slot fingerprint — computed with
+// two slot re-hashes and four XORs, never a full re-encode.
+//
+// ok is false when pid has decided (no step to take). parentH and dstH
+// must both have length Slots() and may not alias.
+func (st *Stepper) ApplyCOW(parent *Config, parentFP uint64, parentH []uint64, pid int, dst *Config, dstH []uint64) (fp uint64, ok bool, err error) {
+	stateSlot := len(st.specs) + pid
+	stH := parentH[stateSlot]
+
+	// Fast path: poised-op and transition memo hits recycle the interned
+	// successor slots without calling into the protocol at all.
+	var obj int
+	var op Op
+	var havePoised bool
+	if st.poised != nil {
+		if pe, hit := st.poised[poisedKey{pid: int32(pid), stH: stH}]; hit {
+			if pe.decided {
+				return 0, false, nil
+			}
+			op, obj, havePoised = pe.op, pe.op.Object, true
+			if tv, hit := st.trans[transKey{pid: int32(pid), obj: int32(obj), stH: stH, valH: parentH[obj]}]; hit {
+				copy(dst.Objects, parent.Objects)
+				copy(dst.States, parent.States)
+				copy(dstH, parentH)
+				dst.Objects[obj] = tv.val
+				dst.States[pid] = tv.st
+				fp = parentFP ^
+					mixSlot(obj, parentH[obj]) ^ mixSlot(obj, tv.vh) ^
+					mixSlot(stateSlot, stH) ^ mixSlot(stateSlot, tv.sh)
+				dstH[obj] = tv.vh
+				dstH[stateSlot] = tv.sh
+				return fp, true, nil
+			}
+		}
+	}
+
+	s := parent.States[pid]
+	if !havePoised {
+		op, ok = st.p.Poised(pid, s)
+		if !ok {
+			// Poised contract: ok is false exactly when the process has
+			// decided. A protocol for which an undecided process is not
+			// poised is buggy; fail loudly (the pre-arena engine surfaced
+			// this through model.Apply's error) instead of silently
+			// pruning the process from the exploration.
+			if _, decided := st.p.Decision(s); !decided {
+				return 0, false, fmt.Errorf("model: process %d is undecided but not poised", pid)
+			}
+			if st.poised != nil {
+				st.poised[poisedKey{pid: int32(pid), stH: stH}] = poisedVal{decided: true}
+			}
+			return 0, false, nil
+		}
+		if st.poised != nil {
+			st.poised[poisedKey{pid: int32(pid), stH: stH}] = poisedVal{op: op}
+		}
+		obj = op.Object
+	}
+	if obj < 0 || obj >= len(st.specs) {
+		return 0, false, fmt.Errorf("model: process %d poised on object %d of %d", pid, obj, len(st.specs))
+	}
+	next, resp, err := st.specs[obj].Type.Apply(parent.Objects[obj], op)
+	if err != nil {
+		return 0, false, fmt.Errorf("model: process %d applying %v: %w", pid, op, err)
+	}
+	newState := st.p.Observe(pid, s, resp)
+
+	cv, vh := st.arena.InternValue(next)
+	cs, sh := st.arena.InternState(newState)
+	if st.trans != nil {
+		st.trans[transKey{pid: int32(pid), obj: int32(obj), stH: stH, valH: parentH[obj]}] =
+			transVal{val: cv, st: cs, vh: vh, sh: sh}
+	}
+
+	copy(dst.Objects, parent.Objects)
+	copy(dst.States, parent.States)
+	copy(dstH, parentH)
+	dst.Objects[obj] = cv
+	dst.States[pid] = cs
+
+	fp = parentFP ^
+		mixSlot(obj, parentH[obj]) ^ mixSlot(obj, vh) ^
+		mixSlot(stateSlot, stH) ^ mixSlot(stateSlot, sh)
+	dstH[obj] = vh
+	dstH[stateSlot] = sh
+	return fp, true, nil
+}

@@ -3,7 +3,9 @@ package model
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Config is a configuration: a value for every object and a state for
@@ -67,27 +69,52 @@ func (c *Config) Clone() *Config {
 	return out
 }
 
+// CopyFrom overwrites c's slots with src's, reusing c's slices — the
+// pooled counterpart of Clone. The two configurations must have the same
+// shape (object and process counts).
+func (c *Config) CopyFrom(src *Config) {
+	copy(c.Objects, src.Objects)
+	copy(c.States, src.States)
+}
+
 // Value returns value(B_i, C), the value of object i in configuration c.
 func (c *Config) Value(i int) Value { return c.Objects[i] }
+
+// keyBufPool recycles the scratch buffers behind Key and StateKey: both
+// sit on the hot path whenever exact keying is selected, so they build
+// through a pooled []byte instead of fmt.Sprintf concatenation and pay
+// exactly one allocation (the returned string) per call in steady state.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// appendStateKey appends s's canonical key bytes ("<nil>" for nil).
+func appendStateKey(buf []byte, s State) []byte {
+	if s == nil {
+		return append(buf, "<nil>"...)
+	}
+	if ka, ok := s.(KeyAppender); ok {
+		return ka.AppendKey(buf)
+	}
+	return append(buf, s.Key()...)
+}
 
 // Key returns a canonical encoding of the entire configuration, for
 // hashing during exploration.
 func (c *Config) Key() string {
-	var b strings.Builder
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	for _, v := range c.Objects {
-		b.WriteString(keyOf(v))
-		b.WriteByte('|')
+		buf = appendKeyOf(buf, v)
+		buf = append(buf, '|')
 	}
-	b.WriteByte('#')
+	buf = append(buf, '#')
 	for _, s := range c.States {
-		if s == nil {
-			b.WriteString("<nil>")
-		} else {
-			b.WriteString(s.Key())
-		}
-		b.WriteByte('|')
+		buf = appendStateKey(buf, s)
+		buf = append(buf, '|')
 	}
-	return b.String()
+	out := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return out
 }
 
 // StateKey returns a canonical encoding of the states of the given
@@ -95,15 +122,20 @@ func (c *Config) Key() string {
 func (c *Config) StateKey(pids []int) string {
 	sorted := append([]int(nil), pids...)
 	sort.Ints(sorted)
-	var b strings.Builder
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	for _, pid := range sorted {
-		fmt.Fprintf(&b, "%d:", pid)
+		buf = strconv.AppendInt(buf, int64(pid), 10)
+		buf = append(buf, ':')
 		if s := c.States[pid]; s != nil {
-			b.WriteString(s.Key())
+			buf = appendStateKey(buf, s)
 		}
-		b.WriteByte('|')
+		buf = append(buf, '|')
 	}
-	return b.String()
+	out := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return out
 }
 
 // IndistinguishableTo reports whether c and d are indistinguishable to the

@@ -1,6 +1,9 @@
 package model
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // This file implements a compact binary encoding of configurations and a
 // 64-bit FNV-1a fingerprint over that encoding. The string Key() encoding
@@ -43,7 +46,7 @@ func appendVarint(buf []byte, x int64) []byte {
 
 // appendValue appends the compact encoding of v. Int, Nil, Pair and Vec —
 // the value types every built-in object stores — get binary fast paths;
-// anything else is encoded via its canonical Key string.
+// anything else is encoded via its canonical Key bytes.
 func appendValue(buf []byte, v Value) []byte {
 	switch x := v.(type) {
 	case nil:
@@ -62,13 +65,32 @@ func appendValue(buf []byte, v Value) []byte {
 		}
 		return buf
 	default:
-		return appendString(append(buf, encOpaque), v.Key())
+		return appendKeyBytes(append(buf, encOpaque), v)
 	}
 }
 
 func appendString(buf []byte, s string) []byte {
 	buf = appendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
+}
+
+// keyScratchPool holds scratch buffers for length-prefixing AppendKey
+// output without allocating a key string first.
+var keyScratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// appendKeyBytes appends the length-prefixed canonical key of v (a Value
+// or State), using the KeyAppender fast path when available.
+func appendKeyBytes[T interface{ Key() string }](buf []byte, v T) []byte {
+	if ka, ok := any(v).(KeyAppender); ok {
+		tp := keyScratchPool.Get().(*[]byte)
+		tmp := ka.AppendKey((*tp)[:0])
+		buf = appendUvarint(buf, uint64(len(tmp)))
+		buf = append(buf, tmp...)
+		*tp = tmp
+		keyScratchPool.Put(tp)
+		return buf
+	}
+	return appendString(buf, v.Key())
 }
 
 // appendState appends the encoding of one process state. States are
@@ -78,7 +100,7 @@ func appendState(buf []byte, s State) []byte {
 	if s == nil {
 		return append(buf, encNilIface)
 	}
-	return appendString(append(buf, encOpaque), s.Key())
+	return appendKeyBytes(append(buf, encOpaque), s)
 }
 
 // AppendEncoding appends the compact binary encoding of c to buf and

@@ -16,7 +16,6 @@ package model
 import (
 	"fmt"
 	"strconv"
-	"strings"
 )
 
 // Value is the value stored in a shared object, the argument of an
@@ -33,12 +32,37 @@ type Value interface {
 	Key() string
 }
 
+// KeyAppender is an optional fast path for Values and States: AppendKey
+// appends exactly the bytes of Key() to buf and returns the extended
+// slice, letting hot paths (configuration hashing, the intern arena)
+// build keys without allocating. Implementations must keep AppendKey and
+// Key byte-identical.
+type KeyAppender interface {
+	// AppendKey appends the canonical key bytes to buf.
+	AppendKey(buf []byte) []byte
+}
+
+// appendKeyOf appends v's canonical key to buf, using the AppendKey fast
+// path when available (the "<nil>" spelling matches keyOf).
+func appendKeyOf(buf []byte, v Value) []byte {
+	if v == nil {
+		return append(buf, "<nil>"...)
+	}
+	if ka, ok := v.(KeyAppender); ok {
+		return ka.AppendKey(buf)
+	}
+	return append(buf, v.Key()...)
+}
+
 // Int is an integer Value. Registers, bounded swap objects, test-and-set
 // and fetch-and-add objects all store Ints.
 type Int int
 
 // Key implements Value.
 func (v Int) Key() string { return strconv.Itoa(int(v)) }
+
+// AppendKey implements KeyAppender.
+func (v Int) AppendKey(buf []byte) []byte { return strconv.AppendInt(buf, int64(v), 10) }
 
 // String returns the decimal rendering of the integer.
 func (v Int) String() string { return strconv.Itoa(int(v)) }
@@ -50,6 +74,9 @@ type Nil struct{}
 
 // Key implements Value.
 func (Nil) Key() string { return "⊥" }
+
+// AppendKey implements KeyAppender.
+func (Nil) AppendKey(buf []byte) []byte { return append(buf, "⊥"...) }
 
 // String renders ⊥.
 func (Nil) String() string { return "⊥" }
@@ -69,6 +96,15 @@ type Pair struct {
 // Key implements Value.
 func (p Pair) Key() string { return "⟨" + keyOf(p.First) + "," + keyOf(p.Second) + "⟩" }
 
+// AppendKey implements KeyAppender.
+func (p Pair) AppendKey(buf []byte) []byte {
+	buf = append(buf, "⟨"...)
+	buf = appendKeyOf(buf, p.First)
+	buf = append(buf, ',')
+	buf = appendKeyOf(buf, p.Second)
+	return append(buf, "⟩"...)
+}
+
 // String renders the pair using the component String methods when present.
 func (p Pair) String() string { return fmt.Sprintf("⟨%v,%v⟩", p.First, p.Second) }
 
@@ -78,17 +114,18 @@ func (p Pair) String() string { return fmt.Sprintf("⟨%v,%v⟩", p.First, p.Sec
 type Vec []int
 
 // Key implements Value.
-func (v Vec) Key() string {
-	var b strings.Builder
-	b.WriteByte('[')
+func (v Vec) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey implements KeyAppender.
+func (v Vec) AppendKey(buf []byte) []byte {
+	buf = append(buf, '[')
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		b.WriteString(strconv.Itoa(x))
+		buf = strconv.AppendInt(buf, int64(x), 10)
 	}
-	b.WriteByte(']')
-	return b.String()
+	return append(buf, ']')
 }
 
 // String renders the vector.

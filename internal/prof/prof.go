@@ -1,0 +1,67 @@
+// Package prof is the tiny shared -cpuprofile/-memprofile plumbing of the
+// CLIs (mcheck, lbcheck, sweep): start CPU profiling before the workload,
+// write the heap profile after it, so a profile can be captured on any
+// scenario without code edits.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from a FlagSet.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register declares -cpuprofile and -memprofile on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write an allocation (heap) profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. The stop function
+// must run after the workload (defer it); it is safe to call when no
+// profiling was requested.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	mem := *f.mem
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close CPU profile: %w", err)
+			}
+		}
+		if mem == "" {
+			return nil
+		}
+		memFile, err := os.Create(mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer memFile.Close()
+		runtime.GC() // flush garbage so the heap profile shows live+allocated truthfully
+		if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -53,16 +53,22 @@ type Result struct {
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 
-	States        int          `json:"states,omitempty"`
-	Measured      int          `json:"measured"`
-	Certified     int          `json:"certified"`
-	Bound         int          `json:"bound,omitempty"`
-	Decided       []int        `json:"decided,omitempty"`
-	Complete      bool         `json:"complete,omitempty"`
-	Violation     *Violation   `json:"violation,omitempty"`
-	WallMS        float64      `json:"wall_ms"`
-	ConfigsPerSec float64      `json:"configs_per_sec,omitempty"`
-	Table         *harness.Row `json:"table,omitempty"`
+	States        int        `json:"states,omitempty"`
+	Measured      int        `json:"measured"`
+	Certified     int        `json:"certified"`
+	Bound         int        `json:"bound,omitempty"`
+	Decided       []int      `json:"decided,omitempty"`
+	Complete      bool       `json:"complete,omitempty"`
+	Violation     *Violation `json:"violation,omitempty"`
+	WallMS        float64    `json:"wall_ms"`
+	ConfigsPerSec float64    `json:"configs_per_sec,omitempty"`
+	// AllocsPerState is heap allocations per explored configuration
+	// (runtime mallocs delta over the cell / States). With concurrent
+	// cells the delta includes neighbors' allocations, so treat it as an
+	// upper bound; the committed BENCH_<n>.json snapshots carry the
+	// isolated numbers.
+	AllocsPerState float64      `json:"allocs_per_state,omitempty"`
+	Table          *harness.Row `json:"table,omitempty"`
 }
 
 // Gates reports whether the record should fail a gating consumer (CI):
@@ -178,6 +184,8 @@ func RunCellRecord(cell Cell) Result {
 		out *Outcome
 		err error
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var d done
 	if cell.Timeout <= 0 {
@@ -221,6 +229,11 @@ func RunCellRecord(cell Cell) Result {
 	}
 	if out.States > 0 && elapsed > 0 {
 		rec.ConfigsPerSec = float64(out.States) / elapsed.Seconds()
+	}
+	if out.States > 0 {
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		rec.AllocsPerState = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(out.States)
 	}
 	rec.Status = cellStatus(spec, out)
 	return rec
