@@ -12,7 +12,14 @@ test:
 	go test ./...
 
 race:
-	go test -race -run 'Parallel|Deterministic|Workers|Quotient|Frontier' ./internal/check ./internal/lowerbound
+	go test -race -run 'Parallel|Deterministic|Workers|Quotient|Frontier|Spill|Truncation' ./internal/check ./internal/lowerbound
+
+# spill-smoke forces real disk spills: a 64KB budget against a ~240KB
+# visited set, race-enabled — the local twin of the CI spill-smoke job.
+.PHONY: spill-smoke
+spill-smoke:
+	go run -race ./cmd/sweep -grid small -rows explore -n 4 \
+		-store spill -membudget 64KB -max 30000 -json -progress
 
 # bench writes the next BENCH_<n>.json snapshot of the explorer benchmark
 # suite (ns/op, states/sec, allocs/op per scenario). Commit the file to

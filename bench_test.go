@@ -641,7 +641,10 @@ func BenchmarkExploreParallelFingerprint(b *testing.B) {
 	b.ResetTimer()
 	var visited int
 	for i := 0; i < b.N; i++ {
-		res := check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{Limits: limits})
+		res, err := check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{Limits: limits})
+		if err != nil {
+			b.Fatal(err)
+		}
 		visited = res.Visited
 	}
 	b.ReportMetric(float64(visited), "configs")
@@ -664,7 +667,9 @@ func BenchmarkExploreEngineMatrix(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					check.ExploreOpts(p, c, pids, 1, opts)
+					if _, err := check.ExploreOpts(p, c, pids, 1, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		}

@@ -32,9 +32,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
-	n := fs.Int("n", 3, "number of processes")
-	k := fs.Int("k", 1, "agreement parameter")
-	m := fs.Int("m", 2, "input domain size")
+	inst := harness.RegisterInstanceFlags(fs, 3, 1, 2)
+	n, k, m := inst.N, inst.K, inst.M
 	margin := fs.Int("margin", 2, "line 16 decision margin (paper: 2)")
 	objects := fs.Int("objects", 0, "number of swap objects (0 = paper's n-k)")
 	noconflict := fs.Bool("noconflict", false, "ignore the conflict flag (ablate lines 5/8-9/13)")

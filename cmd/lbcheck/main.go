@@ -20,10 +20,13 @@
 // -workers and -shards set its parallelism (results are identical for
 // every setting), -fingerprints switches deduplication from exact string
 // keys to 64-bit fingerprints (leaner, with a ~2^-64 per-pair collision
-// risk), and -progress streams per-level throughput to stderr, keeping
-// stdout parseable. The covering scans of -covering and the -forbidden
-// ledger run still use their original sequential passes and ignore the
-// engine flags. -max and -depth override any mode's default budget.
+// risk), -store/-membudget select the disk-spilling state store (the
+// searches retain provenance, so their frontiers stay resident and the
+// visited-set dedup state spills), and -progress streams per-level
+// throughput to stderr, keeping stdout parseable. The covering scans of
+// -covering and the -forbidden ledger run still use their original
+// sequential passes and ignore the engine flags. -max and -depth
+// override any mode's default budget.
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/check"
+	"repro/internal/harness"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
 	"repro/internal/prof"
@@ -56,24 +59,21 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lbcheck", flag.ContinueOnError)
-	n := fs.Int("n", 6, "number of processes")
-	k := fs.Int("k", 2, "agreement parameter")
+	inst := harness.RegisterInstanceFlags(fs, 6, 2, 0)
+	n, k := inst.N, inst.K
 	figure1 := fs.Bool("figure1", false, "run the Lemma 9 construction (Figure 1)")
 	theorem10 := fs.Bool("theorem10", false, "run the full Theorem 10 induction")
 	counter := fs.Bool("counterexample", false, "find the 3-process violation of the pair consensus")
 	covering := fs.Bool("covering", false, "covering scan and Lemma 13 γ search")
 	forbidden := fs.Bool("forbidden", false, "Lemma 20 ledger run (Figure 6)")
 	lemma16 := fs.Bool("lemma16", false, "Lemma 16 X/Y covering induction (Figures 2-5)")
-	workers := fs.Int("workers", 0, "search engine worker goroutines (0 = all cores)")
-	shards := fs.Int("shards", 0, "visited-set stripes (0 = default 64)")
-	maxConfigs := fs.Int("max", 0, "override the mode's configuration budget (0 = mode default)")
-	maxDepth := fs.Int("depth", 0, "override the mode's depth cap (0 = mode default)")
-	fingerprints := fs.Bool("fingerprints", false, "dedup on 64-bit fingerprints instead of exact string keys")
-	progress := fs.Bool("progress", false, "report per-level engine throughput to stderr")
+	limitFlags := harness.RegisterLimitFlags(fs, 0, 0)
+	engFlags := harness.RegisterEngineFlags(fs, true)
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	maxConfigs, maxDepth := limitFlags.Max, limitFlags.Depth
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
@@ -94,14 +94,16 @@ func run(args []string, out io.Writer) error {
 		if *maxDepth > 0 {
 			modeDepth = *maxDepth
 		}
-		l := lowerbound.SearchLimits{
-			MaxConfigs: modeConfigs, MaxDepth: modeDepth,
-			Workers: *workers, Shards: *shards, Fingerprints: *fingerprints,
-		}
-		if *progress {
-			l.Progress = check.ProgressPrinter(os.Stderr)
+		l, err := engFlags.SearchLimits(modeConfigs, modeDepth, os.Stderr)
+		if err != nil {
+			panic("lbcheck: " + err.Error()) // -membudget parse errors are caught below before any mode runs
 		}
 		return l
+	}
+	// Surface a bad -store/-membudget combination as a usage error before
+	// any search runs.
+	if err := engFlags.Validate(); err != nil {
+		return err
 	}
 	// limits resolves a mode's default budget from the shared sweep
 	// registry and applies the overrides.

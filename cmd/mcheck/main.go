@@ -8,12 +8,17 @@
 //
 //	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
 //	       [-workers 0] [-shards 64] [-stringkeys] [-progress]
+//	       [-store mem|spill] [-membudget 64MB]
 //
 // Exploration runs on the sharded frontier engine: -workers sets the
-// parallelism (0 = all cores), -shards the visited-set stripe count,
+// parallelism (0 = all cores), -shards the visited-set partition count,
 // -stringkeys switches from 64-bit fingerprint dedup to exact string
-// keys, and -progress streams per-level throughput to stderr. Results are
-// identical for every -workers/-shards setting.
+// keys, and -progress streams per-level throughput to stderr. -store
+// selects the state-store backend: "mem" keeps the visited set and
+// frontier in RAM; "spill" bounds resident store memory by -membudget,
+// spilling visited fingerprints to sorted runs and frontier segments to
+// disk, so instances larger than RAM finish bounded by disk and time.
+// Results are identical for every -workers/-shards/-store setting.
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
@@ -33,6 +38,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/prof"
 )
@@ -56,16 +62,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mcheck", flag.ContinueOnError)
 	proto := fs.String("proto", "algorithm1", "protocol: algorithm1|algorithm1-readable|racing|readable|pair|pairing|register-kset|toybit|ablation-margin1")
-	n := fs.Int("n", 3, "processes")
-	k := fs.Int("k", 1, "agreement parameter")
-	m := fs.Int("m", 2, "input domain")
+	inst := harness.RegisterInstanceFlags(fs, 3, 1, 2)
 	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: pid % m)")
-	maxConfigs := fs.Int("max", 200000, "configuration budget")
-	maxDepth := fs.Int("depth", 0, "depth cap (0 = none)")
-	workers := fs.Int("workers", 0, "explorer worker goroutines (0 = all cores)")
-	shards := fs.Int("shards", 0, "visited-set stripes (0 = default 64)")
-	stringKeys := fs.Bool("stringkeys", false, "dedup on exact string keys instead of 64-bit fingerprints")
-	progress := fs.Bool("progress", false, "report per-level throughput to stderr")
+	limitFlags := harness.RegisterLimitFlags(fs, 200000, 0)
+	engFlags := harness.RegisterEngineFlags(fs, false)
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
-	p, err := buildProtocol(*proto, *n, *k, *m)
+	p, err := buildProtocol(*proto, *inst.N, *inst.K, *inst.M)
 	if err != nil {
 		return err
 	}
@@ -89,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	inputs := make([]int, p.NumProcesses())
 	if *inputsFlag == "" {
 		for i := range inputs {
-			inputs[i] = i % *m
+			inputs[i] = i % *inst.M
 		}
 	} else {
 		parts := strings.Split(*inputsFlag, ",")
@@ -114,22 +114,28 @@ func run(args []string, out io.Writer) error {
 		all[i] = i
 	}
 
-	opts := check.ExploreOptions{
-		Limits: check.ExploreLimits{MaxConfigs: *maxConfigs, MaxDepth: *maxDepth},
-		Engine: check.EngineOptions{Workers: *workers, Shards: *shards, StringKeys: *stringKeys},
+	// Progress always goes to stderr: stdout must stay parseable when
+	// mcheck is piped into the sweep runner or other tooling.
+	engine, err := engFlags.Options(os.Stderr)
+	if err != nil {
+		return err
 	}
-	if *progress {
-		// Progress always goes to stderr: stdout must stay parseable when
-		// mcheck is piped into the sweep runner or other tooling.
-		opts.Engine.Progress = check.ProgressPrinter(os.Stderr)
-	}
+	opts := check.ExploreOptions{Limits: limitFlags.ExploreLimits(), Engine: engine}
 
 	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
 	startT := time.Now()
-	res := check.ExploreOpts(p, c, all, *k, opts)
+	res, err := check.ExploreOpts(p, c, all, *inst.K, opts)
+	if err != nil {
+		return err
+	}
 	elapsed := time.Since(startT)
 	fmt.Fprintf(out, "explored %d configurations in %v (%.0f configs/s, complete: %v)\n",
 		res.Visited, elapsed.Round(time.Millisecond), float64(res.Visited)/elapsed.Seconds(), res.Complete)
+	if res.Store.Kind == check.StoreSpill {
+		fmt.Fprintf(out, "store: spill — %s spilled (%d runs written, %d merged), peak resident %s\n",
+			harness.FormatByteSize(res.Store.BytesSpilled), res.Store.RunsWritten,
+			res.Store.RunsMerged, harness.FormatByteSize(res.Store.PeakResidentBytes))
+	}
 	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)
 	if res.AgreementViolation != nil {
@@ -137,9 +143,12 @@ func run(args []string, out io.Writer) error {
 			res.AgreementViolation.DecidedValues(p))
 		return errViolation
 	}
-	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *k)
+	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *inst.K)
 
-	val := check.ClassifyValencyOpts(p, c, all, opts)
+	val, err := check.ClassifyValencyOpts(p, c, all, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "initial configuration valency (all processes): %s (values %v, complete %v)\n",
 		val.Class, val.Values, val.Complete)
 	return nil

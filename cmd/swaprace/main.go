@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -30,9 +31,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("swaprace", flag.ContinueOnError)
-	n := fs.Int("n", 16, "number of processes (goroutines)")
-	k := fs.Int("k", 1, "agreement parameter")
-	m := fs.Int("m", 2, "input domain size")
+	inst := harness.RegisterInstanceFlags(fs, 16, 1, 2)
+	n, k, m := inst.N, inst.K, inst.M
 	rounds := fs.Int("rounds", 100, "independent agreement instances to run")
 	backoff := fs.Bool("backoff", true, "randomized backoff contention management")
 	seed := fs.Int64("seed", 0, "input/backoff seed (0 = time)")

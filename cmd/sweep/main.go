@@ -7,8 +7,16 @@
 //
 //	sweep [-grid default|small|engine] [-spec grid.json]
 //	      [-n 8] [-k 2] [-rows a,b,c] [-schedules N] [-seed S]
-//	      [-max N] [-depth N] [-par N] [-timeout SECONDS]
+//	      [-max N] [-depth N] [-store mem|spill] [-membudget 64MB]
+//	      [-par N] [-timeout SECONDS]
 //	      [-out sweep.json] [-json] [-progress]
+//
+// -store/-membudget select the frontier engine's state store for every
+// cell: "spill" bounds resident store memory by the budget, spilling
+// visited fingerprints to sorted runs and frontier segments to disk, and
+// the cell's JSONL record carries the spill statistics (bytes_spilled,
+// runs_written, runs_merged, peak_resident_bytes). Results are identical
+// across stores.
 //
 // -out appends JSONL records to the file and makes the run resumable:
 // cells whose IDs already appear in the file are skipped, so an
@@ -46,6 +54,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/sweep"
 )
@@ -80,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 0, "schedule seed (0 = grid default)")
 	maxConfigs := fs.Int("max", 0, "configuration budget override")
 	maxDepth := fs.Int("depth", 0, "depth cap override")
+	storeFlags := harness.RegisterStoreFlags(fs)
 	par := fs.Int("par", 0, "concurrently executing cells (0 = all cores)")
 	timeout := fs.Int("timeout", -1, "per-cell wall-time budget in seconds (-1 = grid default, 0 = none)")
 	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
@@ -137,6 +147,48 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *timeout >= 0 {
 		grid.TimeoutSec = *timeout
+	}
+	// -store/-membudget override the store axis of every engine spec in
+	// the grid (adding a default spec when the grid declares none), so
+	// any grid can be re-run beyond-RAM without editing its spec file.
+	if storeFlags.Store() != "" || storeFlags.MemBudgetText() != "" {
+		if _, err := storeFlags.MemBudget(); err != nil {
+			return err
+		}
+		if len(grid.Engines) == 0 {
+			grid.Engines = []sweep.EngineSpec{{}}
+		}
+		for i := range grid.Engines {
+			if storeFlags.Store() != "" {
+				grid.Engines[i].Store = storeFlags.Store()
+				if storeFlags.Store() != "spill" && storeFlags.MemBudgetText() == "" {
+					// Reverting a spill spec to mem must also drop the
+					// spec's budget, or validation would reject the
+					// now-meaningless leftover.
+					grid.Engines[i].MemBudget = ""
+				}
+			}
+			if storeFlags.MemBudgetText() != "" {
+				grid.Engines[i].MemBudget = storeFlags.MemBudgetText()
+			}
+		}
+		// The override can make specs that differed only on the store
+		// axis identical; drop the duplicates so no cell runs twice
+		// under one checkpoint ID.
+		var unique []sweep.EngineSpec
+		for _, e := range grid.Engines {
+			dup := false
+			for _, u := range unique {
+				if u == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				unique = append(unique, e)
+			}
+		}
+		grid.Engines = unique
 	}
 
 	cells, err := grid.Cells()

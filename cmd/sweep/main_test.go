@@ -154,6 +154,89 @@ func TestRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogusflag"}, &out); err == nil {
 		t.Error("unknown flag must be rejected")
 	}
+	if err := run([]string{"-store", "floppy"}, &out); err == nil {
+		t.Error("unknown store must be rejected")
+	}
+	if err := run([]string{"-store", "spill", "-membudget", "lots"}, &out); err == nil {
+		t.Error("bad -membudget must be rejected")
+	}
+	if err := run([]string{"-membudget", "1GB"}, &out); err == nil {
+		t.Error("-membudget without -store spill must be rejected, not silently unenforced")
+	}
+}
+
+// TestSpillStoreFlagEndToEnd drives the beyond-RAM path through the CLI:
+// an exploration whose 20000-configuration visited set dwarfs an 8KB
+// budget must finish clean, and its JSONL record must carry the spill
+// statistics CI greps for.
+func TestSpillStoreFlagEndToEnd(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-grid", "small", "-rows", "explore", "-n", "4",
+		"-store", "spill", "-membudget", "8KB", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("stdout is not JSONL: %v\n%s", err, out.String())
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1: %s", len(records), out.String())
+	}
+	rec := records[0]
+	if rec.Status != sweep.StatusOK {
+		t.Fatalf("status %q: %s", rec.Status, rec.Error)
+	}
+	if rec.Store != "spill" || rec.BytesSpilled == 0 || rec.RunsWritten == 0 || rec.PeakResidentBytes == 0 {
+		t.Errorf("record lacks spill stats: %+v", rec)
+	}
+	if !strings.Contains(rec.Cell, "spill@8KB") {
+		t.Errorf("cell ID %q does not carry the store axis", rec.Cell)
+	}
+}
+
+// TestStoreMemOverrideRevertsSpillSpec: -store mem against a grid whose
+// spec declares spill engines must drop the spec's now-meaningless
+// budget instead of failing validation.
+func TestStoreMemOverrideRevertsSpillSpec(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(spec, []byte(`{"rows":["consensus-readable-b2"],"ns":[4],"ks":[1],
+		"engines":[{"store":"spill","mem_budget":"1MB"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", spec, "-store", "mem", "-json"}, &out); err != nil {
+		t.Fatalf("-store mem could not revert a spill spec: %v", err)
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil || len(records) != 1 {
+		t.Fatalf("records: %v, %v", records, err)
+	}
+	if strings.Contains(records[0].Cell, "spill") {
+		t.Errorf("cell %q still on the spill store", records[0].Cell)
+	}
+}
+
+// TestStoreOverrideDedupesCollapsedEngines: when -store mem makes a
+// mem-vs-spill comparison grid's engine specs identical, the duplicates
+// are dropped rather than running every cell twice under one ID.
+func TestStoreOverrideDedupesCollapsedEngines(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(spec, []byte(`{"rows":["consensus-readable-b2"],"ns":[4],"ks":[1],
+		"engines":[{"store":"spill","mem_budget":"1MB"},{}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", spec, "-store", "mem", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1 (collapsed specs deduped): %s", len(records), out.String())
+	}
 }
 
 func nonEmptyLines(s string) []string {

@@ -38,10 +38,10 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
-	n := fs.Int("n", 8, "number of processes")
-	k := fs.Int("k", 2, "agreement parameter for the k-set rows")
-	schedules := fs.Int("schedules", 25, "adversarial schedules per validation")
-	seed := fs.Int64("seed", 1, "schedule seed")
+	inst := harness.RegisterInstanceFlags(fs, 8, 2, 0)
+	n, k := inst.N, inst.K
+	val := harness.RegisterValidationFlags(fs, 25, 1)
+	schedules, seed := val.Schedules, val.Seed
 	solo := fs.Bool("solo", false, "run the Lemma 8 solo step census")
 	sweepFlag := fs.Bool("sweep", false, "sweep Theorem 10 certificates over an (n,k) grid")
 	if err := fs.Parse(args); err != nil {

@@ -79,6 +79,16 @@ func row3Instance() (model.Protocol, *model.Config, []int, check.ExploreLimits) 
 	return p, c, []int{0, 1, 2, 3}, check.ExploreLimits{MaxConfigs: 20000}
 }
 
+// mustExplore panics on engine errors: the scenarios are fixed,
+// known-good workloads, so any error is a harness bug worth a crash.
+func mustExplore(p model.Protocol, c *model.Config, pids []int, k int, opts check.ExploreOptions) *check.ExploreResult {
+	res, err := check.ExploreOpts(p, c, pids, k, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // Suite returns the explorer benchmark scenarios, in snapshot order.
 func Suite() []Scenario {
 	return []Scenario{
@@ -97,7 +107,7 @@ func Suite() []Scenario {
 			Name: "explore/row3/engine-1worker",
 			Run: func() int {
 				p, c, pids, limits := row3Instance()
-				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{Workers: 1},
 				}).Visited
@@ -109,7 +119,7 @@ func Suite() []Scenario {
 			Name: "explore/row3/engine-parallel",
 			Run: func() int {
 				p, c, pids, limits := row3Instance()
-				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{Limits: limits}).Visited
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{Limits: limits}).Visited
 			},
 		},
 		{
@@ -118,9 +128,35 @@ func Suite() []Scenario {
 			Name: "explore/row3/engine-stringkey",
 			Run: func() int {
 				p, c, pids, limits := row3Instance()
-				return check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{StringKeys: true},
+				}).Visited
+			},
+		},
+		{
+			// Disk-spilling store at the default budget: the spill path's
+			// fixed overhead (frontier spooling, exchange interning) with
+			// no forced run spills — gates the store abstraction itself.
+			Name: "explore/row3/spillstore",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Store: check.StoreSpill},
+				}).Visited
+			},
+		},
+		{
+			// Disk-spilling store under an 8KB budget: every barrier
+			// spills, runs merge, delayed duplicate detection does real
+			// k-way work — the beyond-RAM worst case.
+			Name: "explore/row3/spillstore-tinybudget",
+			Run: func() int {
+				p, c, pids, limits := row3Instance()
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Store: check.StoreSpill, MemBudget: 8 << 10},
 				}).Visited
 			},
 		},

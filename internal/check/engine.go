@@ -3,7 +3,6 @@ package check
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,21 +30,26 @@ import (
 //     vectors — are recycled through a sync.Pool, so expanding a state
 //     performs no per-successor heap allocation in the steady case.
 //
-//   - Deduplication is partitioned by fingerprint. Each partition's
-//     visited table — an open-addressing fpSet (or an exact-key map in
-//     string-key mode) — is owned by a single dedup goroutine; workers
-//     deliver successors in ~256-node batches over per-partition
-//     channels, amortizing all cross-goroutine synchronization over the
-//     batch. No mutex is taken per successor. Levels processed by a
-//     single worker skip the goroutines entirely and admit inline.
+//   - Deduplication and frontier queuing are owned by a pluggable
+//     StateStore (store.go), partitioned by fingerprint. Each partition
+//     is touched by a single dedup goroutine; workers deliver successors
+//     in ~256-node batches over per-partition channels, amortizing all
+//     cross-goroutine synchronization over the batch. No mutex is taken
+//     per successor. Levels processed by a single worker skip the
+//     goroutines entirely and admit inline. The in-memory store
+//     (memstore.go) keeps open-addressing fpSet tables and in-RAM node
+//     slices; the disk-spilling store (spillstore.go) bounds resident
+//     memory by a byte budget, spilling visited fingerprints to sorted
+//     runs (resolved by k-way merge at each barrier) and frontier nodes
+//     to spooled segments, so the explorable space is bounded by disk.
 //
-//   - Results are deterministic regardless of worker interleaving: the
-//     set of configurations processed at each level is a pure function of
-//     the protocol and limits (budget truncation picks survivors by
-//     sorted fingerprint, not arrival order), per-worker accumulators are
-//     merged with commutative operations, and witness provenance is
-//     tie-broken by (parent fingerprint, pid) rather than discovery
-//     order.
+//   - Results are deterministic regardless of worker interleaving and of
+//     the store backend: the set of configurations processed at each
+//     level is a pure function of the protocol and limits (budget
+//     truncation picks survivors by sorted fingerprint, not arrival
+//     order), per-worker accumulators are merged with commutative
+//     operations, and witness provenance is tie-broken by (parent
+//     fingerprint, pid) rather than discovery order.
 //
 //   - By default the visited set is keyed by the 64-bit incremental slot
 //     fingerprint (model.Config.SlotFingerprint). Distinct configurations
@@ -85,7 +89,19 @@ type EngineOptions struct {
 	// intern arenas and transition memos still grow with the number of
 	// distinct slot encodings and transitions seen — typically far
 	// smaller than the configuration count, but not frontier-bounded.)
+	// With the spill store, provenance keeps the frontier resident (the
+	// chains must stay live) and only the dedup state spills.
 	Provenance bool
+	// Store selects the state-store backend: "" or "mem" for the
+	// in-memory store, "spill" for the disk-spilling store that bounds
+	// resident memory by MemBudget. Results do not depend on it.
+	Store string
+	// MemBudget is the spill store's resident-byte budget (0 selects
+	// DefaultMemBudget). Ignored by the in-memory store.
+	MemBudget int64
+	// SpillDir is where the spill store keeps its run and segment files
+	// ("" = a fresh directory under os.TempDir, removed on completion).
+	SpillDir string
 	// Progress, if non-nil, is invoked after every completed level with
 	// cumulative throughput statistics.
 	Progress func(Progress)
@@ -104,6 +120,9 @@ func (o EngineOptions) withDefaults() EngineOptions {
 		s <<= 1
 	}
 	o.Shards = s
+	if o.Store == "" {
+		o.Store = StoreMem
+	}
 	return o
 }
 
@@ -175,6 +194,9 @@ type RunStats struct {
 	Complete bool
 	// Levels is the number of frontier levels processed.
 	Levels int
+	// Store reports the state store's activity (spill volume, peak
+	// resident bytes).
+	Store StoreStats
 }
 
 // batchSize is the successor-batch granularity: workers hand nodes to the
@@ -182,15 +204,14 @@ type RunStats struct {
 // synchronization over the batch.
 const batchSize = 256
 
-// dedupOwner is one visited-set partition: its table, its slice of the
-// next frontier and its per-level pending admissions (for deterministic
-// provenance claims). During a parallel level it is owned exclusively by
-// one goroutine consuming ch; during single-worker levels the worker
-// calls admit directly. Either way, no lock is ever taken.
+// dedupOwner is the engine-side face of one visited-set partition: its
+// per-level pending admissions (for deterministic provenance claims) and
+// its batch channel. The tables and frontier queues live in the store.
+// During a parallel level a partition is owned exclusively by one
+// goroutine consuming ch; during single-worker levels the worker calls
+// admit directly. Either way, no lock is ever taken.
 type dedupOwner struct {
-	fps     *fpSet
-	keys    map[string]struct{}
-	next    []*Node
+	part    int
 	pending map[uint64]*Node
 	ch      chan []*Node
 }
@@ -200,6 +221,7 @@ type dedupOwner struct {
 type engineRun struct {
 	stringKeys bool
 	provenance bool
+	store      StateStore
 	owners     []*dedupOwner
 	ownerMask  uint64
 	nodePool   *sync.Pool
@@ -235,19 +257,13 @@ func (r *engineRun) recycleAlways(n *Node) {
 }
 
 // admit applies the dedup/admission protocol to one candidate successor.
-// It runs on the owner's goroutine (or the sole worker), so it touches
-// the partition state without locking. In the common open-admissions
-// case the visited table is probed exactly once (fpSet.Add reports
+// It runs on the owner's goroutine (or the sole worker), so the store
+// partition is touched without locking. In the common open-admissions
+// case the visited table is probed exactly once (StateStore.Admit reports
 // newly-added); only the rare sticky closed state needs a read-only Has.
 func (o *dedupOwner) admit(r *engineRun, nn *Node) {
 	if r.closed.Load() {
-		var dup bool
-		if r.stringKeys {
-			_, dup = o.keys[nn.key]
-		} else {
-			dup = o.fps.Has(nn.fp)
-		}
-		if !dup {
+		if !r.store.Has(o.part, nn.fp, nn.key) {
 			// Budget exhausted earlier: the space extends beyond what
 			// was admitted.
 			r.truncated.Store(true)
@@ -257,21 +273,17 @@ func (o *dedupOwner) admit(r *engineRun, nn *Node) {
 		o.claimProvenance(r, nn)
 		return
 	}
-	var added bool
-	if r.stringKeys {
-		if _, dup := o.keys[nn.key]; !dup {
-			o.keys[nn.key] = struct{}{}
-			added = true
-		}
-	} else {
-		added = o.fps.Add(nn.fp)
-	}
+	added, retained := r.store.Admit(o.part, nn)
 	if added {
 		if r.provenance {
 			o.pending[nn.fp] = nn
 		}
-		o.next = append(o.next, nn)
 		r.admitted.Add(1)
+		if !retained {
+			// The store externalized the node's content (spooled to
+			// disk); its buffers are free immediately.
+			r.recycleAlways(nn)
+		}
 		return
 	}
 	o.claimProvenance(r, nn)
@@ -292,6 +304,18 @@ func (o *dedupOwner) claimProvenance(r *engineRun, nn *Node) {
 	r.recycleAlways(nn)
 }
 
+// newStateStore builds the backend selected by the options.
+func newStateStore(opts EngineOptions, ctx storeCtx) (StateStore, error) {
+	switch opts.Store {
+	case StoreMem:
+		return newMemStore(ctx), nil
+	case StoreSpill:
+		return newSpillStore(ctx, opts.MemBudget, opts.SpillDir)
+	default:
+		return nil, fmt.Errorf("frontier engine: unknown store %q (have %q, %q)", opts.Store, StoreMem, StoreSpill)
+	}
+}
+
 // RunFrontier explores the pids-only reachable space of p from start with
 // the sharded frontier engine. visit is called exactly once per distinct
 // admitted configuration, concurrently from workers (worker indices are
@@ -301,7 +325,7 @@ func (o *dedupOwner) claimProvenance(r *engineRun, nn *Node) {
 func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits ExploreLimits, opts EngineOptions,
 	visit func(worker int, n *Node) error,
 	afterLevel func(depth, processed int) (stop bool),
-) (RunStats, error) {
+) (rstats RunStats, rerr error) {
 	limits = limits.withDefaults()
 	opts = opts.withDefaults()
 
@@ -338,24 +362,37 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}},
 	}
 
-	// Visited-set partitions: one single-owner table per partition,
+	// Visited-set partitions: one single-owner store partition per owner,
 	// min(Shards, Workers) of them rounded up to a power of two. The
-	// partition count is fixed for the whole run (tables persist across
+	// partition count is fixed for the whole run (stores persist across
 	// levels, so the fp -> partition routing must not move).
 	numOwners := 1
 	for numOwners < opts.Shards && numOwners < opts.Workers {
 		numOwners <<= 1
 	}
+	store, err := newStateStore(opts, storeCtx{
+		parts:      numOwners,
+		nObj:       nObj,
+		nProc:      nProc,
+		stringKeys: run.stringKeys,
+		retain:     opts.Provenance,
+		newNode:    run.newNode,
+		recycle:    run.recycleAlways,
+	})
+	if err != nil {
+		return RunStats{}, err
+	}
+	defer func() {
+		rstats.Store = store.Stats()
+		if cerr := store.Close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+	}()
+	run.store = store
 	run.owners = make([]*dedupOwner, numOwners)
 	run.ownerMask = uint64(numOwners - 1)
 	for i := range run.owners {
-		o := &dedupOwner{pending: map[uint64]*Node{}}
-		if run.stringKeys {
-			o.keys = map[string]struct{}{}
-		} else {
-			o.fps = newFpSet(1024)
-		}
-		run.owners[i] = o
+		run.owners[i] = &dedupOwner{part: i, pending: map[uint64]*Node{}}
 	}
 
 	// Per-worker steppers: each owns an append-only intern arena and the
@@ -375,10 +412,12 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		return steppers[worker]
 	}
 
-	// Root node.
+	// Root node, seeded through the store like any admission (the store
+	// may spool it straight to disk), then drawn back as level 0.
 	root := run.newNode()
 	root.Cfg.CopyFrom(start)
 	root.Depth, root.Pid = 0, -1
+	root.parent = nil
 	root.slotFP = stepperFor(0).InitSlots(root.Cfg, root.slotH)
 	var encScratch []byte
 	switch {
@@ -391,13 +430,14 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	default:
 		root.fp = root.slotFP
 	}
-	rootOwner := run.owners[root.fp&run.ownerMask]
-	if run.stringKeys {
-		rootOwner.keys[root.key] = struct{}{}
-	} else {
-		rootOwner.fps.Add(root.fp)
+	if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
+		run.recycleAlways(root)
 	}
 	run.admitted.Store(1)
+	seed, err := store.EndLevel(limits.MaxConfigs)
+	if err != nil {
+		return RunStats{}, err
+	}
 
 	var (
 		stats     = RunStats{Complete: true}
@@ -411,22 +451,30 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}
 	}
 
-	frontier := []*Node{root}
-	for depth := 0; len(frontier) > 0; depth++ {
+	frontier := seed.Frontier
+	for depth := 0; frontier.Size() > 0; depth++ {
 		stats.Levels++
+		levelSize := frontier.Size()
+		admittedBefore := int(run.admitted.Load())
 		atDepthCap := limits.MaxDepth > 0 && depth >= limits.MaxDepth
 
 		nw := opts.Workers
-		if nw > len(frontier) {
-			nw = len(frontier) // never more goroutines than nodes; visits
+		if nw > levelSize {
+			nw = levelSize // never more goroutines than nodes; visits
 			// may be expensive (solo runs), so do not serialize further
 		}
 		inline := nw <= 1
+		// pull is the per-claim batch the workers draw from the frontier
+		// source: large enough to amortize the claim, small enough that
+		// the level's tail stays balanced across workers.
+		pull := levelSize/(4*nw) + 1
+		if pull > batchSize {
+			pull = batchSize
+		}
 
-		// work visits and expands the frontier slice cooperatively. In
+		// work visits and expands frontier batches cooperatively. In
 		// inline mode successors are admitted directly; otherwise they
 		// are batched to the partition owners.
-		var cursor int64
 		work := func(worker int) {
 			st := stepperFor(worker)
 			var scratch []byte
@@ -434,6 +482,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			if !inline {
 				buckets = make([][]*Node, numOwners)
 			}
+			nodeBuf := make([]*Node, pull)
 			deliver := func(oi uint64, nn *Node) {
 				if inline {
 					run.owners[oi].admit(run, nn)
@@ -448,55 +497,60 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 					buckets[oi] = nil
 				}
 			}
+		pulling:
 			for !cancelled.Load() {
-				i := int(atomic.AddInt64(&cursor, 1)) - 1
-				if i >= len(frontier) {
+				m := frontier.Next(nodeBuf)
+				if m == 0 {
 					break
 				}
-				n := frontier[i]
-				if err := visit(worker, n); err != nil {
-					fail(err)
-					break
-				}
-				if atDepthCap {
+				for _, n := range nodeBuf[:m] {
+					if cancelled.Load() {
+						break pulling
+					}
+					if err := visit(worker, n); err != nil {
+						fail(err)
+						break pulling
+					}
+					if atDepthCap {
+						run.recycle(n)
+						continue
+					}
+					for pid := 0; pid < nProc; pid++ {
+						if !allowed[pid] {
+							continue
+						}
+						succ := run.newNode()
+						fp, ok, err := st.ApplyCOW(n.Cfg, n.slotFP, n.slotH, pid, succ.Cfg, succ.slotH)
+						if err != nil {
+							run.recycleAlways(succ)
+							fail(fmt.Errorf("frontier engine: %w", err))
+							break // stop expanding; fall through to the flush
+						}
+						if !ok { // pid has decided; no step
+							run.recycleAlways(succ)
+							continue
+						}
+						succ.slotFP = fp
+						succ.Depth = n.Depth + 1
+						succ.Pid = pid
+						succ.parent = nil
+						if run.provenance {
+							succ.parent = n
+						}
+						switch {
+						case opts.Canonical != nil:
+							succ.fp = opts.Canonical(succ.Cfg)
+						case run.stringKeys:
+							succ.fp = fp
+							scratch = succ.Cfg.AppendEncoding(scratch[:0])
+							succ.key = string(scratch)
+						default:
+							succ.fp = fp
+						}
+						deliver(succ.fp&run.ownerMask, succ)
+					}
 					run.recycle(n)
-					continue
 				}
-				for pid := 0; pid < nProc; pid++ {
-					if !allowed[pid] {
-						continue
-					}
-					succ := run.newNode()
-					fp, ok, err := st.ApplyCOW(n.Cfg, n.slotFP, n.slotH, pid, succ.Cfg, succ.slotH)
-					if err != nil {
-						run.recycleAlways(succ)
-						fail(fmt.Errorf("frontier engine: %w", err))
-						break // stop expanding; fall through to the flush
-					}
-					if !ok { // pid has decided; no step
-						run.recycleAlways(succ)
-						continue
-					}
-					succ.slotFP = fp
-					succ.Depth = n.Depth + 1
-					succ.Pid = pid
-					succ.parent = nil
-					if run.provenance {
-						succ.parent = n
-					}
-					switch {
-					case opts.Canonical != nil:
-						succ.fp = opts.Canonical(succ.Cfg)
-					case run.stringKeys:
-						succ.fp = fp
-						scratch = succ.Cfg.AppendEncoding(scratch[:0])
-						succ.key = string(scratch)
-					default:
-						succ.fp = fp
-					}
-					deliver(succ.fp&run.ownerMask, succ)
-				}
-				run.recycle(n)
 			}
 			// Flush partial batches so the owners see every candidate
 			// before their channels close.
@@ -543,62 +597,63 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			stats.Complete = false
 			return stats, err
 		}
-		stats.Processed += len(frontier)
+		stats.Processed += levelSize
 		if atDepthCap {
 			stats.Complete = false
 			if opts.Progress != nil {
-				opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
+				opts.Progress(Progress{Depth: depth, FrontierSize: levelSize,
 					Processed: stats.Processed, Admitted: int(run.admitted.Load()),
 					Elapsed: time.Since(startTime)})
 			}
 			break
 		}
 
-		// Barrier: collect the next frontier from the partitions.
-		next := make([]*Node, 0)
-		for _, o := range run.owners {
-			next = append(next, o.next...)
-			o.next = nil
-			clear(o.pending)
+		// Barrier: the store resolves delayed duplicates, applies the
+		// budget cutoff and hands back the next frontier. This level may
+		// have overshot MaxConfigs (admission is unthrottled within a
+		// level so that the admitted set stays a pure function of the
+		// space, not of thread timing); at most maxNext admissions
+		// survive, chosen by sorted (fingerprint, key) — deterministic —
+		// and admissions close.
+		maxNext := limits.MaxConfigs - admittedBefore
+		if maxNext < 0 {
+			// Defensive: the previous barrier caps admissions at exactly
+			// MaxConfigs and closes the run when it binds, so the budget
+			// remainder cannot go negative — but a zero remainder is
+			// reachable (a level boundary landing exactly on MaxConfigs),
+			// and the clamp keeps the store contract ("at most maxNext")
+			// meaningful under any future admission-accounting change.
+			maxNext = 0
 		}
-
-		// Budget: this level may have overshot MaxConfigs (admission is
-		// unthrottled within a level so that the admitted set stays a
-		// pure function of the space, not of thread timing). Truncate
-		// back to exactly MaxConfigs, keeping survivors by sorted
-		// (fingerprint, key) — deterministic — and close admissions.
-		if total := int(run.admitted.Load()); total > limits.MaxConfigs {
-			keep := limits.MaxConfigs - (total - len(next))
-			if keep < 0 {
-				keep = 0
-			}
-			sort.Slice(next, func(i, j int) bool {
-				if next[i].fp != next[j].fp {
-					return next[i].fp < next[j].fp
-				}
-				return next[i].key < next[j].key
-			})
-			for _, dropped := range next[keep:] {
-				run.recycleAlways(dropped)
-			}
-			next = next[:keep]
+		lvl, err := store.EndLevel(maxNext)
+		if err != nil {
+			stats.Complete = false
+			return stats, err
+		}
+		if lvl.Revoked > 0 {
+			run.admitted.Add(int64(-lvl.Revoked))
+		}
+		if lvl.Truncated {
 			run.admitted.Store(int64(limits.MaxConfigs))
 			run.closed.Store(true)
 			run.truncated.Store(true)
+		}
+		for _, o := range run.owners {
+			clear(o.pending)
 		}
 		if run.truncated.Load() {
 			stats.Complete = false
 		}
 
 		if opts.Progress != nil {
-			opts.Progress(Progress{Depth: depth, FrontierSize: len(frontier),
+			opts.Progress(Progress{Depth: depth, FrontierSize: levelSize,
 				Processed: stats.Processed, Admitted: int(run.admitted.Load()),
 				Elapsed: time.Since(startTime)})
 		}
 		if afterLevel != nil && afterLevel(depth, stats.Processed) {
 			return stats, nil
 		}
-		frontier = next
+		frontier = lvl.Frontier
 	}
 	if run.truncated.Load() {
 		stats.Complete = false

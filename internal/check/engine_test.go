@@ -54,6 +54,27 @@ func (p symRace) Decision(st model.State) (int, bool) {
 	return s.dec, s.done
 }
 
+// exploreT runs ExploreOpts, failing the test on engine errors (the
+// instances here are known-good, so any error is a harness regression).
+func exploreT(t *testing.T, p model.Protocol, c *model.Config, pids []int, k int, opts check.ExploreOptions) *check.ExploreResult {
+	t.Helper()
+	res, err := check.ExploreOpts(p, c, pids, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// classifyT is exploreT for ClassifyValencyOpts.
+func classifyT(t *testing.T, p model.Protocol, c *model.Config, pids []int, opts check.ExploreOptions) *check.ValencyResult {
+	t.Helper()
+	res, err := check.ClassifyValencyOpts(p, c, pids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // exploreCase is one instance of the sequential-vs-parallel differential
 // test matrix.
 type exploreCase struct {
@@ -99,7 +120,7 @@ func TestExploreParallelMatchesSequential(t *testing.T) {
 			want := check.ExploreSequential(tc.p, c, tc.pids, tc.k, tc.limits)
 			for _, workers := range []int{1, 2, 4} {
 				for _, stringKeys := range []bool{false, true} {
-					got := check.ExploreOpts(tc.p, c, tc.pids, tc.k, check.ExploreOptions{
+					got := exploreT(t, tc.p, c, tc.pids, tc.k, check.ExploreOptions{
 						Limits: tc.limits,
 						Engine: check.EngineOptions{Workers: workers, Shards: 8, StringKeys: stringKeys},
 					})
@@ -138,7 +159,7 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 	}
 	run := func(p model.Protocol, inputs, pids []int, k int, limits check.ExploreLimits, workers int) snapshot {
 		c := model.MustNewConfig(p, inputs)
-		res := check.ExploreOpts(p, c, pids, k, check.ExploreOptions{
+		res := exploreT(t, p, c, pids, k, check.ExploreOptions{
 			Limits: limits,
 			Engine: check.EngineOptions{Workers: workers, Shards: 4},
 		})
@@ -183,10 +204,10 @@ func TestValencyDeterministicAcrossWorkers(t *testing.T) {
 	unanimous := model.MustNewConfig(p, []int{1, 1})
 	for _, workers := range []int{1, 2, 4} {
 		opts := check.ExploreOptions{Engine: check.EngineOptions{Workers: workers}}
-		if got := check.ClassifyValencyOpts(p, split, []int{0, 1}, opts); got.Class != check.Bivalent {
+		if got := classifyT(t, p, split, []int{0, 1}, opts); got.Class != check.Bivalent {
 			t.Errorf("workers=%d: split inputs %v, want bivalent", workers, got.Class)
 		}
-		got := check.ClassifyValencyOpts(p, unanimous, []int{0, 1}, opts)
+		got := classifyT(t, p, unanimous, []int{0, 1}, opts)
 		if got.Class != check.Univalent || !reflect.DeepEqual(got.Values, []int{1}) {
 			t.Errorf("workers=%d: unanimous inputs %v %v, want univalent [1]", workers, got.Class, got.Values)
 		}
@@ -226,7 +247,7 @@ func TestSymmetryQuotientShrinksSpace(t *testing.T) {
 	c := model.MustNewConfig(p, inputs)
 
 	exact := check.Explore(p, c, pids, 2, check.ExploreLimits{})
-	quotient := check.ExploreOpts(p, c, pids, 2, check.ExploreOptions{
+	quotient := exploreT(t, p, c, pids, 2, check.ExploreOptions{
 		Engine: check.EngineOptions{
 			// Processes 0,1 share input 0 and 2,3 share input 1; quotient
 			// each same-input class separately (two applications compose
@@ -252,7 +273,7 @@ func TestEngineProgressCallback(t *testing.T) {
 	p := baseline.NewPairConsensus(2)
 	c := model.MustNewConfig(p, []int{0, 1})
 	var reports []check.Progress
-	check.ExploreOpts(p, c, []int{0, 1}, 1, check.ExploreOptions{
+	exploreT(t, p, c, []int{0, 1}, 1, check.ExploreOptions{
 		Engine: check.EngineOptions{Progress: func(pr check.Progress) { reports = append(reports, pr) }},
 	})
 	if len(reports) == 0 {
@@ -287,7 +308,7 @@ func TestFrontierBatchedDedupRace(t *testing.T) {
 			{MaxDepth: 8},                  // level-parallel, no truncation
 			{MaxDepth: 8, MaxConfigs: 700}, // budget truncation mid-run
 		} {
-			got := check.ExploreOpts(p, c, pids, 1, check.ExploreOptions{
+			got := exploreT(t, p, c, pids, 1, check.ExploreOptions{
 				Limits: limits,
 				Engine: check.EngineOptions{Workers: 8, Shards: 2, StringKeys: stringKeys},
 			})

@@ -57,6 +57,9 @@ type ExploreResult struct {
 	// MaxDecidedTogether is the largest number of distinct values decided
 	// within a single visited configuration.
 	MaxDecidedTogether int
+	// Store reports the state store's activity over the exploration
+	// (backend kind, bytes spilled, peak resident bytes).
+	Store StoreStats
 }
 
 // ExploreOptions bundles the limits with the engine knobs for the
@@ -71,16 +74,26 @@ type ExploreOptions struct {
 // Explore performs a breadth-first exploration of all P-only executions
 // of p from c, visiting each distinct configuration once, using the
 // sharded frontier engine with default options (all cores, fingerprint
-// dedup). If k > 0 it tracks k-agreement violations. c is not mutated.
+// dedup, in-memory store). If k > 0 it tracks k-agreement violations.
+// c is not mutated. With the in-memory store an engine error can only
+// mean an illegal poised operation — a protocol bug — so Explore panics
+// on it, as the sequential explorer always has.
 func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits ExploreLimits) *ExploreResult {
-	return ExploreOpts(p, c, pids, k, ExploreOptions{Limits: limits})
+	res, err := ExploreOpts(p, c, pids, k, ExploreOptions{Limits: limits})
+	if err != nil {
+		panic(fmt.Sprintf("check: explore: %v", err))
+	}
+	return res
 }
 
 // ExploreOpts is Explore with explicit engine options. The result is
-// deterministic: it does not depend on Workers or Shards (switching
-// between fingerprint and string keying, or installing a Canonical
-// quotient, changes the visited set and may legitimately change counts).
-func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts ExploreOptions) *ExploreResult {
+// deterministic: it does not depend on Workers, Shards or Store
+// (switching between fingerprint and string keying, or installing a
+// Canonical quotient, changes the visited set and may legitimately
+// change counts). Unlike Explore it returns engine errors instead of
+// panicking: the disk-spilling store makes I/O failures (a full disk, an
+// unreadable segment) an expected failure mode, not a protocol bug.
+func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts ExploreOptions) (*ExploreResult, error) {
 	res := &ExploreResult{}
 
 	// witness is a violation candidate snapshotted during its visit (the
@@ -146,17 +159,16 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 
 	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, nil)
 	if err != nil {
-		// An illegal poised op is a protocol bug; surface loudly, as the
-		// sequential explorer always has.
-		panic(fmt.Sprintf("check: explore: %v", err))
+		return nil, err
 	}
 	res.Visited = stats.Processed
 	res.Complete = stats.Complete
+	res.Store = stats.Store
 	res.DecidedValues = sortedValueSet(decided)
 	if violation != nil {
 		res.AgreementViolation = violation.cfg
 	}
-	return res
+	return res, nil
 }
 
 // ExploreSequential is the single-threaded, string-keyed reference
@@ -286,16 +298,23 @@ type ValencyResult struct {
 
 // ClassifyValency explores the P-only space from c and classifies it.
 // Bivalence is certified by witnesses and is sound even when incomplete;
-// univalence requires a complete exploration.
+// univalence requires a complete exploration. Like Explore it runs on
+// the default in-memory store, where an engine error can only be a
+// protocol bug, and panics on one.
 func ClassifyValency(p model.Protocol, c *model.Config, pids []int, limits ExploreLimits) *ValencyResult {
-	return ClassifyValencyOpts(p, c, pids, ExploreOptions{Limits: limits})
+	res, err := ClassifyValencyOpts(p, c, pids, ExploreOptions{Limits: limits})
+	if err != nil {
+		panic(fmt.Sprintf("check: explore: %v", err))
+	}
+	return res
 }
 
 // ClassifyValencyOpts is ClassifyValency with explicit engine options. It
 // runs on the frontier engine with an early exit at the first level
 // barrier after two decided values have been witnessed — bivalence is
-// then certain and the rest of the space is irrelevant.
-func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts ExploreOptions) *ValencyResult {
+// then certain and the rest of the space is irrelevant. Engine errors
+// (e.g. spill-store I/O failures) are returned, not panicked.
+func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts ExploreOptions) (*ValencyResult, error) {
 	var (
 		mu      sync.Mutex
 		decided = map[int]bool{}
@@ -317,7 +336,7 @@ func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts Exp
 	}
 	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, afterLevel)
 	if err != nil {
-		panic(fmt.Sprintf("check: explore: %v", err))
+		return nil, err
 	}
 
 	out := &ValencyResult{Values: sortedValueSet(decided), Complete: stats.Complete}
@@ -331,5 +350,5 @@ func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts Exp
 	default:
 		out.Class = Unknown
 	}
-	return out
+	return out, nil
 }

@@ -91,6 +91,21 @@ func (s *fpSet) Add(fp uint64) bool {
 	}
 }
 
+// appendAll appends every member of the set to dst (in table order, which
+// is arbitrary) and returns the extended slice. The spill store uses it to
+// enumerate a delta table when flushing it to a sorted run.
+func (s *fpSet) appendAll(dst []uint64) []uint64 {
+	if s.hasZero {
+		dst = append(dst, 0)
+	}
+	for _, fp := range s.slots {
+		if fp != 0 {
+			dst = append(dst, fp)
+		}
+	}
+	return dst
+}
+
 func (s *fpSet) grow() {
 	old := s.slots
 	s.setSlots(make([]uint64, len(old)*2))

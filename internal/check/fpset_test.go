@@ -51,6 +51,77 @@ func TestFpSet(t *testing.T) {
 	}
 }
 
+// TestFpSetGrowthBoundary pins the rehash trigger exactly: the table
+// doubles when the load passes 70%, not at, and every member survives
+// each rehash — including the out-of-band zero fingerprint, which must
+// never occupy (or be counted against) a slot.
+func TestFpSetGrowthBoundary(t *testing.T) {
+	s := newFpSet(16) // 1024 slots: newFpSet never sizes below 1024
+	if got := len(s.slots); got != 1024 {
+		t.Fatalf("initial slots = %d, want 1024", got)
+	}
+	threshold := len(s.slots) * 7 / 10 // last count that does NOT grow
+
+	s.Add(0) // tracked out of band: contributes to Len, never to load
+	for i := 1; i <= threshold; i++ {
+		s.Add(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	if got := len(s.slots); got != 1024 {
+		t.Fatalf("slots = %d after %d inserts (70%% load), want no growth yet", got, threshold)
+	}
+	if s.Len() != threshold+1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), threshold+1)
+	}
+
+	s.Add(uint64(threshold+1) * 0x9E3779B97F4A7C15) // crosses 70%
+	if got := len(s.slots); got != 2048 {
+		t.Fatalf("slots = %d after crossing the load threshold, want 2048", got)
+	}
+	// Everything must survive the rehash, zero included.
+	if !s.Has(0) {
+		t.Fatal("zero fingerprint lost across grow")
+	}
+	for i := 1; i <= threshold+1; i++ {
+		if !s.Has(uint64(i) * 0x9E3779B97F4A7C15) {
+			t.Fatalf("fingerprint %d lost across grow", i)
+		}
+	}
+	if s.Len() != threshold+2 {
+		t.Fatalf("Len = %d after grow, want %d", s.Len(), threshold+2)
+	}
+}
+
+// TestFpSetAppendAll: the spill store's enumeration returns every member
+// exactly once (zero included) at every size around a growth boundary.
+func TestFpSetAppendAll(t *testing.T) {
+	s := newFpSet(16)
+	want := map[uint64]bool{}
+	add := func(fp uint64) {
+		s.Add(fp)
+		want[fp] = true
+	}
+	add(0)
+	for i := 1; i <= 720; i++ { // straddles the 716-insert growth trigger
+		add(uint64(i) << 13)
+		if i == 715 || i == 716 || i == 717 || i == 720 {
+			got := s.appendAll(nil)
+			if len(got) != len(want) {
+				t.Fatalf("after %d inserts: appendAll returned %d members, want %d", i, len(got), len(want))
+			}
+			seen := map[uint64]bool{}
+			for _, fp := range got {
+				if seen[fp] {
+					t.Fatalf("appendAll duplicated %#x", fp)
+				}
+				seen[fp] = true
+				if !want[fp] {
+					t.Fatalf("appendAll invented %#x", fp)
+				}
+			}
+		}
+	}
+}
+
 // TestFpSetPartitionedLowBits inserts fingerprints that all share their
 // low bits — exactly the population a partition's table sees, since the
 // engine routes by fp & ownerMask — across several growths.

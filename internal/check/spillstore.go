@@ -1,0 +1,1045 @@
+package check
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// spillStore is the disk-spilling state store: it bounds the resident
+// memory of an exploration by a byte budget and lets the reachable space
+// be limited by disk (and time) instead of RAM.
+//
+// Deduplication — delayed duplicate detection over sorted runs:
+//
+//   - Each partition keeps a resident *delta* table (fpSet, or an exact
+//     key map) holding the visited entries admitted since its last spill.
+//     Candidates are checked against the delta only, so the per-candidate
+//     cost matches the in-memory store.
+//
+//   - When the summed delta size exceeds the budget at a level barrier,
+//     every partition's delta is flushed to a new *sorted run* file of
+//     (fingerprint[, key]) entries and the delta is cleared. A
+//     configuration visited before the spill is no longer resident, so a
+//     later re-encounter is admitted *tentatively*.
+//
+//   - EndLevel resolves the tentative admissions: each partition
+//     stream-merges its sorted level admissions against its sorted runs
+//     (the k-way merge of external-memory model checking) and revokes the
+//     ones already on disk. The surviving set is exactly what the
+//     in-memory store admits, so results are store-independent.
+//
+//   - When a partition accumulates runFanout runs, they are k-way merged
+//     into one (dropping duplicate entries), keeping per-level merge cost
+//     proportional to the spilled volume, not the run count.
+//
+// Frontier queuing — spooled segments:
+//
+//   - Admitted nodes are immediately encoded (the compact Config binary
+//     encoding) into a per-partition segment file and their buffers
+//     recycled, so frontier memory is O(batch), not O(level). The next
+//     level streams nodes back, skipping entries revoked or truncated at
+//     the barrier. Per-slot canonical Values/States cannot be rebuilt
+//     from bytes alone (states are protocol-defined and opaque), so the
+//     store interns every slot encoding it spools in an exchange table —
+//     resident memory that grows with *distinct slot encodings*, the same
+//     asymptotics as the steppers' arenas, typically far below the
+//     configuration count.
+//
+//   - Runs that must retain nodes in RAM (EngineOptions.Provenance: parent
+//     chains stay live for witness replay) keep the frontier resident and
+//     spill only the dedup state.
+//
+// Determinism: the admitted set, the budget-truncation survivors (chosen
+// by ascending (fingerprint, key), the engine's canonical order) and all
+// level barriers are pure functions of the protocol and limits — the
+// existing seq-vs-parallel and determinism suites run against this store
+// unchanged.
+type spillStore struct {
+	ctx     storeCtx
+	dir     string
+	ownsDir bool
+	budget  int64
+	seq     int // depth of the frontier currently being admitted
+	parts   []spillPart
+	exch    slotExchange
+	source  *spillSource // last handed-out streaming source (for Close)
+
+	bytesSpilled atomic.Int64
+	runsWritten  int
+	runsMerged   int
+	peak         int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// spillPart is one partition of the spill store.
+type spillPart struct {
+	id int
+
+	// Resident delta: entries admitted since the partition last spilled.
+	// Exactly one of deltaFP / deltaKeys is used, per the keying mode;
+	// deltaKeys maps key -> fingerprint because run entries and the
+	// truncation order need both.
+	deltaFP       *fpSet
+	deltaKeys     map[string]uint64
+	deltaKeyBytes int64
+
+	// This level's tentative admissions, in arrival order; level[j]
+	// corresponds to next[j] (retain mode) and to the j-th spooled record.
+	level []spillEntry
+	dead  []bool
+	next  []*Node // retain mode only
+
+	runs   []spillRun
+	runSeq int
+	spool  *spoolWriter
+
+	enc   []byte   // encode scratch (owner-goroutine exclusive)
+	spans [][]byte // slot-span scratch
+}
+
+// spillEntry is one dedup entry: the fingerprint plus, in exact-key mode,
+// the full encoding key.
+type spillEntry struct {
+	fp  uint64
+	key string
+}
+
+func entryLess(a, b spillEntry) bool {
+	if a.fp != b.fp {
+		return a.fp < b.fp
+	}
+	return a.key < b.key
+}
+
+// spillRun is one sorted run file.
+type spillRun struct {
+	path string
+}
+
+// runFanout is the per-partition run-count threshold that triggers a
+// compaction merge.
+const runFanout = 8
+
+func newSpillStore(ctx storeCtx, budget int64, dir string) (*spillStore, error) {
+	if budget <= 0 {
+		budget = DefaultMemBudget
+	}
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "repro-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("spill store: %w", err)
+		}
+		dir, ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill store: %w", err)
+	}
+	s := &spillStore{ctx: ctx, dir: dir, ownsDir: ownsDir, budget: budget,
+		parts: make([]spillPart, ctx.parts)}
+	s.exch.vals = map[string]model.Value{}
+	s.exch.sts = map[string]model.State{}
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.id = i
+		if ctx.stringKeys {
+			p.deltaKeys = map[string]uint64{}
+		} else {
+			p.deltaFP = newFpSet(1024)
+		}
+	}
+	return s, nil
+}
+
+func (s *spillStore) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *spillStore) takeErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *spillStore) Admit(part int, n *Node) (added, retained bool) {
+	p := &s.parts[part]
+	if s.ctx.stringKeys {
+		if _, dup := p.deltaKeys[n.key]; dup {
+			return false, true
+		}
+		p.deltaKeys[n.key] = n.fp
+		p.deltaKeyBytes += int64(len(n.key)) + mapEntryOverhead
+		p.level = append(p.level, spillEntry{fp: n.fp, key: n.key})
+	} else {
+		if !p.deltaFP.Add(n.fp) {
+			return false, true
+		}
+		p.level = append(p.level, spillEntry{fp: n.fp})
+	}
+	if s.ctx.retain {
+		p.next = append(p.next, n)
+		return true, true
+	}
+	if err := s.spoolNode(p, n); err != nil {
+		s.fail(err)
+	}
+	return true, false
+}
+
+func (s *spillStore) Has(part int, fp uint64, key string) bool {
+	p := &s.parts[part]
+	if s.ctx.stringKeys {
+		_, ok := p.deltaKeys[key]
+		return ok
+	}
+	return p.deltaFP.Has(fp)
+}
+
+// spoolNode appends n's record to the partition's segment file, interning
+// every slot encoding in the exchange so the node can be rematerialized.
+func (s *spillStore) spoolNode(p *spillPart, n *Node) error {
+	if p.spool == nil {
+		w, err := newSpoolWriter(filepath.Join(s.dir, fmt.Sprintf("seg-%d-p%d", s.seq, p.id)))
+		if err != nil {
+			return err
+		}
+		p.spool = w
+	}
+	p.enc = n.Cfg.AppendEncoding(p.enc[:0])
+	spans, err := model.SlotSpans(p.enc, s.ctx.nObj, s.ctx.nProc, p.spans)
+	if err != nil {
+		return fmt.Errorf("spill store: %w", err)
+	}
+	p.spans = spans
+	s.exch.intern(n.Cfg, spans, s.ctx.nObj)
+	written, err := p.spool.write(n.Pid, n.fp, n.slotFP, p.enc)
+	if err != nil {
+		return err
+	}
+	s.bytesSpilled.Add(written)
+	return nil
+}
+
+func (s *spillStore) EndLevel(maxNext int) (LevelResult, error) {
+	if err := s.takeErr(); err != nil {
+		return LevelResult{}, err
+	}
+
+	// Flush the level's segment files before anything can read them.
+	segs := make([]*spoolWriter, len(s.parts))
+	for i := range s.parts {
+		p := &s.parts[i]
+		if p.spool != nil {
+			if err := p.spool.finish(); err != nil {
+				return LevelResult{}, err
+			}
+			segs[i], p.spool = p.spool, nil
+		}
+	}
+
+	// Delayed duplicate detection: merge each partition's sorted level
+	// admissions against its sorted runs and revoke the ones already
+	// visited before the last spill.
+	revoked, survivors := 0, 0
+	for i := range s.parts {
+		p := &s.parts[i]
+		dead, err := s.markDead(p)
+		if err != nil {
+			return LevelResult{}, err
+		}
+		revoked += dead
+		survivors += len(p.level) - dead
+	}
+
+	// Budget cutoff, by the engine's canonical (fingerprint, key) order.
+	// Entries are globally unique (dedup guarantees it), so the cutoff
+	// entry cleanly separates survivors from drops.
+	truncated := survivors > maxNext
+	var cutoff spillEntry
+	if truncated && maxNext > 0 {
+		all := make([]spillEntry, 0, survivors)
+		for i := range s.parts {
+			p := &s.parts[i]
+			for j, e := range p.level {
+				if !p.dead[j] {
+					all = append(all, e)
+				}
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return entryLess(all[i], all[j]) })
+		cutoff = all[maxNext-1]
+	}
+	dropped := func(p *spillPart, j int) bool {
+		if p.dead[j] {
+			return true
+		}
+		return truncated && (maxNext == 0 || entryLess(cutoff, p.level[j]))
+	}
+	kept := survivors
+	if truncated {
+		kept = maxNext
+	}
+
+	res := LevelResult{Revoked: revoked, Truncated: truncated}
+	if s.ctx.retain {
+		next := make([]*Node, 0, kept)
+		for i := range s.parts {
+			p := &s.parts[i]
+			for j, n := range p.next {
+				if dropped(p, j) {
+					// Revoked and truncated nodes are unreferenced even
+					// in provenance runs (nothing expanded them, and
+					// pending claims only ever mutated them), so their
+					// buffers go straight back to the pool.
+					s.ctx.recycle(n)
+					continue
+				}
+				next = append(next, n)
+			}
+			p.next = nil
+		}
+		res.Frontier = &memSource{nodes: next}
+	} else {
+		src := &spillSource{store: s, size: kept, depth: s.seq,
+			readers: make([]*spoolReader, len(s.parts)),
+			dropFP:  make([]map[uint64]struct{}, len(s.parts)),
+			dropKey: make([]map[string]struct{}, len(s.parts)),
+		}
+		for i := range s.parts {
+			p := &s.parts[i]
+			for j := range p.level {
+				if !dropped(p, j) {
+					continue
+				}
+				if s.ctx.stringKeys {
+					if src.dropKey[i] == nil {
+						src.dropKey[i] = map[string]struct{}{}
+					}
+					src.dropKey[i][p.level[j].key] = struct{}{}
+				} else {
+					if src.dropFP[i] == nil {
+						src.dropFP[i] = map[uint64]struct{}{}
+					}
+					src.dropFP[i][p.level[j].fp] = struct{}{}
+				}
+			}
+			if segs[i] != nil {
+				r, err := newSpoolReader(segs[i].path)
+				if err != nil {
+					return LevelResult{}, err
+				}
+				// Unlink immediately: the open descriptor keeps the data
+				// readable and the file is reclaimed even if the source
+				// is abandoned mid-level.
+				os.Remove(segs[i].path)
+				src.readers[i] = r
+			}
+		}
+		s.source = src
+		res.Frontier = src
+	}
+
+	// Reset per-level state and apply the byte budget: when the resident
+	// delta exceeds it, flush every partition's delta to a fresh sorted
+	// run and compact partitions that accumulated runFanout runs.
+	var resident int64
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.level = p.level[:0]
+		p.dead = p.dead[:0]
+		if s.ctx.stringKeys {
+			resident += p.deltaKeyBytes
+		} else {
+			resident += int64(len(p.deltaFP.slots)) * 8
+		}
+	}
+	if resident > s.peak {
+		s.peak = resident
+	}
+	if resident > s.budget {
+		for i := range s.parts {
+			if err := s.spillDelta(&s.parts[i]); err != nil {
+				return LevelResult{}, err
+			}
+		}
+	}
+
+	s.seq++
+	return res, nil
+}
+
+// markDead stream-merges the partition's sorted level admissions against
+// each sorted run, marking entries already present on disk. It reads runs
+// sequentially and stops each as soon as the admission list is exhausted.
+func (s *spillStore) markDead(p *spillPart) (int, error) {
+	for len(p.dead) < len(p.level) {
+		p.dead = append(p.dead, false)
+	}
+	if len(p.level) == 0 || len(p.runs) == 0 {
+		return 0, nil
+	}
+	order := make([]int, len(p.level))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return entryLess(p.level[order[i]], p.level[order[j]]) })
+
+	for _, run := range p.runs {
+		if err := s.mergeMark(p, run, order); err != nil {
+			return 0, err
+		}
+	}
+	dead := 0
+	for _, d := range p.dead {
+		if d {
+			dead++
+		}
+	}
+	return dead, nil
+}
+
+func (s *spillStore) mergeMark(p *spillPart, run spillRun, order []int) error {
+	r, err := newRunReader(run.path, s.ctx.stringKeys)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	idx := 0
+	for {
+		e, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for idx < len(order) && entryLess(p.level[order[idx]], e) {
+			idx++
+		}
+		if idx >= len(order) {
+			return nil // admissions exhausted; rest of the run is irrelevant
+		}
+		if cur := p.level[order[idx]]; cur.fp == e.fp && cur.key == e.key {
+			p.dead[order[idx]] = true
+			idx++
+		}
+	}
+}
+
+// spillDelta flushes the partition's resident delta to a new sorted run
+// and clears it, then compacts when the partition holds runFanout runs.
+func (s *spillStore) spillDelta(p *spillPart) error {
+	var entries []spillEntry
+	if s.ctx.stringKeys {
+		entries = make([]spillEntry, 0, len(p.deltaKeys))
+		for k, fp := range p.deltaKeys {
+			entries = append(entries, spillEntry{fp: fp, key: k})
+		}
+		p.deltaKeys = map[string]uint64{}
+		p.deltaKeyBytes = 0
+	} else {
+		fps := p.deltaFP.appendAll(nil)
+		entries = make([]spillEntry, len(fps))
+		for i, fp := range fps {
+			entries[i].fp = fp
+		}
+		p.deltaFP = newFpSet(1024)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+
+	path := filepath.Join(s.dir, fmt.Sprintf("run-p%d-%d", p.id, p.runSeq))
+	p.runSeq++
+	written, err := writeRun(path, entries, s.ctx.stringKeys)
+	if err != nil {
+		return err
+	}
+	s.bytesSpilled.Add(written)
+	s.runsWritten++
+	p.runs = append(p.runs, spillRun{path: path})
+
+	if len(p.runs) >= runFanout {
+		return s.compact(p)
+	}
+	return nil
+}
+
+// compact k-way merges all of the partition's runs into one, dropping
+// duplicate entries (a fingerprint re-admitted after a spill appears in
+// two runs until compaction unifies them).
+func (s *spillStore) compact(p *spillPart) error {
+	readers := make([]*runReader, len(p.runs))
+	heads := make([]spillEntry, len(p.runs))
+	live := make([]bool, len(p.runs))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.close()
+			}
+		}
+	}()
+	for i, run := range p.runs {
+		r, err := newRunReader(run.path, s.ctx.stringKeys)
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+		if heads[i], live[i], err = r.next(); err != nil {
+			return err
+		}
+	}
+
+	path := filepath.Join(s.dir, fmt.Sprintf("run-p%d-%d", p.id, p.runSeq))
+	p.runSeq++
+	w, err := newRunWriter(path, s.ctx.stringKeys)
+	if err != nil {
+		return err
+	}
+	haveLast := false
+	var last spillEntry
+	for {
+		min, found := -1, false
+		for i := range heads {
+			if live[i] && (!found || entryLess(heads[i], heads[min])) {
+				min, found = i, true
+			}
+		}
+		if !found {
+			break
+		}
+		e := heads[min]
+		if heads[min], live[min], err = readers[min].next(); err != nil {
+			w.abort()
+			return err
+		}
+		if haveLast && last.fp == e.fp && last.key == e.key {
+			continue
+		}
+		if err := w.write(e); err != nil {
+			w.abort()
+			return err
+		}
+		last, haveLast = e, true
+	}
+	written, err := w.finish()
+	if err != nil {
+		return err
+	}
+	for i, r := range readers {
+		r.close()
+		readers[i] = nil
+	}
+	for _, run := range p.runs {
+		os.Remove(run.path)
+	}
+	s.bytesSpilled.Add(written)
+	s.runsMerged += len(p.runs)
+	s.runsWritten++
+	p.runs = []spillRun{{path: path}}
+	return nil
+}
+
+func (s *spillStore) Stats() StoreStats {
+	return StoreStats{
+		Kind:              StoreSpill,
+		BytesSpilled:      s.bytesSpilled.Load(),
+		RunsWritten:       s.runsWritten,
+		RunsMerged:        s.runsMerged,
+		PeakResidentBytes: s.peak,
+	}
+}
+
+func (s *spillStore) Close() error {
+	for i := range s.parts {
+		if w := s.parts[i].spool; w != nil {
+			w.abort()
+			s.parts[i].spool = nil
+		}
+	}
+	if s.source != nil {
+		s.source.closeAll()
+		s.source = nil
+	}
+	var cleanupErr error
+	if s.ownsDir {
+		cleanupErr = os.RemoveAll(s.dir)
+	} else {
+		// Caller-provided directory: remove only our files.
+		for i := range s.parts {
+			for _, run := range s.parts[i].runs {
+				os.Remove(run.path)
+			}
+			s.parts[i].runs = nil
+		}
+	}
+	// Surface any latched I/O error that never reached an EndLevel —
+	// e.g. a segment read failing during the run's final (depth-capped
+	// or early-stopped) level, after the last barrier. The engine's
+	// deferred Close turns it into the run error, so a short read can
+	// never masquerade as a clean, complete result.
+	if err := s.takeErr(); err != nil {
+		return err
+	}
+	return cleanupErr
+}
+
+// slotExchange interns slot encodings <-> canonical Values/States. States
+// are protocol-defined and cannot be decoded from bytes, so every slot
+// the store spools registers its canonical object here first; decoding
+// looks the encoding back up. Read-mostly after warmup.
+type slotExchange struct {
+	mu   sync.RWMutex
+	vals map[string]model.Value
+	sts  map[string]model.State
+}
+
+// intern registers every slot of c (whose slot spans are given) that the
+// exchange has not seen yet.
+func (e *slotExchange) intern(c *model.Config, spans [][]byte, nObj int) {
+	e.mu.RLock()
+	missing := false
+	for i, span := range spans {
+		var ok bool
+		if i < nObj {
+			_, ok = e.vals[string(span)]
+		} else {
+			_, ok = e.sts[string(span)]
+		}
+		if !ok {
+			missing = true
+			break
+		}
+	}
+	e.mu.RUnlock()
+	if !missing {
+		return
+	}
+	e.mu.Lock()
+	for i, span := range spans {
+		if i < nObj {
+			if _, ok := e.vals[string(span)]; !ok {
+				e.vals[string(span)] = c.Objects[i]
+			}
+		} else if _, ok := e.sts[string(span)]; !ok {
+			e.sts[string(span)] = c.States[i-nObj]
+		}
+	}
+	e.mu.Unlock()
+}
+
+func (e *slotExchange) value(span []byte) (model.Value, bool) {
+	e.mu.RLock()
+	v, ok := e.vals[string(span)]
+	e.mu.RUnlock()
+	return v, ok
+}
+
+func (e *slotExchange) state(span []byte) (model.State, bool) {
+	e.mu.RLock()
+	st, ok := e.sts[string(span)]
+	e.mu.RUnlock()
+	return st, ok
+}
+
+// ---- segment (frontier spool) I/O ----
+
+// spoolWriter appends frontier records to one partition's segment file.
+// Record: uvarint(pid+1) | fp (8B LE) | slotFP (8B LE) | uvarint len |
+// encoding bytes.
+type spoolWriter struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	hdr  []byte
+}
+
+func newSpoolWriter(path string) (*spoolWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill store: %w", err)
+	}
+	return &spoolWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<18)}, nil
+}
+
+func (w *spoolWriter) write(pid int, fp, slotFP uint64, enc []byte) (int64, error) {
+	h := binary.AppendUvarint(w.hdr[:0], uint64(pid+1))
+	h = binary.LittleEndian.AppendUint64(h, fp)
+	h = binary.LittleEndian.AppendUint64(h, slotFP)
+	h = binary.AppendUvarint(h, uint64(len(enc)))
+	w.hdr = h
+	if _, err := w.bw.Write(h); err != nil {
+		return 0, fmt.Errorf("spill store: segment write: %w", err)
+	}
+	if _, err := w.bw.Write(enc); err != nil {
+		return 0, fmt.Errorf("spill store: segment write: %w", err)
+	}
+	return int64(len(h) + len(enc)), nil
+}
+
+func (w *spoolWriter) finish() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("spill store: segment flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("spill store: segment close: %w", err)
+	}
+	return nil
+}
+
+func (w *spoolWriter) abort() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// spoolReader streams one segment file back.
+type spoolReader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+func newSpoolReader(path string) (*spoolReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill store: %w", err)
+	}
+	return &spoolReader{f: f, br: bufio.NewReaderSize(f, 1<<18)}, nil
+}
+
+// rawRec is one un-decoded segment record; its encoding lives in the
+// batch buffer at [off:end].
+type rawRec struct {
+	pid      int
+	fp       uint64
+	slotFP   uint64
+	off, end int
+}
+
+// read appends the next record's encoding to *data and returns the
+// record, or ok == false at EOF.
+func (r *spoolReader) read(data *[]byte) (rec rawRec, ok bool, err error) {
+	pid1, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return rawRec{}, false, nil
+	}
+	if err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	var fixed [16]byte
+	if _, err := io.ReadFull(r.br, fixed[:]); err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	off := len(*data)
+	need := off + int(n)
+	if cap(*data) < need {
+		grown := make([]byte, need, 2*need+4096)
+		copy(grown, *data)
+		*data = grown
+	} else {
+		*data = (*data)[:need]
+	}
+	if _, err := io.ReadFull(r.br, (*data)[off:]); err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	return rawRec{
+		pid:    int(pid1) - 1,
+		fp:     binary.LittleEndian.Uint64(fixed[0:8]),
+		slotFP: binary.LittleEndian.Uint64(fixed[8:16]),
+		off:    off, end: len(*data),
+	}, true, nil
+}
+
+func (r *spoolReader) close() { r.f.Close() }
+
+// ---- sorted-run I/O ----
+
+// runWriter writes sorted dedup entries: fp (8B LE) plus, in exact-key
+// mode, uvarint len | key bytes.
+type runWriter struct {
+	path       string
+	f          *os.File
+	bw         *bufio.Writer
+	stringKeys bool
+	hdr        []byte
+	bytes      int64
+}
+
+func newRunWriter(path string, stringKeys bool) (*runWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill store: %w", err)
+	}
+	return &runWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<18), stringKeys: stringKeys}, nil
+}
+
+func (w *runWriter) write(e spillEntry) error {
+	h := binary.LittleEndian.AppendUint64(w.hdr[:0], e.fp)
+	if w.stringKeys {
+		h = binary.AppendUvarint(h, uint64(len(e.key)))
+	}
+	w.hdr = h
+	if _, err := w.bw.Write(h); err != nil {
+		return fmt.Errorf("spill store: run write: %w", err)
+	}
+	w.bytes += int64(len(h))
+	if w.stringKeys {
+		if _, err := w.bw.WriteString(e.key); err != nil {
+			return fmt.Errorf("spill store: run write: %w", err)
+		}
+		w.bytes += int64(len(e.key))
+	}
+	return nil
+}
+
+func (w *runWriter) finish() (int64, error) {
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return 0, fmt.Errorf("spill store: run flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
+		return 0, fmt.Errorf("spill store: run close: %w", err)
+	}
+	return w.bytes, nil
+}
+
+func (w *runWriter) abort() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+func writeRun(path string, entries []spillEntry, stringKeys bool) (int64, error) {
+	w, err := newRunWriter(path, stringKeys)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		if err := w.write(e); err != nil {
+			w.abort()
+			return 0, err
+		}
+	}
+	return w.finish()
+}
+
+// runReader streams a sorted run back.
+type runReader struct {
+	f          *os.File
+	br         *bufio.Reader
+	stringKeys bool
+	keyBuf     []byte
+}
+
+func newRunReader(path string, stringKeys bool) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill store: %w", err)
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, 1<<18), stringKeys: stringKeys}, nil
+}
+
+func (r *runReader) next() (spillEntry, bool, error) {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r.br, fixed[:]); err != nil {
+		if err == io.EOF {
+			return spillEntry{}, false, nil
+		}
+		return spillEntry{}, false, fmt.Errorf("spill store: run read: %w", err)
+	}
+	e := spillEntry{fp: binary.LittleEndian.Uint64(fixed[:])}
+	if r.stringKeys {
+		n, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return spillEntry{}, false, fmt.Errorf("spill store: run read: %w", err)
+		}
+		if uint64(cap(r.keyBuf)) < n {
+			r.keyBuf = make([]byte, n)
+		}
+		r.keyBuf = r.keyBuf[:n]
+		if _, err := io.ReadFull(r.br, r.keyBuf); err != nil {
+			return spillEntry{}, false, fmt.Errorf("spill store: run read: %w", err)
+		}
+		e.key = string(r.keyBuf)
+	}
+	return e, true, nil
+}
+
+func (r *runReader) close() { r.f.Close() }
+
+// ---- streaming frontier source ----
+
+// spillSource streams a level's spooled frontier back to the engine
+// workers: raw records are claimed under a short lock, decoding (exchange
+// lookups, slot-hash recomputation) happens outside it.
+type spillSource struct {
+	store *spillStore
+	size  int
+	depth int
+
+	mu      sync.Mutex
+	cur     int
+	readers []*spoolReader
+	dropFP  []map[uint64]struct{}
+	dropKey []map[string]struct{}
+
+	rawPool sync.Pool
+}
+
+type rawBatch struct {
+	data []byte
+	recs []rawRec
+}
+
+func (s *spillSource) Size() int { return s.size }
+
+func (s *spillSource) Next(buf []*Node) int {
+	// After any read or decode failure the stream positions are not
+	// trustworthy; hand out nothing more and let the latched error
+	// surface at the next barrier (or at Close).
+	if s.store.takeErr() != nil {
+		return 0
+	}
+	rb, _ := s.rawPool.Get().(*rawBatch)
+	if rb == nil {
+		rb = &rawBatch{}
+	}
+	rb.data, rb.recs = rb.data[:0], rb.recs[:0]
+
+	s.mu.Lock()
+	for len(rb.recs) < len(buf) && s.cur < len(s.readers) {
+		r := s.readers[s.cur]
+		if r == nil {
+			s.cur++
+			continue
+		}
+		rec, ok, err := r.read(&rb.data)
+		if err != nil {
+			// Retire the reader: its stream position is misaligned, so
+			// another read could hand back garbage records.
+			s.store.fail(err)
+			r.close()
+			s.readers[s.cur] = nil
+			s.cur++
+			break
+		}
+		if !ok {
+			r.close()
+			s.readers[s.cur] = nil
+			s.cur++
+			continue
+		}
+		if s.droppedLocked(rec, rb.data) {
+			rb.data = rb.data[:rec.off]
+			continue
+		}
+		rb.recs = append(rb.recs, rec)
+	}
+	s.mu.Unlock()
+
+	n := 0
+	var spans [][]byte
+	for _, rec := range rb.recs {
+		node, sp, err := s.store.decode(rec, rb.data, s.depth, spans)
+		spans = sp
+		if err != nil {
+			s.store.fail(err)
+			break
+		}
+		buf[n] = node
+		n++
+	}
+	s.rawPool.Put(rb)
+	return n
+}
+
+// droppedLocked reports whether the record was revoked or truncated at
+// the barrier. Entries are unique per level, so the fingerprint (or, in
+// exact-key mode, the encoding) identifies the record.
+func (s *spillSource) droppedLocked(rec rawRec, data []byte) bool {
+	if s.store.ctx.stringKeys {
+		m := s.dropKey[s.cur]
+		if m == nil {
+			return false
+		}
+		_, ok := m[string(data[rec.off:rec.end])]
+		return ok
+	}
+	m := s.dropFP[s.cur]
+	if m == nil {
+		return false
+	}
+	_, ok := m[rec.fp]
+	return ok
+}
+
+func (s *spillSource) closeAll() {
+	s.mu.Lock()
+	for i, r := range s.readers {
+		if r != nil {
+			r.close()
+			s.readers[i] = nil
+		}
+	}
+	s.cur = len(s.readers)
+	s.mu.Unlock()
+}
+
+// decode rematerializes one spooled node: canonical slots from the
+// exchange, slot hashes recomputed from the encoding spans.
+func (s *spillStore) decode(rec rawRec, data []byte, depth int, spans [][]byte) (*Node, [][]byte, error) {
+	enc := data[rec.off:rec.end]
+	spans, err := model.SlotSpans(enc, s.ctx.nObj, s.ctx.nProc, spans)
+	if err != nil {
+		return nil, spans, fmt.Errorf("spill store: %w", err)
+	}
+	n := s.ctx.newNode()
+	for i := 0; i < s.ctx.nObj; i++ {
+		v, ok := s.exch.value(spans[i])
+		if !ok {
+			s.ctx.recycle(n)
+			return nil, spans, fmt.Errorf("spill store: object slot %d encoding not interned", i)
+		}
+		n.Cfg.Objects[i] = v
+		n.slotH[i] = model.SlotContentHash(spans[i])
+	}
+	for p := 0; p < s.ctx.nProc; p++ {
+		span := spans[s.ctx.nObj+p]
+		st, ok := s.exch.state(span)
+		if !ok {
+			s.ctx.recycle(n)
+			return nil, spans, fmt.Errorf("spill store: state slot %d encoding not interned", p)
+		}
+		n.Cfg.States[p] = st
+		n.slotH[s.ctx.nObj+p] = model.SlotContentHash(span)
+	}
+	n.Depth = depth
+	n.Pid = rec.pid
+	n.parent = nil
+	n.fp, n.slotFP = rec.fp, rec.slotFP
+	if s.ctx.stringKeys {
+		n.key = string(enc)
+	} else {
+		n.key = ""
+	}
+	return n, spans, nil
+}

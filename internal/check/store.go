@@ -1,0 +1,123 @@
+package check
+
+// This file defines the pluggable state-store layer of the frontier
+// engine. A StateStore owns the two memory-heavy halves of an exploration
+// — deduplication (the visited set) and frontier queuing (the next-level
+// node queue) — behind one interface, so the engine's level loop is
+// storage-agnostic:
+//
+//   - memStore (store.go's sibling memstore.go) keeps per-partition
+//     open-addressing fingerprint tables (or exact-key maps) and in-RAM
+//     node slices: the original engine behavior, extracted verbatim.
+//
+//   - spillStore (spillstore.go) bounds resident memory by a byte budget:
+//     visited fingerprints spill to sorted run files resolved by k-way
+//     merge at each level barrier (delayed duplicate detection), and
+//     frontier nodes spool to disk segments as their compact binary
+//     encodings, so the explorable space is bounded by disk, not RAM.
+//
+// The store is partitioned exactly like the engine's dedup ownership:
+// partition i is only ever touched by its single owner goroutine during a
+// level (Admit/Has), and EndLevel runs alone at the barrier. Stores
+// therefore need no per-candidate locking, mirroring the fpSet contract.
+
+// StoreStats summarizes a store's activity over one engine run. The
+// spill-store numbers surface in sweep JSONL records and BENCH snapshots
+// so beyond-RAM runs are auditable.
+type StoreStats struct {
+	// Kind is the backend that ran: "mem" or "spill".
+	Kind string `json:"kind"`
+	// BytesSpilled is the total bytes written to disk: sorted fingerprint
+	// runs plus spooled frontier segments (0 for memStore).
+	BytesSpilled int64 `json:"bytes_spilled,omitempty"`
+	// RunsWritten is the number of sorted fingerprint runs flushed.
+	RunsWritten int `json:"runs_written,omitempty"`
+	// RunsMerged is the number of run files consumed by compaction merges.
+	RunsMerged int `json:"runs_merged,omitempty"`
+	// PeakResidentBytes is the high-water estimate of the store's resident
+	// memory (dedup tables; frontier segments and runs live on disk).
+	PeakResidentBytes int64 `json:"peak_resident_bytes,omitempty"`
+}
+
+// FrontierSource hands out one level's frontier nodes in batches. Next is
+// safe for concurrent use by the engine workers; nodes are handed out
+// exactly once.
+type FrontierSource interface {
+	// Size is the number of nodes in the level.
+	Size() int
+	// Next fills buf with up to len(buf) nodes and returns how many; 0
+	// means the level is exhausted.
+	Next(buf []*Node) int
+}
+
+// LevelResult is what EndLevel returns at a level barrier. The number of
+// surviving admissions is Frontier.Size().
+type LevelResult struct {
+	// Frontier is the next level's node source (Size 0 ends the run).
+	Frontier FrontierSource
+	// Revoked is the number of this level's admissions revoked as delayed
+	// duplicates: entries the spill store tentatively admitted because
+	// their fingerprints were only present in on-disk runs, resolved at
+	// the barrier merge. Always 0 for memStore, whose tables are complete.
+	Revoked int
+	// Truncated reports that the budget cutoff dropped admissions (the
+	// level overshot maxNext); the engine closes admissions in response.
+	Truncated bool
+}
+
+// StateStore owns deduplication and frontier queuing for one engine run.
+// Partition indices are engine-assigned (fp & ownerMask); during a level
+// each partition is called only from its single owner goroutine, and
+// EndLevel/Stats/Close only from the engine's level loop.
+type StateStore interface {
+	// Admit records n's (fingerprint, key) as visited in the partition and
+	// queues n for the next level, unless it is a known duplicate. added
+	// reports whether it was admitted; retained whether the store keeps
+	// the *Node (false means the node's content is externalized — spooled
+	// to disk — and the engine must recycle it).
+	Admit(part int, n *Node) (added, retained bool)
+	// Has reports whether the entry is known visited. For the spill store
+	// this consults only the resident delta table (entries present only in
+	// spilled runs may report false); the engine uses it solely on the
+	// post-truncation fast path, where the answer cannot change outcomes.
+	Has(part int, fp uint64, key string) bool
+	// EndLevel runs at the level barrier: it resolves delayed duplicates,
+	// enforces the budget cutoff (at most maxNext admissions survive,
+	// chosen by ascending (fingerprint, key) — the engine's deterministic
+	// truncation order), spills to disk if over budget, and returns the
+	// next level's frontier.
+	EndLevel(maxNext int) (LevelResult, error)
+	// Stats reports cumulative store statistics.
+	Stats() StoreStats
+	// Close releases all resources (spill files, directories). It is safe
+	// to call after an aborted level.
+	Close() error
+}
+
+// Store backend names accepted by EngineOptions.Store.
+const (
+	// StoreMem selects the in-memory state store (the default).
+	StoreMem = "mem"
+	// StoreSpill selects the disk-spilling state store.
+	StoreSpill = "spill"
+)
+
+// DefaultMemBudget is the spill store's resident-byte budget when
+// EngineOptions.MemBudget is unset: 256 MiB.
+const DefaultMemBudget = 256 << 20
+
+// storeCtx carries the engine-side context a store needs: the run shape,
+// keying mode, and the node lifecycle hooks (pooled allocation and
+// recycling stay engine-owned so both stores share one discipline).
+type storeCtx struct {
+	parts      int // partition count (power of two)
+	nObj       int
+	nProc      int
+	stringKeys bool
+	// retain forces stores to keep admitted nodes in RAM (provenance
+	// runs: parent chains must stay live, so frontier spooling is off and
+	// only dedup state spills).
+	retain  bool
+	newNode func() *Node
+	recycle func(*Node)
+}

@@ -132,7 +132,10 @@ func Lemma16Run(p model.Protocol, limits SearchLimits) (*Lemma16Result, error) {
 	inXY := map[int]bool{}
 
 	bivalent := func(c *model.Config) (bool, error) {
-		v := check.ClassifyValencyOpts(p, c, q, check.ExploreOptions{Limits: exploreLimits, Engine: engOpts})
+		v, err := check.ClassifyValencyOpts(p, c, q, check.ExploreOptions{Limits: exploreLimits, Engine: engOpts})
+		if err != nil {
+			return false, fmt.Errorf("lowerbound: lemma 16: %w", err)
+		}
 		switch v.Class {
 		case check.Bivalent:
 			return true, nil

@@ -27,6 +27,14 @@ type SearchLimits struct {
 	// collision could silently prune a witness or substitute a wrong
 	// transition, so certificate searches default to exact.
 	Fingerprints bool
+	// Store selects the engine's state-store backend ("", "mem" or
+	// "spill"). Provenance runs keep their nodes resident either way;
+	// "spill" additionally bounds the visited set's resident memory by
+	// MemBudget, spilling dedup entries to sorted runs on disk.
+	Store string
+	// MemBudget is the spill store's resident-byte budget
+	// (0 = check.DefaultMemBudget).
+	MemBudget int64
 	// Progress, if non-nil, receives per-level engine throughput (the
 	// CLIs stream it to stderr so stdout stays parseable).
 	Progress func(check.Progress)
@@ -44,6 +52,7 @@ func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions)
 	l = l.withDefaults()
 	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
 		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
+			Store: l.Store, MemBudget: l.MemBudget,
 			// Witness extraction replays parent chains after the run.
 			Provenance: true, Progress: l.Progress}
 }

@@ -39,6 +39,10 @@ type Outcome struct {
 	// Failed is a non-empty diagnosis when validation or certification
 	// fell short without erroring (e.g. a certificate below the bound).
 	Failed string
+	// Store, when the scenario ran the frontier engine's exploration
+	// path, reports the state store's activity (spill volume, peak
+	// resident bytes) for the JSONL record.
+	Store *check.StoreStats
 }
 
 // RowSpec is one declarative experiment scenario: the unit shared by
@@ -274,10 +278,14 @@ var rowRegistry = map[string]RowSpec{
 			for i := range pids {
 				pids[i] = i
 			}
-			res := check.ExploreOpts(p, c, pids, cell.K, cell.ExploreOptions())
+			res, err := check.ExploreOpts(p, c, pids, cell.K, cell.ExploreOptions())
+			if err != nil {
+				return nil, err
+			}
 			out := &Outcome{
 				Measured: -1, Certified: -1,
 				States: res.Visited, Decided: res.DecidedValues, Complete: res.Complete,
+				Store: &res.Store,
 			}
 			if res.AgreementViolation != nil {
 				out.Violated = true

@@ -53,6 +53,15 @@ type Result struct {
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 
+	// Store and the spill counters record the state-store backend that
+	// ran the cell's exploration and its disk activity — the audit trail
+	// for beyond-RAM cells (set by scenarios that run the explorer).
+	Store             string `json:"store,omitempty"`
+	BytesSpilled      int64  `json:"bytes_spilled,omitempty"`
+	RunsWritten       int    `json:"runs_written,omitempty"`
+	RunsMerged        int    `json:"runs_merged,omitempty"`
+	PeakResidentBytes int64  `json:"peak_resident_bytes,omitempty"`
+
 	States        int        `json:"states,omitempty"`
 	Measured      int        `json:"measured"`
 	Certified     int        `json:"certified"`
@@ -217,6 +226,13 @@ func RunCellRecord(cell Cell) Result {
 		return rec
 	}
 	out := d.out
+	if out.Store != nil {
+		rec.Store = out.Store.Kind
+		rec.BytesSpilled = out.Store.BytesSpilled
+		rec.RunsWritten = out.Store.RunsWritten
+		rec.RunsMerged = out.Store.RunsMerged
+		rec.PeakResidentBytes = out.Store.PeakResidentBytes
+	}
 	rec.States = out.States
 	rec.Measured = out.Measured
 	rec.Certified = out.Certified

@@ -35,15 +35,54 @@ type EngineSpec struct {
 	// Keys is the visited-set keying: "" (scenario default),
 	// "fingerprint", or "string".
 	Keys string `json:"keys,omitempty"`
+	// Store is the state-store backend: "" (mem), "mem", or "spill" (the
+	// disk-spilling store for beyond-RAM instances).
+	Store string `json:"store,omitempty"`
+	// MemBudget is the spill store's resident-memory budget as a human
+	// byte size ("64MB", "1GiB"; "" = the 256MiB default).
+	MemBudget string `json:"mem_budget,omitempty"`
 }
 
-// label is the engine's contribution to a cell ID.
+// label is the engine's contribution to a cell ID. Cells on the default
+// store keep the historical three-part label, so existing checkpoint
+// files resume cleanly.
 func (e EngineSpec) label() string {
 	keys := e.Keys
 	if keys == "" {
 		keys = "default"
 	}
-	return fmt.Sprintf("w%d-s%d-%s", e.Workers, e.Shards, keys)
+	l := fmt.Sprintf("w%d-s%d-%s", e.Workers, e.Shards, keys)
+	if e.Store != "" && e.Store != check.StoreMem {
+		l += "-" + e.Store
+		if e.MemBudget != "" {
+			l += "@" + e.MemBudget
+		}
+	}
+	return l
+}
+
+// validate rejects unknown backends and unparsable budgets so a typo'd
+// spec fails before any cell runs.
+func (e EngineSpec) validate() error {
+	switch e.Store {
+	case "", check.StoreMem, check.StoreSpill:
+	default:
+		return fmt.Errorf("sweep: unknown store %q (have %q, %q)", e.Store, check.StoreMem, check.StoreSpill)
+	}
+	if _, err := harness.ParseByteSize(e.MemBudget); err != nil {
+		return fmt.Errorf("sweep: mem_budget: %w", err)
+	}
+	if e.MemBudget != "" && e.Store != check.StoreSpill {
+		return fmt.Errorf("sweep: mem_budget %q requires store %q (the in-memory store is unbudgeted)", e.MemBudget, check.StoreSpill)
+	}
+	return nil
+}
+
+// memBudgetBytes returns the parsed budget; specs are validated when the
+// grid expands, so a parse failure here cannot occur.
+func (e EngineSpec) memBudgetBytes() int64 {
+	b, _ := harness.ParseByteSize(e.MemBudget)
+	return b
 }
 
 // Grid is a declarative experiment matrix. Expanding it yields one cell
@@ -85,6 +124,11 @@ func ParseGrid(data []byte) (Grid, error) {
 	for _, key := range g.Rows {
 		if _, ok := RowByKey(key); !ok {
 			return Grid{}, fmt.Errorf("sweep: parse grid: unknown row %q (have %v)", key, RowKeys())
+		}
+	}
+	for _, e := range g.Engines {
+		if err := e.validate(); err != nil {
+			return Grid{}, fmt.Errorf("parse grid: %w", err)
 		}
 	}
 	return g, nil
@@ -174,6 +218,7 @@ func (c Cell) SearchLimits(defConfigs, defDepth int) lowerbound.SearchLimits {
 		MaxConfigs: defConfigs, MaxDepth: defDepth,
 		Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 		Fingerprints: c.Engine.Keys == "fingerprint",
+		Store:        c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
 	}
 }
 
@@ -185,6 +230,7 @@ func (c Cell) ExploreOptions() check.ExploreOptions {
 		Engine: check.EngineOptions{
 			Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 			StringKeys: c.Engine.Keys == "string",
+			Store:      c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
 		},
 	}
 }
@@ -209,6 +255,11 @@ func (g Grid) Cells() ([]Cell, error) {
 	engines := g.Engines
 	if len(engines) == 0 {
 		engines = []EngineSpec{{}}
+	}
+	for _, e := range engines {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
 	}
 
 	var cells []Cell
