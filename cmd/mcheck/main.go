@@ -8,7 +8,7 @@
 //
 //	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
 //	       [-workers 0] [-shards 64] [-stringkeys] [-progress]
-//	       [-store mem|spill] [-membudget 64MB]
+//	       [-store mem|spill] [-membudget 64MB] [-reduce none|sym|sym+sleep]
 //
 // Exploration runs on the sharded frontier engine: -workers sets the
 // parallelism (0 = all cores), -shards the visited-set partition count,
@@ -19,6 +19,12 @@
 // spilling visited fingerprints to sorted runs and frontier segments to
 // disk, so instances larger than RAM finish bounded by disk and time.
 // Results are identical for every -workers/-shards/-store setting.
+// -reduce selects the state-space reduction layer: "sym" explores one
+// representative per process-symmetry orbit (for protocols that declare
+// symmetry — toybit, pair, pairing; others run unreduced), "sym+sleep"
+// additionally skips redundant interleavings of commuting steps. Both
+// preserve decided-value sets, valency and violation existence; visited
+// counts legitimately shrink.
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
@@ -132,9 +138,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "explored %d configurations in %v (%.0f configs/s, complete: %v)\n",
 		res.Visited, elapsed.Round(time.Millisecond), float64(res.Visited)/elapsed.Seconds(), res.Complete)
 	if res.Store.Kind == check.StoreSpill {
-		fmt.Fprintf(out, "store: spill — %s spilled (%d runs written, %d merged), peak resident %s\n",
+		fmt.Fprintf(out, "store: spill — %s spilled (%d runs written, %d merged), peak resident %s, %d prefilter hits\n",
 			harness.FormatByteSize(res.Store.BytesSpilled), res.Store.RunsWritten,
-			res.Store.RunsMerged, harness.FormatByteSize(res.Store.PeakResidentBytes))
+			res.Store.RunsMerged, harness.FormatByteSize(res.Store.PeakResidentBytes),
+			res.Store.PrefilterHits)
+	}
+	if res.Reduction.Reduce != "" {
+		fmt.Fprintf(out, "reduction: %s — %d states pruned (%d orbit-memo hits, %d sleep skips)\n",
+			res.Reduction.Reduce, res.Reduction.StatesPruned,
+			res.Reduction.OrbitHits, res.Reduction.SleepSkipped)
 	}
 	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)

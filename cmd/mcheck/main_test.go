@@ -89,6 +89,30 @@ func TestRunEngineFlagsDoNotChangeResults(t *testing.T) {
 	}
 }
 
+// TestRunReduceFlag: a quotiented model check reports its reduction
+// line and the same decided values as the unreduced run; bad
+// combinations fail as usage errors.
+func TestRunReduceFlag(t *testing.T) {
+	var out strings.Builder
+	// The anonymous pairing protocol is correct (no violation) and
+	// symmetric, so the quotient has something to fold.
+	if err := run([]string{"-proto", "pairing", "-n", "4", "-k", "3", "-reduce", "sym+sleep"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "reduction: sym+sleep") {
+		t.Errorf("no reduction report in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "states pruned") {
+		t.Errorf("no pruning count in output:\n%s", out.String())
+	}
+	if err := run([]string{"-proto", "pair", "-n", "2", "-reduce", "warp"}, &out); err == nil {
+		t.Error("unknown -reduce mode must fail")
+	}
+	if err := run([]string{"-proto", "pair", "-n", "2", "-stringkeys", "-reduce", "sym"}, &out); err == nil {
+		t.Error("-reduce with -stringkeys must fail")
+	}
+}
+
 func TestRunBadUsage(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-proto", "nope"}, &out); err == nil {

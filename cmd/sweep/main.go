@@ -8,15 +8,19 @@
 //	sweep [-grid default|small|engine] [-spec grid.json]
 //	      [-n 8] [-k 2] [-rows a,b,c] [-schedules N] [-seed S]
 //	      [-max N] [-depth N] [-store mem|spill] [-membudget 64MB]
-//	      [-par N] [-timeout SECONDS]
+//	      [-reduce none|sym|sym+sleep] [-par N] [-timeout SECONDS]
 //	      [-out sweep.json] [-json] [-progress]
 //
 // -store/-membudget select the frontier engine's state store for every
 // cell: "spill" bounds resident store memory by the budget, spilling
 // visited fingerprints to sorted runs and frontier segments to disk, and
 // the cell's JSONL record carries the spill statistics (bytes_spilled,
-// runs_written, runs_merged, peak_resident_bytes). Results are identical
-// across stores.
+// runs_written, runs_merged, peak_resident_bytes, prefilter_hits).
+// Results are identical across stores. -reduce selects the state-space
+// reduction for the exploration rows (records carry reduce,
+// states_pruned, orbit_hits, sleep_skipped); certificate searches always
+// run unreduced, and reduced exploration legitimately visits fewer
+// states.
 //
 // -out appends JSONL records to the file and makes the run resumable:
 // cells whose IDs already appear in the file are skipped, so an
@@ -90,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 	maxConfigs := fs.Int("max", 0, "configuration budget override")
 	maxDepth := fs.Int("depth", 0, "depth cap override")
 	storeFlags := harness.RegisterStoreFlags(fs)
+	reduceFlag := fs.String("reduce", "", "override the grid's reduction axis: none, sym, or sym+sleep (exploration rows only; certificate searches always run unreduced)")
 	par := fs.Int("par", 0, "concurrently executing cells (0 = all cores)")
 	timeout := fs.Int("timeout", -1, "per-cell wall-time budget in seconds (-1 = grid default, 0 = none)")
 	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
@@ -148,10 +153,11 @@ func run(args []string, stdout io.Writer) error {
 	if *timeout >= 0 {
 		grid.TimeoutSec = *timeout
 	}
-	// -store/-membudget override the store axis of every engine spec in
-	// the grid (adding a default spec when the grid declares none), so
-	// any grid can be re-run beyond-RAM without editing its spec file.
-	if storeFlags.Store() != "" || storeFlags.MemBudgetText() != "" {
+	// -store/-membudget/-reduce override their axes on every engine spec
+	// in the grid (adding a default spec when the grid declares none), so
+	// any grid can be re-run beyond-RAM or reduced without editing its
+	// spec file.
+	if storeFlags.Store() != "" || storeFlags.MemBudgetText() != "" || *reduceFlag != "" {
 		if _, err := storeFlags.MemBudget(); err != nil {
 			return err
 		}
@@ -159,6 +165,9 @@ func run(args []string, stdout io.Writer) error {
 			grid.Engines = []sweep.EngineSpec{{}}
 		}
 		for i := range grid.Engines {
+			if *reduceFlag != "" {
+				grid.Engines[i].Reduce = *reduceFlag
+			}
 			if storeFlags.Store() != "" {
 				grid.Engines[i].Store = storeFlags.Store()
 				if storeFlags.Store() != "spill" && storeFlags.MemBudgetText() == "" {

@@ -171,8 +171,10 @@ func TestRejectsBadFlags(t *testing.T) {
 // statistics CI greps for.
 func TestSpillStoreFlagEndToEnd(t *testing.T) {
 	var out strings.Builder
+	// -reduce none collapses the small grid's three-spec reduce axis
+	// back to one cell (the override deduplicates identical specs).
 	args := []string{"-grid", "small", "-rows", "explore", "-n", "4",
-		"-store", "spill", "-membudget", "8KB", "-json"}
+		"-store", "spill", "-membudget", "8KB", "-reduce", "none", "-json"}
 	if err := run(args, &out); err != nil {
 		t.Fatalf("%v\n%s", err, out.String())
 	}
@@ -189,6 +191,9 @@ func TestSpillStoreFlagEndToEnd(t *testing.T) {
 	}
 	if rec.Store != "spill" || rec.BytesSpilled == 0 || rec.RunsWritten == 0 || rec.PeakResidentBytes == 0 {
 		t.Errorf("record lacks spill stats: %+v", rec)
+	}
+	if rec.PrefilterHits == 0 {
+		t.Errorf("forced-spill run reports no prefilter hits: %+v", rec)
 	}
 	if !strings.Contains(rec.Cell, "spill@8KB") {
 		t.Errorf("cell ID %q does not carry the store axis", rec.Cell)

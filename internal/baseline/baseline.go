@@ -39,8 +39,9 @@ type PairConsensus struct {
 }
 
 var (
-	_ model.Protocol      = (*PairConsensus)(nil)
-	_ model.InputDomainer = (*PairConsensus)(nil)
+	_ model.Protocol         = (*PairConsensus)(nil)
+	_ model.InputDomainer    = (*PairConsensus)(nil)
+	_ model.ProcessSymmetric = (*PairConsensus)(nil)
 )
 
 // NewPairConsensus returns the 2-process instance with input domain m.
@@ -112,6 +113,12 @@ func (p *PairConsensus) Observe(pid int, st model.State, resp model.Value) model
 	return s
 }
 
+// SymmetryClasses implements model.ProcessSymmetric: the algorithm is
+// anonymous — every process runs the same swap-and-decide code, and the
+// object holds bare input values, never process identities — so all
+// processes form one symmetry class.
+func (p *PairConsensus) SymmetryClasses() [][]int { return model.SingleClass(p.n) }
+
 // Decision implements model.Protocol.
 func (p *PairConsensus) Decision(st model.State) (int, bool) {
 	s := st.(pairState)
@@ -133,8 +140,9 @@ type Pairing struct {
 }
 
 var (
-	_ model.Protocol      = (*Pairing)(nil)
-	_ model.InputDomainer = (*Pairing)(nil)
+	_ model.Protocol         = (*Pairing)(nil)
+	_ model.InputDomainer    = (*Pairing)(nil)
+	_ model.ProcessSymmetric = (*Pairing)(nil)
 )
 
 // NewPairing constructs the pairing protocol. It requires n > k >= ⌈n/2⌉
@@ -212,6 +220,14 @@ func (p *Pairing) Observe(pid int, st model.State, resp model.Value) model.State
 	s.decided = int(resp.(model.Int))
 	return s
 }
+
+// SymmetryClasses implements model.ProcessSymmetric: Poised and Observe
+// never branch on pid (the object assignment lives in the state, set
+// once at Init), and the swap objects hold bare input values. All
+// processes form one class; the explorer's initial-state refinement
+// splits it into same-object, same-input groups, which are exactly the
+// interchangeable ones.
+func (p *Pairing) SymmetryClasses() [][]int { return model.SingleClass(p.n) }
 
 // Decision implements model.Protocol.
 func (p *Pairing) Decision(st model.State) (int, bool) {

@@ -30,8 +30,9 @@ type ToyBitRace struct {
 }
 
 var (
-	_ model.Protocol      = (*ToyBitRace)(nil)
-	_ model.InputDomainer = (*ToyBitRace)(nil)
+	_ model.Protocol         = (*ToyBitRace)(nil)
+	_ model.InputDomainer    = (*ToyBitRace)(nil)
+	_ model.ProcessSymmetric = (*ToyBitRace)(nil)
 )
 
 // NewToyBitRace constructs an n-process instance over `bits` binary
@@ -147,6 +148,14 @@ func (t *ToyBitRace) Observe(pid int, st model.State, resp model.Value) model.St
 	next.ones = 0
 	return next
 }
+
+// SymmetryClasses implements model.ProcessSymmetric: the protocol is
+// fully anonymous — Poised and Observe never branch on pid, and object
+// values hold bare preference bits, never process identities — so every
+// process is interchangeable with every other. (The explorer still
+// refines the class by initial state, so only same-input processes are
+// actually permuted.)
+func (t *ToyBitRace) SymmetryClasses() [][]int { return model.SingleClass(t.n) }
 
 // Decision implements model.Protocol.
 func (t *ToyBitRace) Decision(st model.State) (int, bool) {

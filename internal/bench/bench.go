@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/baseline"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/lowerbound"
@@ -48,6 +49,20 @@ type Record struct {
 	BytesPerOp float64 `json:"bytes_per_op"`
 	// Configs is the number of distinct configurations visited per op.
 	Configs int `json:"configs"`
+	// GoMaxProcs is GOMAXPROCS *when this record was measured*. The
+	// snapshot-level value describes the process, but scenarios differ in
+	// how many workers they actually ask for, so each record carries its
+	// own environment — "engine-parallel vs engine-1worker" is only a
+	// scaling comparison when the per-record values prove cores were
+	// available.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Workers is the engine worker count the scenario ran (0 is recorded
+	// as the resolved GOMAXPROCS default; sequential scenarios report 1).
+	Workers int `json:"workers,omitempty"`
+	// StatesPruned is the reduction layer's per-op pruning count
+	// (successor folds + sleep skips); nonzero only for -reduce
+	// scenarios, and the CI bench job's sanity gate for them.
+	StatesPruned int64 `json:"states_pruned,omitempty"`
 }
 
 // Snapshot is the BENCH_<n>.json file content.
@@ -59,14 +74,25 @@ type Snapshot struct {
 	Records    []Record `json:"benchmarks"`
 }
 
+// Outcome is one scenario iteration's result.
+type Outcome struct {
+	// Configs is the number of distinct configurations visited.
+	Configs int
+	// StatesPruned is the reduction layer's pruning count (0 unreduced).
+	StatesPruned int64
+}
+
 // Scenario is one explorer benchmark: a fixed state-space workload whose
 // per-iteration cost and visited-configuration count are measured.
 type Scenario struct {
 	// Name is the stable scenario identity.
 	Name string
-	// Run performs one iteration and returns the number of distinct
-	// configurations it visited.
-	Run func() int
+	// Workers is the engine worker count the scenario requests (0 = the
+	// GOMAXPROCS default), recorded per benchmark so snapshots from
+	// differently-provisioned hosts stay interpretable.
+	Workers int
+	// Run performs one iteration.
+	Run func() Outcome
 }
 
 // row3Instance is the Table 1 row-3 explorer workload: the Algorithm 1
@@ -79,14 +105,32 @@ func row3Instance() (model.Protocol, *model.Config, []int, check.ExploreLimits) 
 	return p, c, []int{0, 1, 2, 3}, check.ExploreLimits{MaxConfigs: 20000}
 }
 
+// symRow3Instance is the symmetric counterpart at row-3 scale: Algorithm
+// 1 itself swaps ⟨U, pid⟩ pairs into its objects, so it declares no
+// process symmetry and cannot demonstrate the quotient; the anonymous
+// toy-bit race (4 processes, 2 bits, mixed inputs) has a reachable space
+// of the same order (~60k configurations, fully explorable) and two
+// two-process symmetry classes, which is what the engine-sym scenarios
+// quotient. The budget is high enough that the unreduced run exhausts
+// the space — the visited-count ratio between engine-sym-off and
+// engine-sym is then the true orbit reduction, not a budget artifact.
+func symRow3Instance() (model.Protocol, *model.Config, []int, check.ExploreLimits) {
+	p, err := baseline.NewToyBitRace(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	c := model.MustNewConfig(p, []int{0, 1, 0, 1})
+	return p, c, []int{0, 1, 2, 3}, check.ExploreLimits{MaxConfigs: 100000}
+}
+
 // mustExplore panics on engine errors: the scenarios are fixed,
 // known-good workloads, so any error is a harness bug worth a crash.
-func mustExplore(p model.Protocol, c *model.Config, pids []int, k int, opts check.ExploreOptions) *check.ExploreResult {
+func mustExplore(p model.Protocol, c *model.Config, pids []int, k int, opts check.ExploreOptions) Outcome {
 	res, err := check.ExploreOpts(p, c, pids, k, opts)
 	if err != nil {
 		panic(err)
 	}
-	return res
+	return Outcome{Configs: res.Visited, StatesPruned: res.Reduction.StatesPruned}
 }
 
 // Suite returns the explorer benchmark scenarios, in snapshot order.
@@ -95,43 +139,106 @@ func Suite() []Scenario {
 		{
 			// The original single-threaded string-key explorer: the fixed
 			// reference every snapshot can be normalized against.
-			Name: "explore/row3/sequential-stringkey",
-			Run: func() int {
+			Name:    "explore/row3/sequential-stringkey",
+			Workers: 1,
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
-				return check.ExploreSequential(p, c, pids, 1, limits).Visited
+				return Outcome{Configs: check.ExploreSequential(p, c, pids, 1, limits).Visited}
 			},
 		},
 		{
 			// Frontier engine, one worker, fingerprint dedup: single-core
 			// engine throughput, the headline number of the hot-path work.
-			Name: "explore/row3/engine-1worker",
-			Run: func() int {
+			Name:    "explore/row3/engine-1worker",
+			Workers: 1,
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
 				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{Workers: 1},
-				}).Visited
+				})
 			},
 		},
 		{
 			// Frontier engine at full parallelism with fingerprint dedup —
-			// the configuration the CLIs use by default.
+			// the configuration the CLIs use by default. Its record's
+			// gomaxprocs/workers fields say how parallel it really was.
 			Name: "explore/row3/engine-parallel",
-			Run: func() int {
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
-				return mustExplore(p, c, pids, 1, check.ExploreOptions{Limits: limits}).Visited
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{Limits: limits})
+			},
+		},
+		{
+			// Four explicit workers regardless of GOMAXPROCS: on a
+			// multi-core host this is the genuine scaling point against
+			// engine-1worker; on a single-core runner the per-record
+			// gomaxprocs field exposes that the comparison is inert
+			// (goroutines timeshare one core) instead of silently
+			// masquerading as parallel speedup.
+			Name:    "explore/row3/engine-4worker",
+			Workers: 4,
+			Run: func() Outcome {
+				p, c, pids, limits := row3Instance()
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 4},
+				})
 			},
 		},
 		{
 			// Exact string-key mode (certificate searches): the fallback
-			// path that disables incremental fingerprint shortcuts.
+			// path that disables incremental fingerprint shortcuts. Also
+			// the cost yardstick for the legacy full-re-encode
+			// canonicalization route the reduction layer replaces.
 			Name: "explore/row3/engine-stringkey",
-			Run: func() int {
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
 				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{StringKeys: true},
-				}).Visited
+				})
+			},
+		},
+		{
+			// The symmetric instance unreduced: the comparator that fixes
+			// the full space size for the quotient ratio.
+			Name:    "explore/row3/engine-sym-off",
+			Workers: 1,
+			Run: func() Outcome {
+				p, c, pids, limits := symRow3Instance()
+				return mustExplore(p, c, pids, 0, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 1},
+				})
+			},
+		},
+		{
+			// Incremental symmetry quotienting: same instance, one orbit
+			// representative per visited entry. Must explore a multiple
+			// fewer states than engine-sym-off and beat engine-stringkey
+			// wall-clock — the reduction acceptance gate.
+			Name:    "explore/row3/engine-sym",
+			Workers: 1,
+			Run: func() Outcome {
+				p, c, pids, limits := symRow3Instance()
+				return mustExplore(p, c, pids, 0, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 1, Reduction: check.ReduceSym},
+				})
+			},
+		},
+		{
+			// Quotient plus sleep-set pruning: identical visited set, with
+			// redundant commuting interleavings never generated.
+			Name:    "explore/row3/engine-sym-sleep",
+			Workers: 1,
+			Run: func() Outcome {
+				p, c, pids, limits := symRow3Instance()
+				return mustExplore(p, c, pids, 0, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 1, Reduction: check.ReduceSymSleep},
+				})
 			},
 		},
 		{
@@ -139,32 +246,33 @@ func Suite() []Scenario {
 			// fixed overhead (frontier spooling, exchange interning) with
 			// no forced run spills — gates the store abstraction itself.
 			Name: "explore/row3/spillstore",
-			Run: func() int {
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
 				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{Store: check.StoreSpill},
-				}).Visited
+				})
 			},
 		},
 		{
 			// Disk-spilling store under an 8KB budget: every barrier
 			// spills, runs merge, delayed duplicate detection does real
-			// k-way work — the beyond-RAM worst case.
+			// k-way work (now Bloom-prefiltered) — the beyond-RAM worst
+			// case.
 			Name: "explore/row3/spillstore-tinybudget",
-			Run: func() int {
+			Run: func() Outcome {
 				p, c, pids, limits := row3Instance()
 				return mustExplore(p, c, pids, 1, check.ExploreOptions{
 					Limits: limits,
 					Engine: check.EngineOptions{Store: check.StoreSpill, MemBudget: 8 << 10},
-				}).Visited
+				})
 			},
 		},
 		{
 			// Provenance-tracking schedule search (lowerbound port): the
 			// witness-extracting consumer of the engine.
 			Name: "search/pair3-violation",
-			Run: func() int {
+			Run: func() Outcome {
 				p := core.MustNew(core.Params{N: 3, K: 1, M: 2})
 				w, err := lowerbound.FindAgreementViolation(
 					p, []int{0, 1, 1}, 1,
@@ -173,9 +281,9 @@ func Suite() []Scenario {
 					panic(err)
 				}
 				if w != nil {
-					return w.Visited
+					return Outcome{Configs: w.Visited}
 				}
-				return 20000
+				return Outcome{Configs: 20000}
 			},
 		},
 	}
@@ -196,22 +304,29 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, sc := range scenarios {
-		var configs int
+		var out Outcome
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				configs = sc.Run()
+				out = sc.Run()
 			}
 		})
+		workers := sc.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0) // the engine default the scenario resolved to
+		}
 		rec := Record{
-			Name:        sc.Name,
-			NsPerOp:     float64(res.NsPerOp()),
-			AllocsPerOp: float64(res.AllocsPerOp()),
-			BytesPerOp:  float64(res.AllocedBytesPerOp()),
-			Configs:     configs,
+			Name:         sc.Name,
+			NsPerOp:      float64(res.NsPerOp()),
+			AllocsPerOp:  float64(res.AllocsPerOp()),
+			BytesPerOp:   float64(res.AllocedBytesPerOp()),
+			Configs:      out.Configs,
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Workers:      workers,
+			StatesPruned: out.StatesPruned,
 		}
 		if rec.NsPerOp > 0 {
-			rec.StatesPerSec = float64(configs) / (rec.NsPerOp / 1e9)
+			rec.StatesPerSec = float64(out.Configs) / (rec.NsPerOp / 1e9)
 		}
 		snap.Records = append(snap.Records, rec)
 		if progress != nil {

@@ -123,10 +123,13 @@ func TestMeasureSmoke(t *testing.T) {
 		t.Skip("short mode")
 	}
 	var lines []string
-	snap := measureScenarios([]Scenario{{Name: "noop", Run: func() int { return 7 }}},
+	snap := measureScenarios([]Scenario{{Name: "noop", Run: func() Outcome { return Outcome{Configs: 7, StatesPruned: 3} }}},
 		func(s string) { lines = append(lines, s) })
 	if len(snap.Records) != 1 || snap.Records[0].Configs != 7 {
 		t.Fatalf("snapshot = %+v", snap.Records)
+	}
+	if snap.Records[0].StatesPruned != 3 || snap.Records[0].GoMaxProcs == 0 || snap.Records[0].Workers == 0 {
+		t.Fatalf("per-record metadata not captured: %+v", snap.Records[0])
 	}
 	if snap.Records[0].StatesPerSec <= 0 {
 		t.Fatalf("states/sec not derived: %+v", snap.Records[0])

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,13 @@ import (
 //     certificate searches use so that a collision can never silently
 //     prune a witness. Exact keying re-encodes every successor in full,
 //     which disables the incremental-fingerprint savings by construction.
+//
+//   - EngineOptions.Reduction installs the state-space reduction layer
+//     (reduce.go): orbit-canonical fingerprints for declared
+//     process-symmetric protocols, and sleep-set masks that skip
+//     redundant interleavings of commuting steps. Reductions preserve
+//     reachability verdicts, not schedules, and are rejected for
+//     provenance or exact-key runs.
 
 // EngineOptions configures the sharded frontier engine.
 type EngineOptions struct {
@@ -79,8 +87,19 @@ type EngineOptions struct {
 	// Canonical, if non-nil, replaces the fingerprint function, letting
 	// callers quotient the space by a congruence — e.g.
 	// model.Config.SymmetricFingerprint for process-symmetric protocols.
-	// Incompatible with StringKeys (Canonical wins).
+	// Incompatible with StringKeys (Canonical wins). Prefer Reduction:
+	// the hook re-encodes every successor in full, where the reduction
+	// layer canonicalizes from the incremental slot hashes.
 	Canonical func(*model.Config) uint64
+	// Reduction selects the state-space reduction layer (reduce.go):
+	// "" or "none" (no reduction), "sym" (incremental process-symmetry
+	// quotienting over the classes the protocol declares via
+	// model.ProcessSymmetric), or "sym+sleep" (symmetry plus sleep-set
+	// pruning of commuting successor pairs). Reductions preserve
+	// decided-value sets, valency classes and violation existence but
+	// not schedules, so they are rejected together with Provenance,
+	// StringKeys or a custom Canonical hook.
+	Reduction string
 	// Provenance retains every node's parent chain and configuration so
 	// that Node.Parent and Node.Schedule work after the run — required
 	// by the witness-extracting searches. Off by default: node buffers
@@ -155,10 +174,11 @@ type Node struct {
 	Pid int
 
 	parent *Node
-	fp     uint64   // dedup fingerprint (slot fp, or Canonical's value)
+	fp     uint64   // dedup fingerprint (slot fp, canonical, or Canonical's value)
 	slotFP uint64   // incremental slot fingerprint (ApplyCOW chain)
 	slotH  []uint64 // per-slot content hashes, parallel to Cfg slots
 	key    string   // exact encoding, set only in string-key mode
+	sleep  uint64   // sleep-set pid bitmask, set only in sleep-reduction mode
 }
 
 // Parent returns the node this one was first (deterministically) reached
@@ -197,6 +217,9 @@ type RunStats struct {
 	// Store reports the state store's activity (spill volume, peak
 	// resident bytes).
 	Store StoreStats
+	// Reduction reports the reduction layer's activity (orbit folds,
+	// sleep skips); zero-valued when no reduction ran.
+	Reduction ReductionStats
 }
 
 // batchSize is the successor-batch granularity: workers hand nodes to the
@@ -214,6 +237,12 @@ type dedupOwner struct {
 	part    int
 	pending map[uint64]*Node
 	ch      chan []*Node
+	// sleep collects the level's admitted sleep masks by fingerprint
+	// (sleep-reduction mode only). Duplicate admissions intersect — a
+	// commutative fold, so the surviving mask is a pure function of the
+	// level's candidate set, not of arrival order — and the barrier hands
+	// the finished map to the next level's expansions.
+	sleep map[uint64]uint64
 }
 
 // engineRun carries the per-run state shared by the level loop, the
@@ -221,15 +250,20 @@ type dedupOwner struct {
 type engineRun struct {
 	stringKeys bool
 	provenance bool
+	sleepOn    bool
 	store      StateStore
 	owners     []*dedupOwner
 	ownerMask  uint64
 	nodePool   *sync.Pool
 	batchPool  *sync.Pool
+	// prevSleep holds the previous level's finished per-partition sleep
+	// maps (read-only during a level; swapped at the barrier).
+	prevSleep []map[uint64]uint64
 
-	admitted  atomic.Int64
-	closed    atomic.Bool // no further admissions (budget exhausted)
-	truncated atomic.Bool // some reachable configuration was dropped
+	admitted     atomic.Int64
+	sleepSkipped atomic.Int64
+	closed       atomic.Bool // no further admissions (budget exhausted)
+	truncated    atomic.Bool // some reachable configuration was dropped
 }
 
 // newNode hands out a recycled (or fresh) node with correctly-shaped
@@ -278,6 +312,9 @@ func (o *dedupOwner) admit(r *engineRun, nn *Node) {
 		if r.provenance {
 			o.pending[nn.fp] = nn
 		}
+		if r.sleepOn {
+			o.sleep[nn.fp] = nn.sleep
+		}
 		r.admitted.Add(1)
 		if !retained {
 			// The store externalized the node's content (spooled to
@@ -285,6 +322,19 @@ func (o *dedupOwner) admit(r *engineRun, nn *Node) {
 			r.recycleAlways(nn)
 		}
 		return
+	}
+	if r.sleepOn {
+		// Same-level duplicate: only the pids every generator agrees are
+		// redundant may stay asleep. A duplicate of an EARLIER level
+		// (absent from this level's map — the graph re-reaches a state at
+		// a different depth) contributes nothing and needs nothing: masks
+		// are built exclusively from a state's first-visit-level
+		// generators, and every skip they justify routes through the
+		// first visit's own sibling diamonds (see reduce.go), so a later
+		// path to the same state has no claim to reconcile.
+		if m, ok := o.sleep[nn.fp]; ok {
+			o.sleep[nn.fp] = m & nn.sleep
+		}
 	}
 	o.claimProvenance(r, nn)
 }
@@ -329,8 +379,28 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	limits = limits.withDefaults()
 	opts = opts.withDefaults()
 
+	symOn, sleepOn, err := parseReduction(opts.Reduction)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if symOn || sleepOn {
+		switch {
+		case opts.Provenance:
+			return RunStats{}, fmt.Errorf("frontier engine: reduction %q is disabled for witness-producing (provenance) searches: a quotient merges schedules, so parent chains replayed through it are not valid executions", opts.Reduction)
+		case opts.StringKeys:
+			return RunStats{}, fmt.Errorf("frontier engine: reduction %q requires fingerprint keying: exact string keys dedup on full encodings, which orbit members do not share", opts.Reduction)
+		case opts.Canonical != nil:
+			return RunStats{}, fmt.Errorf("frontier engine: reduction %q and a custom Canonical quotient are mutually exclusive", opts.Reduction)
+		}
+	}
+
 	nObj := len(p.Objects())
 	nProc := p.NumProcesses()
+	if sleepOn && nProc > 64 {
+		// Sleep masks are uint64 pid bitsets; beyond that the quotient
+		// still applies but sleep pruning quietly stands down.
+		sleepOn = false
+	}
 	if len(start.Objects) != nObj || len(start.States) != nProc {
 		return RunStats{}, fmt.Errorf("frontier engine: start configuration has %d objects and %d states, protocol declares %d and %d",
 			len(start.Objects), len(start.States), nObj, nProc)
@@ -347,6 +417,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	run := &engineRun{
 		stringKeys: opts.StringKeys && opts.Canonical == nil,
 		provenance: opts.Provenance,
+		sleepOn:    sleepOn,
 		nodePool: &sync.Pool{New: func() any {
 			return &Node{
 				Cfg: &model.Config{
@@ -382,17 +453,38 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	if err != nil {
 		return RunStats{}, err
 	}
+	var symWorkers []*symWorker
 	defer func() {
 		rstats.Store = store.Stats()
 		if cerr := store.Close(); cerr != nil && rerr == nil {
 			rerr = cerr
 		}
+		switch {
+		case symOn && sleepOn:
+			rstats.Reduction.Reduce = ReduceSymSleep
+		case symOn:
+			rstats.Reduction.Reduce = ReduceSym
+		}
+		for _, w := range symWorkers {
+			if w != nil {
+				rstats.Reduction.StatesPruned += w.statesPruned
+				rstats.Reduction.OrbitHits += w.orbitHits
+			}
+		}
+		rstats.Reduction.SleepSkipped = run.sleepSkipped.Load()
+		rstats.Reduction.StatesPruned += rstats.Reduction.SleepSkipped
 	}()
 	run.store = store
 	run.owners = make([]*dedupOwner, numOwners)
 	run.ownerMask = uint64(numOwners - 1)
 	for i := range run.owners {
 		run.owners[i] = &dedupOwner{part: i, pending: map[uint64]*Node{}}
+		if sleepOn {
+			run.owners[i].sleep = map[uint64]uint64{}
+		}
+	}
+	if sleepOn {
+		run.prevSleep = make([]map[uint64]uint64, numOwners)
 	}
 
 	// Per-worker steppers: each owns an append-only intern arena and the
@@ -419,6 +511,27 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	root.Depth, root.Pid = 0, -1
 	root.parent = nil
 	root.slotFP = stepperFor(0).InitSlots(root.Cfg, root.slotH)
+
+	// Reduction plan: refine the declared symmetry classes against this
+	// run's start configuration and explored pid set. Per-worker
+	// canonicalizers are created lazily like the steppers.
+	var plan *reductionPlan
+	if symOn {
+		plan = planReduction(p, allowed, nObj, root.slotH, sleepOn)
+	}
+	if plan.active() {
+		symWorkers = make([]*symWorker, opts.Workers)
+	}
+	symFor := func(worker int) *symWorker {
+		if symWorkers == nil {
+			return nil
+		}
+		if symWorkers[worker] == nil {
+			symWorkers[worker] = newSymWorker(plan, nObj)
+		}
+		return symWorkers[worker]
+	}
+
 	var encScratch []byte
 	switch {
 	case opts.Canonical != nil:
@@ -429,6 +542,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		root.key = string(encScratch)
 	default:
 		root.fp = root.slotFP
+		if sw := symFor(0); sw != nil {
+			root.fp = sw.canonFP(root.slotFP, root.slotH)
+		}
 	}
 	if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
 		run.recycleAlways(root)
@@ -477,10 +593,16 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		// are batched to the partition owners.
 		work := func(worker int) {
 			st := stepperFor(worker)
+			sw := symFor(worker)
 			var scratch []byte
 			var buckets [][]*Node
 			if !inline {
 				buckets = make([][]*Node, numOwners)
+			}
+			var sleepSkips int64
+			var objs []int // per-pid poised object (-1 = decided), sleep mode only
+			if run.sleepOn {
+				objs = make([]int, nProc)
 			}
 			nodeBuf := make([]*Node, pull)
 			deliver := func(oi uint64, nn *Node) {
@@ -515,8 +637,34 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 						run.recycle(n)
 						continue
 					}
+					// Sleep-set mode: fetch the node's finished mask (the
+					// intersection over all of its generators, completed at
+					// the previous barrier) and the poised-object vector the
+					// commutation test needs. Both are memo-backed lookups.
+					var nodeMask uint64
+					if run.sleepOn {
+						if m := run.prevSleep[n.fp&run.ownerMask]; m != nil {
+							nodeMask = m[n.fp]
+						}
+						for pid := 0; pid < nProc; pid++ {
+							objs[pid] = -1
+							if allowed[pid] {
+								if obj, ok := st.PoisedObject(n.Cfg, pid, n.slotH[nObj+pid]); ok {
+									objs[pid] = obj
+								}
+							}
+						}
+					}
 					for pid := 0; pid < nProc; pid++ {
 						if !allowed[pid] {
+							continue
+						}
+						if nodeMask&(1<<uint(pid)) != 0 {
+							// Asleep: every generator of this node agreed the
+							// step commutes with its own last step, so the
+							// successor is exactly the state the ascending-pid
+							// sibling order reaches. Skip the redundant work.
+							sleepSkips++
 							continue
 						}
 						succ := run.newNode()
@@ -544,8 +692,25 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 							succ.fp = fp
 							scratch = succ.Cfg.AppendEncoding(scratch[:0])
 							succ.key = string(scratch)
+						case sw != nil:
+							succ.fp = sw.canonFP(fp, succ.slotH)
 						default:
 							succ.fp = fp
+						}
+						if run.sleepOn {
+							// The successor sleeps every commuting smaller pid
+							// (its interleaving is covered by the ascending
+							// order) and every still-commuting pid it inherits
+							// from this node's own sleep set.
+							var m uint64
+							myObj := objs[pid]
+							for cand := (uint64(1)<<uint(pid) - 1) | nodeMask; cand != 0; cand &= cand - 1 {
+								r := bits.TrailingZeros64(cand)
+								if allowed[r] && objs[r] >= 0 && objs[r] != myObj {
+									m |= 1 << uint(r)
+								}
+							}
+							succ.sleep = m
 						}
 						deliver(succ.fp&run.ownerMask, succ)
 					}
@@ -558,6 +723,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 				if len(b) > 0 {
 					run.owners[oi].ch <- b
 				}
+			}
+			if sleepSkips > 0 {
+				run.sleepSkipped.Add(sleepSkips)
 			}
 		}
 
@@ -640,6 +808,15 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}
 		for _, o := range run.owners {
 			clear(o.pending)
+		}
+		if run.sleepOn {
+			// Hand the finished mask maps to the next level's expansions
+			// and start fresh ones; duplicate-intersection is complete at
+			// this point, so the maps are read-only from here on.
+			for i, o := range run.owners {
+				run.prevSleep[i] = o.sleep
+				o.sleep = make(map[uint64]uint64, len(o.sleep))
+			}
 		}
 		if run.truncated.Load() {
 			stats.Complete = false

@@ -60,6 +60,9 @@ type ExploreResult struct {
 	// Store reports the state store's activity over the exploration
 	// (backend kind, bytes spilled, peak resident bytes).
 	Store StoreStats
+	// Reduction reports the state-space reduction layer's activity
+	// (orbit folds, sleep skips); zero-valued on unreduced runs.
+	Reduction ReductionStats
 }
 
 // ExploreOptions bundles the limits with the engine knobs for the
@@ -88,11 +91,16 @@ func Explore(p model.Protocol, c *model.Config, pids []int, k int, limits Explor
 
 // ExploreOpts is Explore with explicit engine options. The result is
 // deterministic: it does not depend on Workers, Shards or Store
-// (switching between fingerprint and string keying, or installing a
-// Canonical quotient, changes the visited set and may legitimately
-// change counts). Unlike Explore it returns engine errors instead of
-// panicking: the disk-spilling store makes I/O failures (a full disk, an
-// unreadable segment) an expected failure mode, not a protocol bug.
+// (switching between fingerprint and string keying, installing a
+// Canonical quotient, or selecting a Reduction changes the visited set
+// and may legitimately change counts). Under a symmetry reduction the
+// counts, decided-value sets and violation *existence* remain
+// worker-independent, but the AgreementViolation representative may be
+// any member of the violating orbit — orbit members share a fingerprint,
+// so which one is retained follows admission order. Unlike Explore it
+// returns engine errors instead of panicking: the disk-spilling store
+// makes I/O failures (a full disk, an unreadable segment) an expected
+// failure mode, not a protocol bug.
 func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts ExploreOptions) (*ExploreResult, error) {
 	res := &ExploreResult{}
 
@@ -164,6 +172,7 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res.Visited = stats.Processed
 	res.Complete = stats.Complete
 	res.Store = stats.Store
+	res.Reduction = stats.Reduction
 	res.DecidedValues = sortedValueSet(decided)
 	if violation != nil {
 		res.AgreementViolation = violation.cfg

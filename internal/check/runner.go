@@ -32,7 +32,14 @@
 //   - Canonical: an optional quotient fingerprint, e.g.
 //     model.Config.SymmetricFingerprint, to collapse process-symmetric
 //     configurations. Opt-in because soundness depends on the protocol
-//     actually being symmetric.
+//     actually being symmetric; superseded for declared-symmetric
+//     protocols by the cheaper Reduction layer.
+//   - Reduction: the state-space reduction layer (reduce.go) —
+//     incremental process-symmetry quotienting over the classes the
+//     protocol declares (model.ProcessSymmetric) and sleep-set pruning
+//     of commuting successor pairs. Sound for reachability/valency
+//     questions; rejected together with Provenance or StringKeys, so
+//     witness-producing searches always run unreduced.
 //
 // ExploreSequential is the original single-threaded explorer, retained as
 // the differential-testing oracle and benchmark baseline.

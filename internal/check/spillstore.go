@@ -37,6 +37,15 @@ import (
 //     ones already on disk. The surviving set is exactly what the
 //     in-memory store admits, so results are store-independent.
 //
+//   - A compact per-partition Bloom prefilter (bloom.go) fronts those
+//     run-file probes: every spilled fingerprint is added to the filter,
+//     so an admission the filter rejects provably appears in no run and
+//     skips the barrier merge outright. Only bloom-positive admissions —
+//     the probable duplicates, counted as prefilter_hits — pay for exact
+//     run probes. In the common mostly-fresh BFS level this removes
+//     nearly all merge traffic; a saturated filter only degrades back to
+//     probing everything, never to a wrong answer.
+//
 //   - When a partition accumulates runFanout runs, they are k-way merged
 //     into one (dropping duplicate entries), keeping per-level merge cost
 //     proportional to the spilled volume, not the run count.
@@ -94,6 +103,13 @@ type spillPart struct {
 	deltaKeys     map[string]uint64
 	deltaKeyBytes int64
 
+	// bloom summarizes every fingerprint this partition has spilled
+	// (created at the first spill); admissions it proves fresh skip the
+	// barrier's run-file merge. prefilterHits counts the bloom-positive
+	// admissions — the probable duplicates routed to exact probes.
+	bloom         *bloomFilter
+	prefilterHits int64
+
 	// This level's tentative admissions, in arrival order; level[j]
 	// corresponds to next[j] (retain mode) and to the j-th spooled record.
 	level []spillEntry
@@ -109,10 +125,13 @@ type spillPart struct {
 }
 
 // spillEntry is one dedup entry: the fingerprint plus, in exact-key mode,
-// the full encoding key.
+// the full encoding key. fresh marks entries the Bloom prefilter proved
+// absent from every spilled run at admission time — they skip the
+// barrier merge (they cannot be delayed duplicates).
 type spillEntry struct {
-	fp  uint64
-	key string
+	fp    uint64
+	key   string
+	fresh bool
 }
 
 func entryLess(a, b spillEntry) bool {
@@ -177,18 +196,26 @@ func (s *spillStore) takeErr() error {
 
 func (s *spillStore) Admit(part int, n *Node) (added, retained bool) {
 	p := &s.parts[part]
+	// Prefilter verdict: a fingerprint the bloom has never seen appears
+	// in no spilled run (the filter has no false negatives; in exact-key
+	// mode an absent fingerprint implies the (fp, key) pair is absent
+	// too), so the admission is final and skips the barrier merge.
+	fresh := p.bloom == nil || !p.bloom.has(n.fp)
 	if s.ctx.stringKeys {
 		if _, dup := p.deltaKeys[n.key]; dup {
 			return false, true
 		}
 		p.deltaKeys[n.key] = n.fp
 		p.deltaKeyBytes += int64(len(n.key)) + mapEntryOverhead
-		p.level = append(p.level, spillEntry{fp: n.fp, key: n.key})
+		p.level = append(p.level, spillEntry{fp: n.fp, key: n.key, fresh: fresh})
 	} else {
 		if !p.deltaFP.Add(n.fp) {
 			return false, true
 		}
-		p.level = append(p.level, spillEntry{fp: n.fp})
+		p.level = append(p.level, spillEntry{fp: n.fp, fresh: fresh})
+	}
+	if !fresh {
+		p.prefilterHits++
 	}
 	if s.ctx.retain {
 		p.next = append(p.next, n)
@@ -355,8 +382,12 @@ func (s *spillStore) EndLevel(maxNext int) (LevelResult, error) {
 
 	// Reset per-level state and apply the byte budget: when the resident
 	// delta exceeds it, flush every partition's delta to a fresh sorted
-	// run and compact partitions that accumulated runFanout runs.
-	var resident int64
+	// run and compact partitions that accumulated runFanout runs. The
+	// Bloom prefilters count toward the reported peak (they are resident
+	// memory) but not toward the spill trigger: spilling cannot shrink a
+	// filter, so triggering on its constant footprint would only force a
+	// futile delta flush at every subsequent barrier.
+	var resident, bloomBytes int64
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.level = p.level[:0]
@@ -366,9 +397,12 @@ func (s *spillStore) EndLevel(maxNext int) (LevelResult, error) {
 		} else {
 			resident += int64(len(p.deltaFP.slots)) * 8
 		}
+		if p.bloom != nil {
+			bloomBytes += p.bloom.bytes()
+		}
 	}
-	if resident > s.peak {
-		s.peak = resident
+	if resident+bloomBytes > s.peak {
+		s.peak = resident + bloomBytes
 	}
 	if resident > s.budget {
 		for i := range s.parts {
@@ -383,8 +417,11 @@ func (s *spillStore) EndLevel(maxNext int) (LevelResult, error) {
 }
 
 // markDead stream-merges the partition's sorted level admissions against
-// each sorted run, marking entries already present on disk. It reads runs
-// sequentially and stops each as soon as the admission list is exhausted.
+// each sorted run, marking entries already present on disk. Admissions
+// the Bloom prefilter proved fresh are excluded up front — they cannot
+// appear in any run — so the merge (and the run I/O it drives) costs
+// only the bloom-positive suspects. It reads runs sequentially and stops
+// each as soon as the suspect list is exhausted.
 func (s *spillStore) markDead(p *spillPart) (int, error) {
 	for len(p.dead) < len(p.level) {
 		p.dead = append(p.dead, false)
@@ -392,9 +429,14 @@ func (s *spillStore) markDead(p *spillPart) (int, error) {
 	if len(p.level) == 0 || len(p.runs) == 0 {
 		return 0, nil
 	}
-	order := make([]int, len(p.level))
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, len(p.level))
+	for i, e := range p.level {
+		if !e.fresh {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return 0, nil
 	}
 	sort.Slice(order, func(i, j int) bool { return entryLess(p.level[order[i]], p.level[order[j]]) })
 
@@ -461,6 +503,17 @@ func (s *spillStore) spillDelta(p *spillPart) error {
 	}
 	if len(entries) == 0 {
 		return nil
+	}
+	// Summarize the flushed fingerprints in the prefilter before they
+	// leave RAM. The filter is sized once from the byte budget (~1/4 of
+	// it, ~1% false positives for the first few flushes); overfilling it
+	// only raises the false-positive rate — more barrier merge work,
+	// never a wrong verdict — so it is never rebuilt.
+	if p.bloom == nil {
+		p.bloom = newBloomFilter(s.budget / 5 / int64(len(s.parts)))
+	}
+	for _, e := range entries {
+		p.bloom.add(e.fp)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
 
@@ -556,12 +609,17 @@ func (s *spillStore) compact(p *spillPart) error {
 }
 
 func (s *spillStore) Stats() StoreStats {
+	var hits int64
+	for i := range s.parts {
+		hits += s.parts[i].prefilterHits
+	}
 	return StoreStats{
 		Kind:              StoreSpill,
 		BytesSpilled:      s.bytesSpilled.Load(),
 		RunsWritten:       s.runsWritten,
 		RunsMerged:        s.runsMerged,
 		PeakResidentBytes: s.peak,
+		PrefilterHits:     hits,
 	}
 }
 

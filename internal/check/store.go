@@ -35,8 +35,15 @@ type StoreStats struct {
 	// RunsMerged is the number of run files consumed by compaction merges.
 	RunsMerged int `json:"runs_merged,omitempty"`
 	// PeakResidentBytes is the high-water estimate of the store's resident
-	// memory (dedup tables; frontier segments and runs live on disk).
+	// memory (dedup tables and Bloom prefilters; frontier segments and
+	// runs live on disk).
 	PeakResidentBytes int64 `json:"peak_resident_bytes,omitempty"`
+	// PrefilterHits is the number of admissions the spill store's Bloom
+	// prefilter flagged as probably-spilled — the only entries that pay
+	// for exact sorted-run probes at the barrier; everything else is
+	// proven fresh and skips the merge (0 for memStore, which never
+	// spills).
+	PrefilterHits int64 `json:"prefilter_hits,omitempty"`
 }
 
 // FrontierSource hands out one level's frontier nodes in batches. Next is

@@ -122,16 +122,17 @@ func (f *StoreFlags) Validate() error {
 
 // EngineFlags bundles the full frontier-engine flag block shared by
 // mcheck and lbcheck: -workers, -shards, the keying toggle, -store,
-// -membudget and -progress. The keying toggle keeps each command's
-// historical polarity: commands defaulting to fingerprint dedup register
-// -stringkeys, commands defaulting to exact keys (the certificate
-// searches) register -fingerprints.
+// -membudget, -reduce and -progress. The keying toggle keeps each
+// command's historical polarity: commands defaulting to fingerprint
+// dedup register -stringkeys, commands defaulting to exact keys (the
+// certificate searches) register -fingerprints.
 type EngineFlags struct {
 	*StoreFlags
 	workers      *int
 	shards       *int
 	flip         *bool
 	exactDefault bool
+	reduce       *string
 	progress     *bool
 }
 
@@ -142,6 +143,7 @@ func RegisterEngineFlags(fs *flag.FlagSet, exactKeysDefault bool) *EngineFlags {
 		exactDefault: exactKeysDefault,
 		workers:      fs.Int("workers", 0, "engine worker goroutines (0 = all cores); results never depend on it"),
 		shards:       fs.Int("shards", 0, "visited-set partitions (0 = default 64); purely a contention knob"),
+		reduce:       fs.String("reduce", "", "state-space reduction: none (default), sym (process-symmetry quotient over classes the protocol declares), or sym+sleep (plus sleep-set pruning); sound for exploration/valency questions, rejected by witness-producing searches"),
 		progress:     fs.Bool("progress", false, "report per-level engine throughput to stderr"),
 	}
 	if exactKeysDefault {
@@ -163,6 +165,27 @@ func (f *EngineFlags) StringKeys() bool {
 // Progress reports whether -progress was set.
 func (f *EngineFlags) Progress() bool { return *f.progress }
 
+// Reduce returns the selected reduction mode ("" = none).
+func (f *EngineFlags) Reduce() string { return *f.reduce }
+
+// Validate extends the store validation (which it shadows) with the
+// reduction mode and the keying interaction: exact string keys dedup on
+// full encodings, which a quotient's orbit members do not share, so the
+// pair is rejected here with flag-level wording (the engine enforces the
+// same rule).
+func (f *EngineFlags) Validate() error {
+	if err := f.StoreFlags.Validate(); err != nil {
+		return err
+	}
+	if err := check.ValidateReduction(*f.reduce); err != nil {
+		return fmt.Errorf("-reduce: %w", err)
+	}
+	if *f.reduce != "" && *f.reduce != check.ReduceNone && f.StringKeys() {
+		return fmt.Errorf("-reduce %s requires fingerprint keying (orbit members have distinct exact keys)", *f.reduce)
+	}
+	return nil
+}
+
 // Options assembles check.EngineOptions. progressW receives per-level
 // throughput when -progress was set (pass stderr so stdout stays
 // parseable); nil disables it regardless.
@@ -177,6 +200,7 @@ func (f *EngineFlags) Options(progressW io.Writer) (check.EngineOptions, error) 
 		StringKeys: f.StringKeys(),
 		Store:      f.Store(),
 		MemBudget:  budget,
+		Reduction:  *f.reduce,
 	}
 	if *f.progress && progressW != nil {
 		opts.Progress = check.ProgressPrinter(progressW)
@@ -199,6 +223,9 @@ func (f *EngineFlags) SearchLimits(maxConfigs, maxDepth int, progressW io.Writer
 		Fingerprints: !f.StringKeys(),
 		Store:        f.Store(),
 		MemBudget:    budget,
+		// Carried verbatim; the witness searches reject any reduction
+		// with an explicit error rather than silently ignoring the flag.
+		Reduction: *f.reduce,
 	}
 	if *f.progress && progressW != nil {
 		l.Progress = check.ProgressPrinter(progressW)

@@ -35,6 +35,16 @@ type SearchLimits struct {
 	// MemBudget is the spill store's resident-byte budget
 	// (0 = check.DefaultMemBudget).
 	MemBudget int64
+	// Reduction requests a state-space reduction ("", "none", "sym",
+	// "sym+sleep") for the underlying engine run. It is off by default
+	// and the witness-producing searches in this package REJECT any
+	// other value: every search here extracts a replayable schedule
+	// from provenance chains, and a reduction merges schedules (orbit
+	// members share a visited entry), so a reduced run cannot certify
+	// anything. The field exists so limit plumbing (flags, sweep cells)
+	// can carry the axis uniformly and fail loudly here rather than
+	// silently dropping it.
+	Reduction string
 	// Progress, if non-nil, receives per-level engine throughput (the
 	// CLIs stream it to stderr so stdout stays parseable).
 	Progress func(check.Progress)
@@ -48,11 +58,14 @@ func (l SearchLimits) withDefaults() SearchLimits {
 }
 
 // engineOptions translates the limits into frontier-engine options.
+// Reduction is passed through verbatim: the engine rejects any reduction
+// together with Provenance, which is exactly the "explicitly disabled
+// for witness-producing searches" contract.
 func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions) {
 	l = l.withDefaults()
 	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
 		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
-			Store: l.Store, MemBudget: l.MemBudget,
+			Store: l.Store, MemBudget: l.MemBudget, Reduction: l.Reduction,
 			// Witness extraction replays parent chains after the run.
 			Provenance: true, Progress: l.Progress}
 }

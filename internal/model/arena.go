@@ -49,6 +49,13 @@ func mixSlot(slot int, h uint64) uint64 {
 // encoding bytes.
 func hashEncoding(enc []byte) uint64 { return fnv1a(fnvOffset64, enc) }
 
+// MixSlotHash exposes the slot-fingerprint combine — mixSlot(slot, h) —
+// to the explorer's reduction layer, which reassigns class slot hashes
+// to canonical positions without re-encoding any slot. XORing a slot's
+// MixSlotHash out of a Config.SlotFingerprint and a replacement's in is
+// exactly how ApplyCOW maintains fingerprints incrementally.
+func MixSlotHash(slot int, h uint64) uint64 { return mixSlot(slot, h) }
+
 // SlotFingerprint returns the incremental-compatible fingerprint of c,
 // computed from scratch: the XOR over all slots of the position-mixed
 // content hash. Stepper.ApplyCOW maintains exactly this quantity
@@ -248,6 +255,36 @@ func (st *Stepper) InitSlots(c *Config, slotH []uint64) uint64 {
 		fp ^= mixSlot(n+pid, h)
 	}
 	return fp
+}
+
+// PoisedObject returns the index of the object process pid's poised
+// operation targets in c, or ok == false when pid has decided. It shares
+// ApplyCOW's poised memo (stH must be pid's state slot hash, the memo
+// key), so on warm paths it costs one map probe and no protocol call —
+// what lets the sleep-set reducer ask "which object would pid touch?"
+// for every process of a node without re-deriving operations.
+func (st *Stepper) PoisedObject(c *Config, pid int, stH uint64) (int, bool) {
+	if st.poised != nil {
+		if pe, hit := st.poised[poisedKey{pid: int32(pid), stH: stH}]; hit {
+			if pe.decided {
+				return 0, false
+			}
+			return pe.op.Object, true
+		}
+	}
+	op, ok := st.p.Poised(pid, c.States[pid])
+	if !ok {
+		if st.poised != nil {
+			if _, decided := st.p.Decision(c.States[pid]); decided {
+				st.poised[poisedKey{pid: int32(pid), stH: stH}] = poisedVal{decided: true}
+			}
+		}
+		return 0, false
+	}
+	if st.poised != nil {
+		st.poised[poisedKey{pid: int32(pid), stH: stH}] = poisedVal{op: op}
+	}
+	return op.Object, true
 }
 
 // ApplyCOW performs the poised step of process pid from parent, writing

@@ -1,0 +1,126 @@
+package model
+
+import "sort"
+
+// This file is the model-side half of process-symmetry quotienting: the
+// opt-in declaration interface a protocol uses to state which processes
+// are interchangeable, and the reference canonical fingerprint the
+// explorer's incremental reducer (internal/check) must agree with.
+//
+// Renaming processes within a declared class maps every reachable
+// configuration to a reachable configuration with identical behaviour, so
+// exploring one representative per orbit answers every orbit-invariant
+// question (decided-value sets, valency, violation existence) at a
+// fraction of the state count. The declaration is a soundness contract:
+// a protocol may declare a class only if its transition relation is
+// invariant under renaming the class's processes — no Poised/Observe
+// branch on pid, and no object value or state encoding a class member's
+// identity. Algorithm 1 swaps ⟨U, pid⟩ pairs into its objects and
+// RacingCounters writes register pid, so neither declares symmetry; the
+// anonymous baselines (ToyBitRace, PairConsensus, Pairing) do.
+
+// ProcessSymmetric is implemented by protocols that are invariant under
+// renaming processes within each returned class. Classes are sets of pids
+// (disjoint; pids outside every class are never permuted). The explorer
+// refines each class against the start configuration — only processes
+// with identical initial states are actually interchangeable for a given
+// input assignment — so declaring the coarsest classes (typically one
+// class of all processes for an anonymous protocol) is always correct.
+type ProcessSymmetric interface {
+	// SymmetryClasses returns the process classes the protocol is
+	// symmetric in. The slices must be treated as read-only.
+	SymmetryClasses() [][]int
+}
+
+// SymmetryClasses returns p's declared symmetry classes, or nil when p
+// declares none.
+func SymmetryClasses(p Protocol) [][]int {
+	if s, ok := p.(ProcessSymmetric); ok {
+		return s.SymmetryClasses()
+	}
+	return nil
+}
+
+// SingleClass is the declaration of a fully anonymous protocol: one
+// symmetry class containing all n processes. (The explorer refines it by
+// initial state, so the coarse declaration is always correct.)
+func SingleClass(n int) [][]int {
+	class := make([]int, n)
+	for i := range class {
+		class[i] = i
+	}
+	return [][]int{class}
+}
+
+// PermuteStates returns a copy of c with the process states rearranged by
+// perm: the state of process pid moves to slot perm[pid]. Objects are
+// unchanged (process renaming does not move objects). perm must be a
+// permutation of 0..len(c.States)-1. It is the test-side tool for
+// exercising symmetry invariants; the explorers never materialize
+// permuted configurations.
+func PermuteStates(c *Config, perm []int) *Config {
+	out := &Config{
+		Objects: append([]Value(nil), c.Objects...),
+		States:  make([]State, len(c.States)),
+	}
+	for pid, s := range c.States {
+		out.States[perm[pid]] = s
+	}
+	return out
+}
+
+// CanonicalSlotFingerprint returns the orbit-canonical variant of
+// SlotFingerprint under the given process classes: object slots and
+// out-of-class state slots contribute positionally exactly as in
+// SlotFingerprint, while each class's state-slot content hashes are
+// sorted before being assigned to the class's slots in ascending slot
+// order. Two configurations related by a permutation within the classes
+// therefore fingerprint identically, and a configuration whose class
+// states are already sorted fingerprints exactly as SlotFingerprint
+// would after the same reassignment.
+//
+// This is the from-scratch reference the incremental reducer in
+// internal/check maintains from per-slot hashes; FuzzCanonicalize pins
+// the permutation invariance down. Like every 64-bit fingerprint in the
+// repository, distinct orbits may collide with probability ~2^-64 per
+// pair.
+func (c *Config) CanonicalSlotFingerprint(classes [][]int) uint64 {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	nObj := len(c.Objects)
+	inClass := make(map[int]bool)
+	for _, class := range classes {
+		for _, pid := range class {
+			inClass[pid] = true
+		}
+	}
+
+	var fp uint64
+	for i, v := range c.Objects {
+		buf = appendValue(buf[:0], v)
+		fp ^= mixSlot(i, hashEncoding(buf))
+	}
+	for pid, s := range c.States {
+		if inClass[pid] {
+			continue
+		}
+		buf = appendState(buf[:0], s)
+		fp ^= mixSlot(nObj+pid, hashEncoding(buf))
+	}
+	for _, class := range classes {
+		slots := append([]int(nil), class...)
+		sort.Ints(slots)
+		hashes := make([]uint64, 0, len(slots))
+		for _, pid := range slots {
+			buf = appendState(buf[:0], c.States[pid])
+			hashes = append(hashes, hashEncoding(buf))
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		for j, h := range hashes {
+			fp ^= mixSlot(nObj+slots[j], h)
+		}
+	}
+	*bp = buf
+	keyBufPool.Put(bp)
+	return fp
+}

@@ -43,6 +43,11 @@ type Outcome struct {
 	// path, reports the state store's activity (spill volume, peak
 	// resident bytes) for the JSONL record.
 	Store *check.StoreStats
+	// Reduction, when the scenario ran the explorer, reports the
+	// reduction layer's activity (orbit folds, sleep skips). It is set
+	// unconditionally — violation rows included — so a reduced run that
+	// finds a violation is just as auditable as a clean one.
+	Reduction *check.ReductionStats
 }
 
 // RowSpec is one declarative experiment scenario: the unit shared by
@@ -74,6 +79,7 @@ var rowOrder = []string{
 	"kset-swap",
 	"kset-readable",
 	"explore",
+	"explore-anon",
 	"theorem10",
 	"violation-hunt",
 }
@@ -270,37 +276,28 @@ var rowRegistry = map[string]RowSpec{
 			for i := range inputs {
 				inputs[i] = i % (cell.K + 1)
 			}
-			c, err := model.NewConfig(p, inputs)
+			return exploreOutcome(p, inputs, cell.K, cell)
+		},
+	},
+
+	"explore-anon": {
+		Key: "explore-anon",
+		Doc: "Model check the anonymous toy-bit race: a process-symmetric negative control exercising the -reduce axis (violations expected)",
+		// The race is binary, so cell.K is ignored (any two decided
+		// values violate consensus); n >= 3 guarantees an adversarial
+		// schedule that splits decisions exists within small budgets.
+		Applies:         func(n, k int) bool { return n >= 3 },
+		ExpectViolation: true,
+		Run: func(cell Cell) (*Outcome, error) {
+			p, err := baseline.NewToyBitRace(cell.N, 2)
 			if err != nil {
 				return nil, err
 			}
-			pids := make([]int, cell.N)
-			for i := range pids {
-				pids[i] = i
+			inputs := make([]int, cell.N)
+			for i := range inputs {
+				inputs[i] = i % 2
 			}
-			res, err := check.ExploreOpts(p, c, pids, cell.K, cell.ExploreOptions())
-			if err != nil {
-				return nil, err
-			}
-			out := &Outcome{
-				Measured: -1, Certified: -1,
-				States: res.Visited, Decided: res.DecidedValues, Complete: res.Complete,
-				Store: &res.Store,
-			}
-			if res.AgreementViolation != nil {
-				out.Violated = true
-				out.Failed = fmt.Sprintf("agreement violation: decided %v", res.AgreementViolation.DecidedValues(p))
-				// Re-derive a replayable witness schedule for the record;
-				// the explorer itself only keeps the violating
-				// configuration. The search can come back empty within its
-				// budget — Violated keeps the status honest regardless.
-				w, werr := lowerbound.FindAgreementViolation(p, inputs, cell.K, cell.SearchLimits(check.DefaultMaxConfigs, 0))
-				if werr != nil {
-					return nil, werr
-				}
-				out.Violation = w
-			}
-			return out, nil
+			return exploreOutcome(p, inputs, 1, cell)
 		},
 	},
 
@@ -356,6 +353,47 @@ var rowRegistry = map[string]RowSpec{
 			return out, nil
 		},
 	},
+}
+
+// exploreOutcome is the shared body of the model-checking rows: explore
+// the all-pids space of p from inputs under the cell's engine options
+// and package the result. Store and reduction statistics are attached
+// before the violation branch, so violation rows carry them too — a
+// reduced run that finds a violation must be as auditable as a clean
+// one.
+func exploreOutcome(p model.Protocol, inputs []int, k int, cell Cell) (*Outcome, error) {
+	c, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	pids := make([]int, p.NumProcesses())
+	for i := range pids {
+		pids[i] = i
+	}
+	res, err := check.ExploreOpts(p, c, pids, k, cell.ExploreOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Measured: -1, Certified: -1,
+		States: res.Visited, Decided: res.DecidedValues, Complete: res.Complete,
+		Store: &res.Store, Reduction: &res.Reduction,
+	}
+	if res.AgreementViolation != nil {
+		out.Violated = true
+		out.Failed = fmt.Sprintf("agreement violation: decided %v", res.AgreementViolation.DecidedValues(p))
+		// Re-derive a replayable witness schedule for the record; the
+		// explorer itself only keeps the violating configuration. The
+		// search can come back empty within its budget — Violated keeps
+		// the status honest regardless. (SearchLimits drops the reduce
+		// axis: witness extraction must run unreduced.)
+		w, werr := lowerbound.FindAgreementViolation(p, inputs, k, cell.SearchLimits(check.DefaultMaxConfigs, 0))
+		if werr != nil {
+			return nil, werr
+		}
+		out.Violation = w
+	}
+	return out, nil
 }
 
 // validateOutcome runs the adversarial-schedule validator and seeds an

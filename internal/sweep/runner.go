@@ -61,6 +61,16 @@ type Result struct {
 	RunsWritten       int    `json:"runs_written,omitempty"`
 	RunsMerged        int    `json:"runs_merged,omitempty"`
 	PeakResidentBytes int64  `json:"peak_resident_bytes,omitempty"`
+	PrefilterHits     int64  `json:"prefilter_hits,omitempty"`
+
+	// Reduce and the reduction counters record the state-space reduction
+	// that ran the cell's exploration. They are attached on every
+	// explorer record — violation rows included — so reduced runs stay
+	// auditable whatever the verdict.
+	Reduce       string `json:"reduce,omitempty"`
+	StatesPruned int64  `json:"states_pruned,omitempty"`
+	OrbitHits    int64  `json:"orbit_hits,omitempty"`
+	SleepSkipped int64  `json:"sleep_skipped,omitempty"`
 
 	States        int        `json:"states,omitempty"`
 	Measured      int        `json:"measured"`
@@ -177,6 +187,9 @@ func RunCell(cell Cell) (*Outcome, error) {
 // RunCellRecord executes one cell under its timeout and packages the
 // outcome as a Result record.
 func RunCellRecord(cell Cell) Result {
+	// Reduce is populated from the Outcome below, not from the cell spec:
+	// certificate rows deliberately drop the reduce axis (witness searches
+	// run unreduced), and their records must not claim otherwise.
 	rec := Result{
 		Grid: cell.Grid, Cell: cell.ID(), Row: cell.Row, N: cell.N, K: cell.K,
 		Workers: cell.Engine.Workers, Shards: cell.Engine.Shards, Keys: cell.Engine.Keys,
@@ -232,6 +245,13 @@ func RunCellRecord(cell Cell) Result {
 		rec.RunsWritten = out.Store.RunsWritten
 		rec.RunsMerged = out.Store.RunsMerged
 		rec.PeakResidentBytes = out.Store.PeakResidentBytes
+		rec.PrefilterHits = out.Store.PrefilterHits
+	}
+	if out.Reduction != nil {
+		rec.Reduce = out.Reduction.Reduce
+		rec.StatesPruned = out.Reduction.StatesPruned
+		rec.OrbitHits = out.Reduction.OrbitHits
+		rec.SleepSkipped = out.Reduction.SleepSkipped
 	}
 	rec.States = out.States
 	rec.Measured = out.Measured

@@ -41,6 +41,12 @@ type EngineSpec struct {
 	// MemBudget is the spill store's resident-memory budget as a human
 	// byte size ("64MB", "1GiB"; "" = the 256MiB default).
 	MemBudget string `json:"mem_budget,omitempty"`
+	// Reduce selects the state-space reduction for exploration scenarios:
+	// "" or "none", "sym" (process-symmetry quotient), "sym+sleep"
+	// (plus sleep-set pruning). Certificate searches always run
+	// unreduced — reductions merge schedules, so witness extraction
+	// rejects them — and ignore this axis.
+	Reduce string `json:"reduce,omitempty"`
 }
 
 // label is the engine's contribution to a cell ID. Cells on the default
@@ -58,6 +64,9 @@ func (e EngineSpec) label() string {
 			l += "@" + e.MemBudget
 		}
 	}
+	if e.Reduce != "" && e.Reduce != check.ReduceNone {
+		l += "-" + e.Reduce
+	}
 	return l
 }
 
@@ -74,6 +83,12 @@ func (e EngineSpec) validate() error {
 	}
 	if e.MemBudget != "" && e.Store != check.StoreSpill {
 		return fmt.Errorf("sweep: mem_budget %q requires store %q (the in-memory store is unbudgeted)", e.MemBudget, check.StoreSpill)
+	}
+	if err := check.ValidateReduction(e.Reduce); err != nil {
+		return fmt.Errorf("sweep: reduce: %w", err)
+	}
+	if e.Reduce != "" && e.Reduce != check.ReduceNone && e.Keys == "string" {
+		return fmt.Errorf("sweep: reduce %q requires fingerprint keying (orbit members have distinct exact keys)", e.Reduce)
 	}
 	return nil
 }
@@ -137,8 +152,9 @@ func ParseGrid(data []byte) (Grid, error) {
 // NamedGrid returns a built-in grid. The names:
 //
 //	default  the full Table 1 at n=8, k=2 — cmd/table1's exact output
-//	small    Table 1 plus an exploration cell at n=4, k=2 with small
-//	         budgets; the CI bench-smoke grid
+//	small    Table 1 plus exploration cells (Algorithm 1 and the
+//	         symmetric toy-bit control) at n=4, k=2 with small budgets,
+//	         swept across the reduce axis; the CI bench-smoke grid
 //	engine   the exploration scenario across a workers × keying matrix
 func NamedGrid(name string) (Grid, error) {
 	switch name {
@@ -148,10 +164,17 @@ func NamedGrid(name string) (Grid, error) {
 		// just the rendering.
 		return Grid{Name: "default", Seed: 1}, nil
 	case "small":
-		rows := append(append([]string{}, TableRowKeys()...), "explore")
+		rows := append(append([]string{}, TableRowKeys()...), "explore", "explore-anon")
 		return Grid{
 			Name: "small", Rows: rows,
 			Ns: []int{4}, Ks: []int{2},
+			// The reduce axis: every row runs unreduced and quotiented
+			// (certificate rows ignore the axis by construction, so the
+			// extra cells mostly re-validate cheaply; the exploration
+			// rows are the ones the axis is for, and the symmetric
+			// explore-anon control must show states_pruned > 0 under
+			// sym — the CI sanity gate).
+			Engines:   []EngineSpec{{}, {Reduce: check.ReduceSym}, {Reduce: check.ReduceSymSleep}},
 			Schedules: 2, Seed: 1,
 			MaxConfigs: 20000, TimeoutSec: 120,
 		}, nil
@@ -206,7 +229,11 @@ func (c Cell) ValidateOptions() harness.ValidateOptions {
 // SearchLimits translates the cell into lower-bound search limits, using
 // the scenario's default budget where the cell does not override it.
 // Certificate searches default to exact string keys; Keys "fingerprint"
-// opts into fingerprint dedup.
+// opts into fingerprint dedup. The Reduce axis is deliberately NOT
+// carried over: the searches behind these limits extract witness
+// schedules, which every reduction is unsound for (and rejected by), so
+// a grid may sweep the reduce axis without breaking its certificate
+// rows.
 func (c Cell) SearchLimits(defConfigs, defDepth int) lowerbound.SearchLimits {
 	if c.MaxConfigs > 0 {
 		defConfigs = c.MaxConfigs
@@ -231,6 +258,7 @@ func (c Cell) ExploreOptions() check.ExploreOptions {
 			Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 			StringKeys: c.Engine.Keys == "string",
 			Store:      c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
+			Reduction: c.Engine.Reduce,
 		},
 	}
 }
