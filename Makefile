@@ -14,6 +14,7 @@ test:
 race:
 	go test -race -run 'Parallel|Deterministic|Workers|Quotient|Frontier|Spill|Truncation' ./internal/check ./internal/lowerbound
 	go test -race -run 'Reduce|Bloom|SymWorker|Canonicalize' ./internal/check ./internal/sweep ./internal/model
+	go test -race -run 'Async|WSDeque|Order' ./internal/check ./internal/sweep
 
 # spill-smoke forces real disk spills: a 64KB budget against a ~240KB
 # visited set, race-enabled — the local twin of the CI spill-smoke job.

@@ -22,11 +22,16 @@
 // keys to 64-bit fingerprints (leaner, with a ~2^-64 per-pair collision
 // risk), -store/-membudget select the disk-spilling state store (the
 // searches retain provenance, so their frontiers stay resident and the
-// visited-set dedup state spills), and -progress streams per-level
-// throughput to stderr, keeping stdout parseable. The covering scans of
-// -covering and the -forbidden ledger run still use their original
-// sequential passes and ignore the engine flags. -max and -depth
-// override any mode's default budget.
+// visited-set dedup state spills), and -progress streams engine
+// throughput to stderr, keeping stdout parseable — per completed level
+// for the level-synchronized order, per wall-clock tick (cumulative
+// states admitted/visited) under -order async. Note that every search
+// here extracts witness schedules from provenance chains, which the
+// async order cannot maintain: passing -order async to a search mode
+// fails loudly with the engine's provenance error instead of silently
+// falling back. The covering scans of -covering and the -forbidden
+// ledger run still use their original sequential passes and ignore the
+// engine flags. -max and -depth override any mode's default budget.
 package main
 
 import (

@@ -9,6 +9,7 @@
 //	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
 //	       [-workers 0] [-shards 64] [-stringkeys] [-progress]
 //	       [-store mem|spill] [-membudget 64MB] [-reduce none|sym|sym+sleep]
+//	       [-order levelsync|async]
 //
 // Exploration runs on the sharded frontier engine: -workers sets the
 // parallelism (0 = all cores), -shards the visited-set partition count,
@@ -24,7 +25,13 @@
 // symmetry — toybit, pair, pairing; others run unreduced), "sym+sleep"
 // additionally skips redundant interleavings of commuting steps. Both
 // preserve decided-value sets, valency and violation existence; visited
-// counts legitimately shrink.
+// counts legitimately shrink. -order selects the exploration order:
+// "levelsync" (the default) processes the frontier in BFS levels with a
+// barrier between them, "async" replaces the barrier with per-worker
+// work-stealing deques — the same visited set and verdicts, better
+// multicore scaling, but no per-level progress and no witness
+// provenance (so -order async composes with exploration, not with the
+// certificate searches).
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
@@ -147,6 +154,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "reduction: %s — %d states pruned (%d orbit-memo hits, %d sleep skips)\n",
 			res.Reduction.Reduce, res.Reduction.StatesPruned,
 			res.Reduction.OrbitHits, res.Reduction.SleepSkipped)
+	}
+	if res.Async.Order == check.OrderAsync {
+		fmt.Fprintf(out, "order: async — %d steals, %d quiescence scans\n",
+			res.Async.Steals, res.Async.QuiescenceScans)
 	}
 	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)

@@ -8,7 +8,8 @@
 //	sweep [-grid default|small|engine] [-spec grid.json]
 //	      [-n 8] [-k 2] [-rows a,b,c] [-schedules N] [-seed S]
 //	      [-max N] [-depth N] [-store mem|spill] [-membudget 64MB]
-//	      [-reduce none|sym|sym+sleep] [-par N] [-timeout SECONDS]
+//	      [-reduce none|sym|sym+sleep] [-order levelsync|async]
+//	      [-par N] [-timeout SECONDS]
 //	      [-out sweep.json] [-json] [-progress]
 //
 // -store/-membudget select the frontier engine's state store for every
@@ -20,7 +21,11 @@
 // reduction for the exploration rows (records carry reduce,
 // states_pruned, orbit_hits, sleep_skipped); certificate searches always
 // run unreduced, and reduced exploration legitimately visits fewer
-// states.
+// states. -order selects the exploration order for the exploration rows
+// (records carry order, steals, quiescence_scans); "async" replaces the
+// BFS level barrier with work-stealing deques — same visited set and
+// verdicts — while certificate searches always run level-synchronized
+// (witness extraction needs provenance chains async cannot maintain).
 //
 // -out appends JSONL records to the file and makes the run resumable:
 // cells whose IDs already appear in the file are skipped, so an
@@ -95,6 +100,7 @@ func run(args []string, stdout io.Writer) error {
 	maxDepth := fs.Int("depth", 0, "depth cap override")
 	storeFlags := harness.RegisterStoreFlags(fs)
 	reduceFlag := fs.String("reduce", "", "override the grid's reduction axis: none, sym, or sym+sleep (exploration rows only; certificate searches always run unreduced)")
+	orderFlag := fs.String("order", "", "override the grid's exploration-order axis: levelsync or async (exploration rows only; certificate searches always run level-synchronized)")
 	par := fs.Int("par", 0, "concurrently executing cells (0 = all cores)")
 	timeout := fs.Int("timeout", -1, "per-cell wall-time budget in seconds (-1 = grid default, 0 = none)")
 	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
@@ -153,11 +159,11 @@ func run(args []string, stdout io.Writer) error {
 	if *timeout >= 0 {
 		grid.TimeoutSec = *timeout
 	}
-	// -store/-membudget/-reduce override their axes on every engine spec
-	// in the grid (adding a default spec when the grid declares none), so
-	// any grid can be re-run beyond-RAM or reduced without editing its
-	// spec file.
-	if storeFlags.Store() != "" || storeFlags.MemBudgetText() != "" || *reduceFlag != "" {
+	// -store/-membudget/-reduce/-order override their axes on every
+	// engine spec in the grid (adding a default spec when the grid
+	// declares none), so any grid can be re-run beyond-RAM, reduced or
+	// barrier-free without editing its spec file.
+	if storeFlags.Store() != "" || storeFlags.MemBudgetText() != "" || *reduceFlag != "" || *orderFlag != "" {
 		if _, err := storeFlags.MemBudget(); err != nil {
 			return err
 		}
@@ -167,6 +173,9 @@ func run(args []string, stdout io.Writer) error {
 		for i := range grid.Engines {
 			if *reduceFlag != "" {
 				grid.Engines[i].Reduce = *reduceFlag
+			}
+			if *orderFlag != "" {
+				grid.Engines[i].Order = *orderFlag
 			}
 			if storeFlags.Store() != "" {
 				grid.Engines[i].Store = storeFlags.Store()

@@ -187,6 +187,37 @@ func Suite() []Scenario {
 			},
 		},
 		{
+			// Barrier-free async order, two workers: the work-stealing
+			// engine's first scaling point against engine-1worker. The
+			// level-synchronized 4-worker scenario above historically LOST
+			// throughput versus one worker (the EndLevel barrier serializes
+			// every level tail); async replaces the barrier with per-worker
+			// deques, so these scenarios are the ones expected to scale
+			// when the per-record gomaxprocs shows real cores.
+			Name:    "explore/row3/engine-async-2worker",
+			Workers: 2,
+			Run: func() Outcome {
+				p, c, pids, limits := row3Instance()
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 2, Order: check.OrderAsync},
+				})
+			},
+		},
+		{
+			// Async order, four workers: the headline multicore number of
+			// the work-stealing engine.
+			Name:    "explore/row3/engine-async-4worker",
+			Workers: 4,
+			Run: func() Outcome {
+				p, c, pids, limits := row3Instance()
+				return mustExplore(p, c, pids, 1, check.ExploreOptions{
+					Limits: limits,
+					Engine: check.EngineOptions{Workers: 4, Order: check.OrderAsync},
+				})
+			},
+		},
+		{
 			// Exact string-key mode (certificate searches): the fallback
 			// path that disables incremental fingerprint shortcuts. Also
 			// the cost yardstick for the legacy full-re-encode
@@ -304,6 +335,22 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, sc := range scenarios {
+		// A scenario that asks for explicit parallelism must actually get
+		// it: historically the harness left GOMAXPROCS at the process
+		// default, so on constrained runners "4 workers" timeshared
+		// whatever cores the environment granted and multi-worker scenarios
+		// measured goroutine overhead, not scaling. Raise GOMAXPROCS to the
+		// worker count for the measurement and restore it afterwards; the
+		// per-record gomaxprocs field reports what the scenario really ran
+		// under (the runtime grants GOMAXPROCS > NumCPU, so on a 1-core
+		// host the field still honestly shows the requested width while
+		// wall-clock shows no speedup).
+		procs := runtime.GOMAXPROCS(0)
+		restore := -1
+		if sc.Workers > 1 && sc.Workers != procs {
+			restore = runtime.GOMAXPROCS(sc.Workers)
+			procs = runtime.GOMAXPROCS(0)
+		}
 		var out Outcome
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -311,9 +358,12 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 				out = sc.Run()
 			}
 		})
+		if restore > 0 {
+			runtime.GOMAXPROCS(restore)
+		}
 		workers := sc.Workers
 		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0) // the engine default the scenario resolved to
+			workers = procs // the engine default the scenario resolved to
 		}
 		rec := Record{
 			Name:         sc.Name,
@@ -321,7 +371,7 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 			AllocsPerOp:  float64(res.AllocsPerOp()),
 			BytesPerOp:   float64(res.AllocedBytesPerOp()),
 			Configs:      out.Configs,
-			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			GoMaxProcs:   procs,
 			Workers:      workers,
 			StatesPruned: out.StatesPruned,
 		}

@@ -100,6 +100,15 @@ type EngineOptions struct {
 	// not schedules, so they are rejected together with Provenance,
 	// StringKeys or a custom Canonical hook.
 	Reduction string
+	// Order selects the exploration order: "" or "levelsync" for the
+	// deterministic level-synchronized loop above, "async" for the
+	// barrier-free work-stealing order (async.go): per-worker Chase-Lev
+	// deques, continuous admission with no EndLevel barrier, and
+	// counter-based quiescence termination. Async preserves every verdict
+	// and the visited-set size but not schedules or level structure, so
+	// it is rejected together with Provenance or StringKeys; a pure
+	// Canonical hook and the reduction layer both compose with it.
+	Order string
 	// Provenance retains every node's parent chain and configuration so
 	// that Node.Parent and Node.Schedule work after the run — required
 	// by the witness-extracting searches. Off by default: node buffers
@@ -145,9 +154,13 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	return o
 }
 
-// Progress reports cumulative engine throughput after a completed level.
+// Progress reports cumulative engine throughput: after every completed
+// level (level-synchronized order), or on a wall-clock tick (async order,
+// which has no levels).
 type Progress struct {
-	// Depth is the level just completed.
+	// Order is the exploration order reporting ("" means levelsync).
+	Order string
+	// Depth is the level just completed (-1 for async order ticks).
 	Depth int
 	// FrontierSize is the number of configurations processed at it.
 	FrontierSize int
@@ -179,6 +192,12 @@ type Node struct {
 	slotH  []uint64 // per-slot content hashes, parallel to Cfg slots
 	key    string   // exact encoding, set only in string-key mode
 	sleep  uint64   // sleep-set pid bitmask, set only in sleep-reduction mode
+
+	// Async-order scheduling state (async.go): how to (re-)expand the
+	// node (asyncFresh / asyncWake / asyncDeepen) and, for wake items,
+	// which pids to wake. Unused by the level-synchronized order.
+	reexpand uint8
+	wake     uint64
 }
 
 // Parent returns the node this one was first (deterministically) reached
@@ -212,7 +231,8 @@ type RunStats struct {
 	// exhausted within the limits (early stop via afterLevel does not
 	// clear it, mirroring the sequential explorers).
 	Complete bool
-	// Levels is the number of frontier levels processed.
+	// Levels is the number of frontier levels processed (0 for async
+	// order, which has no level structure).
 	Levels int
 	// Store reports the state store's activity (spill volume, peak
 	// resident bytes).
@@ -220,6 +240,9 @@ type RunStats struct {
 	// Reduction reports the reduction layer's activity (orbit folds,
 	// sleep skips); zero-valued when no reduction ran.
 	Reduction ReductionStats
+	// Async reports the exploration order that ran and, for async runs,
+	// the work-stealing and quiescence-detection activity.
+	Async AsyncStats
 }
 
 // batchSize is the successor-batch granularity: workers hand nodes to the
@@ -287,6 +310,8 @@ func (r *engineRun) recycle(n *Node) {
 func (r *engineRun) recycleAlways(n *Node) {
 	n.parent = nil
 	n.key = ""
+	n.reexpand = 0
+	n.wake = 0
 	r.nodePool.Put(n)
 }
 
@@ -383,6 +408,18 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	if err != nil {
 		return RunStats{}, err
 	}
+	asyncOn, err := parseOrder(opts.Order)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if asyncOn {
+		switch {
+		case opts.Provenance:
+			return RunStats{}, fmt.Errorf("frontier engine: order %q is disabled for witness-producing (provenance) searches: async admission order is timing-dependent, so the deterministic first-reached parent chains witness schedules replay do not exist", OrderAsync)
+		case opts.StringKeys:
+			return RunStats{}, fmt.Errorf("frontier engine: order %q requires fingerprint keying: exact string keys pick a timing-dependent representative among colliding encodings without the level barrier", OrderAsync)
+		}
+	}
 	if symOn || sleepOn {
 		switch {
 		case opts.Provenance:
@@ -473,6 +510,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}
 		rstats.Reduction.SleepSkipped = run.sleepSkipped.Load()
 		rstats.Reduction.StatesPruned += rstats.Reduction.SleepSkipped
+		if rstats.Async.Order == "" {
+			rstats.Async.Order = OrderLevelSync
+		}
 	}()
 	run.store = store
 	run.owners = make([]*dedupOwner, numOwners)
@@ -546,6 +586,24 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			root.fp = sw.canonFP(root.slotFP, root.slotH)
 		}
 	}
+	if asyncOn {
+		// The async order (async.go) takes over from here: the root has
+		// its fingerprint and reduction keying applied but is not yet in
+		// the store. The deferred finalizer above still closes the store
+		// and folds the reduction counters.
+		return runAsync(run, store, root, asyncParams{
+			opts:       opts,
+			limits:     limits,
+			allowed:    allowed,
+			nObj:       nObj,
+			nProc:      nProc,
+			stepperFor: stepperFor,
+			symFor:     symFor,
+			visit:      visit,
+			afterLevel: afterLevel,
+		})
+	}
+
 	if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
 		run.recycleAlways(root)
 	}

@@ -63,6 +63,10 @@ type ExploreResult struct {
 	// Reduction reports the state-space reduction layer's activity
 	// (orbit folds, sleep skips); zero-valued on unreduced runs.
 	Reduction ReductionStats
+	// Async reports the exploration order that ran and, for async-order
+	// runs, the work-stealing and quiescence-detection activity. The
+	// Order field is always set ("levelsync" or "async").
+	Async AsyncStats
 }
 
 // ExploreOptions bundles the limits with the engine knobs for the
@@ -173,6 +177,7 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res.Complete = stats.Complete
 	res.Store = stats.Store
 	res.Reduction = stats.Reduction
+	res.Async = stats.Async
 	res.DecidedValues = sortedValueSet(decided)
 	if violation != nil {
 		res.AgreementViolation = violation.cfg

@@ -51,6 +51,23 @@ func (s *memStore) Admit(part int, n *Node) (added, retained bool) {
 	return true, true
 }
 
+// AdmitAsync (asyncStateStore) is the barrier-free admission path: a pure
+// table insert, no frontier queuing — async nodes stay in the workers'
+// deques. The resident high-water mark is folded in at Stats time instead
+// of at barriers (async has none).
+func (s *memStore) AdmitAsync(part int, n *Node) (added bool, err error) {
+	p := &s.parts[part]
+	if s.ctx.stringKeys {
+		if _, dup := p.keys[n.key]; dup {
+			return false, nil
+		}
+		p.keys[n.key] = struct{}{}
+		p.keyBytes += int64(len(n.key)) + mapEntryOverhead
+		return true, nil
+	}
+	return p.fps.Add(n.fp), nil
+}
+
 func (s *memStore) Has(part int, fp uint64, key string) bool {
 	p := &s.parts[part]
 	if s.ctx.stringKeys {
@@ -101,6 +118,21 @@ func (s *memStore) EndLevel(maxNext int) (LevelResult, error) {
 }
 
 func (s *memStore) Stats() StoreStats {
+	// Async runs never reach EndLevel, so fold the current table sizes
+	// into the high-water mark here (Stats runs after the run ends, when
+	// no owner goroutine is live).
+	var resident int64
+	for i := range s.parts {
+		p := &s.parts[i]
+		if s.ctx.stringKeys {
+			resident += p.keyBytes
+		} else if p.fps != nil {
+			resident += int64(len(p.fps.slots)) * 8
+		}
+	}
+	if resident > s.peak {
+		s.peak = resident
+	}
 	return StoreStats{Kind: StoreMem, PeakResidentBytes: s.peak}
 }
 

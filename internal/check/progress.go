@@ -6,13 +6,21 @@ import (
 )
 
 // ProgressPrinter returns a Progress callback that streams one line per
-// completed frontier level to w. The CLIs pass os.Stderr so that stdout
-// stays parseable when piped into the sweep runner or other tooling.
+// report to w: per completed frontier level for the level-synchronized
+// order, per wall-clock tick for the async order (which has no levels, so
+// it streams cumulative states admitted/visited instead). The CLIs pass
+// os.Stderr so that stdout stays parseable when piped into the sweep
+// runner or other tooling.
 func ProgressPrinter(w io.Writer) func(Progress) {
 	return func(pr Progress) {
 		rate := 0.0
 		if pr.Elapsed > 0 {
 			rate = float64(pr.Processed) / pr.Elapsed.Seconds()
+		}
+		if pr.Order == OrderAsync {
+			fmt.Fprintf(w, "async: %d admitted, %d visited, %.0f configs/s\n",
+				pr.Admitted, pr.Processed, rate)
+			return
 		}
 		fmt.Fprintf(w, "depth %d: frontier %d, %d visited, %.0f configs/s\n",
 			pr.Depth, pr.FrontierSize, pr.Processed, rate)

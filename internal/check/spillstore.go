@@ -77,14 +77,22 @@ type spillStore struct {
 	dir     string
 	ownsDir bool
 	budget  int64
-	seq     int // depth of the frontier currently being admitted
-	parts   []spillPart
-	exch    slotExchange
-	source  *spillSource // last handed-out streaming source (for Close)
+	// partBudget is the per-partition resident-delta trigger for the
+	// barrier-free admission path (AdmitAsync), which flushes partitions
+	// individually — there is no barrier at which to sum them. Floored at
+	// the delta table's initial footprint so tiny budgets batch flushes
+	// instead of spilling every admission.
+	partBudget int64
+	seq        int // depth of the frontier currently being admitted
+	parts      []spillPart
+	exch       slotExchange
+	source     *spillSource // last handed-out streaming source (for Close)
 
+	// Counters mutated by spillDelta/compact are atomic: the async order
+	// flushes different partitions from concurrent owner goroutines.
 	bytesSpilled atomic.Int64
-	runsWritten  int
-	runsMerged   int
+	runsWritten  atomic.Int64
+	runsMerged   atomic.Int64
 	peak         int64
 
 	errMu sync.Mutex
@@ -141,9 +149,14 @@ func entryLess(a, b spillEntry) bool {
 	return a.key < b.key
 }
 
-// spillRun is one sorted run file.
+// spillRun is one sorted run file. The async admission path keeps a lazy
+// read handle and the entry count for binary-search probes (fingerprint
+// mode writes fixed 8-byte records, so the file IS a sorted array);
+// level-synchronized runs never open one.
 type spillRun struct {
-	path string
+	path    string
+	f       *os.File
+	entries int64
 }
 
 // runFanout is the per-partition run-count threshold that triggers a
@@ -166,6 +179,10 @@ func newSpillStore(ctx storeCtx, budget int64, dir string) (*spillStore, error) 
 	}
 	s := &spillStore{ctx: ctx, dir: dir, ownsDir: ownsDir, budget: budget,
 		parts: make([]spillPart, ctx.parts)}
+	s.partBudget = budget / int64(ctx.parts)
+	if s.partBudget < 8<<10 {
+		s.partBudget = 8 << 10
+	}
 	s.exch.vals = map[string]model.Value{}
 	s.exch.sts = map[string]model.State{}
 	for i := range s.parts {
@@ -225,6 +242,96 @@ func (s *spillStore) Admit(part int, n *Node) (added, retained bool) {
 		s.fail(err)
 	}
 	return true, false
+}
+
+// AdmitAsync (asyncStateStore) is the barrier-free admission path: dedup
+// must be exact AT ADMISSION TIME — there is no later barrier to resolve
+// tentative admissions — so a Bloom-positive candidate pays for binary
+// searches over the partition's sorted run files right here, through
+// cached read handles (the incremental substitute for the barrier's
+// k-way merge; bloom-negative candidates, the vast majority on fresh
+// growth, still cost one resident-delta probe only). Frontier nodes are
+// NOT spooled: async keeps them in the workers' deques, so only dedup
+// memory is budget-bounded and the per-partition delta flushes on its
+// own share of the budget. Single-ownership per partition still holds,
+// but different partitions run concurrently — shared counters here and
+// in spillDelta/compact are atomic.
+func (s *spillStore) AdmitAsync(part int, n *Node) (added bool, err error) {
+	if s.ctx.stringKeys {
+		return false, fmt.Errorf("spill store: async admission requires fingerprint keying")
+	}
+	p := &s.parts[part]
+	if p.deltaFP.Has(n.fp) {
+		return false, nil
+	}
+	if p.bloom != nil && p.bloom.has(n.fp) {
+		p.prefilterHits++
+		found, err := s.probeRuns(p, n.fp)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return false, nil
+		}
+	}
+	p.deltaFP.Add(n.fp)
+	if int64(len(p.deltaFP.slots))*8 > s.partBudget {
+		if err := s.spillDelta(p); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// probeRuns binary-searches every run file of the partition for fp,
+// opening read handles lazily (they persist until compaction consumes
+// the run, or Close).
+func (s *spillStore) probeRuns(p *spillPart, fp uint64) (bool, error) {
+	for i := range p.runs {
+		r := &p.runs[i]
+		if r.f == nil {
+			f, err := os.Open(r.path)
+			if err != nil {
+				return false, fmt.Errorf("spill store: %w", err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return false, fmt.Errorf("spill store: %w", err)
+			}
+			r.f, r.entries = f, st.Size()/8
+		}
+		found, err := probeRunFile(r.f, r.entries, fp)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// probeRunFile binary-searches a fingerprint-mode run file (sorted fixed
+// 8-byte little-endian records) for fp.
+func probeRunFile(f *os.File, entries int64, fp uint64) (bool, error) {
+	var buf [8]byte
+	lo, hi := int64(0), entries
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, err := f.ReadAt(buf[:], mid*8); err != nil {
+			return false, fmt.Errorf("spill store: run probe: %w", err)
+		}
+		switch v := binary.LittleEndian.Uint64(buf[:]); {
+		case v == fp:
+			return true, nil
+		case v < fp:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false, nil
 }
 
 func (s *spillStore) Has(part int, fp uint64, key string) bool {
@@ -524,7 +631,7 @@ func (s *spillStore) spillDelta(p *spillPart) error {
 		return err
 	}
 	s.bytesSpilled.Add(written)
-	s.runsWritten++
+	s.runsWritten.Add(1)
 	p.runs = append(p.runs, spillRun{path: path})
 
 	if len(p.runs) >= runFanout {
@@ -598,26 +705,46 @@ func (s *spillStore) compact(p *spillPart) error {
 		r.close()
 		readers[i] = nil
 	}
-	for _, run := range p.runs {
-		os.Remove(run.path)
+	for i := range p.runs {
+		// Async probe handles on the consumed runs go with them.
+		if p.runs[i].f != nil {
+			p.runs[i].f.Close()
+		}
+		os.Remove(p.runs[i].path)
 	}
 	s.bytesSpilled.Add(written)
-	s.runsMerged += len(p.runs)
-	s.runsWritten++
+	s.runsMerged.Add(int64(len(p.runs)))
+	s.runsWritten.Add(1)
 	p.runs = []spillRun{{path: path}}
 	return nil
 }
 
 func (s *spillStore) Stats() StoreStats {
-	var hits int64
+	// Async runs never reach EndLevel, so sample the resident footprint
+	// here too (Stats runs after the run ends, when no owner goroutine is
+	// live); the async peak is a flush/close-time sample rather than a
+	// per-barrier one.
+	var resident, hits int64
 	for i := range s.parts {
-		hits += s.parts[i].prefilterHits
+		p := &s.parts[i]
+		hits += p.prefilterHits
+		if s.ctx.stringKeys {
+			resident += p.deltaKeyBytes
+		} else if p.deltaFP != nil {
+			resident += int64(len(p.deltaFP.slots)) * 8
+		}
+		if p.bloom != nil {
+			resident += p.bloom.bytes()
+		}
+	}
+	if resident > s.peak {
+		s.peak = resident
 	}
 	return StoreStats{
 		Kind:              StoreSpill,
 		BytesSpilled:      s.bytesSpilled.Load(),
-		RunsWritten:       s.runsWritten,
-		RunsMerged:        s.runsMerged,
+		RunsWritten:       int(s.runsWritten.Load()),
+		RunsMerged:        int(s.runsMerged.Load()),
 		PeakResidentBytes: s.peak,
 		PrefilterHits:     hits,
 	}
@@ -633,6 +760,14 @@ func (s *spillStore) Close() error {
 	if s.source != nil {
 		s.source.closeAll()
 		s.source = nil
+	}
+	for i := range s.parts {
+		for j := range s.parts[i].runs {
+			if f := s.parts[i].runs[j].f; f != nil {
+				f.Close()
+				s.parts[i].runs[j].f = nil
+			}
+		}
 	}
 	var cleanupErr error
 	if s.ownsDir {

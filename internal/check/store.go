@@ -101,6 +101,25 @@ type StateStore interface {
 	Close() error
 }
 
+// asyncStateStore is the admission interface the barrier-free order
+// (async.go) needs: dedup WITHOUT frontier queuing and WITHOUT EndLevel —
+// async has no barrier at which delayed duplicates could be resolved, so
+// an implementation must answer exactly at admission time. Partition
+// single-ownership still holds (each partition is called only from its
+// owner goroutine), but different partitions are admitted CONCURRENTLY
+// for the whole run, so any cross-partition state must be synchronized.
+// Both built-in stores implement it: memStore probes its complete
+// resident tables; spillStore backs its Bloom prefilter with binary
+// searches over the sorted on-disk runs (an incremental merge substitute)
+// and flushes per-partition deltas on their own budget, never spooling
+// frontier nodes (async keeps them in the workers' deques).
+type asyncStateStore interface {
+	// AdmitAsync records n's fingerprint as visited in the partition and
+	// reports whether it was new. The caller keeps ownership of n either
+	// way. Exact string keys are not supported (async rejects them).
+	AdmitAsync(part int, n *Node) (added bool, err error)
+}
+
 // Store backend names accepted by EngineOptions.Store.
 const (
 	// StoreMem selects the in-memory state store (the default).

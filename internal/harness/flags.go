@@ -133,6 +133,7 @@ type EngineFlags struct {
 	flip         *bool
 	exactDefault bool
 	reduce       *string
+	order        *string
 	progress     *bool
 }
 
@@ -144,6 +145,7 @@ func RegisterEngineFlags(fs *flag.FlagSet, exactKeysDefault bool) *EngineFlags {
 		workers:      fs.Int("workers", 0, "engine worker goroutines (0 = all cores); results never depend on it"),
 		shards:       fs.Int("shards", 0, "visited-set partitions (0 = default 64); purely a contention knob"),
 		reduce:       fs.String("reduce", "", "state-space reduction: none (default), sym (process-symmetry quotient over classes the protocol declares), or sym+sleep (plus sleep-set pruning); sound for exploration/valency questions, rejected by witness-producing searches"),
+		order:        fs.String("order", "", "exploration order: levelsync (BFS level barriers, the default) or async (barrier-free work stealing — faster on multicore, same visited set and verdicts, but no depth metadata and rejected by witness-producing searches)"),
 		progress:     fs.Bool("progress", false, "report per-level engine throughput to stderr"),
 	}
 	if exactKeysDefault {
@@ -168,6 +170,9 @@ func (f *EngineFlags) Progress() bool { return *f.progress }
 // Reduce returns the selected reduction mode ("" = none).
 func (f *EngineFlags) Reduce() string { return *f.reduce }
 
+// Order returns the selected exploration order ("" = levelsync).
+func (f *EngineFlags) Order() string { return *f.order }
+
 // Validate extends the store validation (which it shadows) with the
 // reduction mode and the keying interaction: exact string keys dedup on
 // full encodings, which a quotient's orbit members do not share, so the
@@ -182,6 +187,12 @@ func (f *EngineFlags) Validate() error {
 	}
 	if *f.reduce != "" && *f.reduce != check.ReduceNone && f.StringKeys() {
 		return fmt.Errorf("-reduce %s requires fingerprint keying (orbit members have distinct exact keys)", *f.reduce)
+	}
+	if err := check.ValidateOrder(*f.order); err != nil {
+		return fmt.Errorf("-order: %w", err)
+	}
+	if *f.order == check.OrderAsync && f.StringKeys() {
+		return fmt.Errorf("-order %s requires fingerprint keying (single-owner partition tables admit by fingerprint)", check.OrderAsync)
 	}
 	return nil
 }
@@ -201,6 +212,7 @@ func (f *EngineFlags) Options(progressW io.Writer) (check.EngineOptions, error) 
 		Store:      f.Store(),
 		MemBudget:  budget,
 		Reduction:  *f.reduce,
+		Order:      *f.order,
 	}
 	if *f.progress && progressW != nil {
 		opts.Progress = check.ProgressPrinter(progressW)
@@ -223,9 +235,11 @@ func (f *EngineFlags) SearchLimits(maxConfigs, maxDepth int, progressW io.Writer
 		Fingerprints: !f.StringKeys(),
 		Store:        f.Store(),
 		MemBudget:    budget,
-		// Carried verbatim; the witness searches reject any reduction
-		// with an explicit error rather than silently ignoring the flag.
+		// Carried verbatim; the witness searches reject any reduction or
+		// the async order with an explicit error rather than silently
+		// ignoring the flag.
 		Reduction: *f.reduce,
+		Order:     *f.order,
 	}
 	if *f.progress && progressW != nil {
 		l.Progress = check.ProgressPrinter(progressW)

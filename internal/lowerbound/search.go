@@ -45,6 +45,14 @@ type SearchLimits struct {
 	// can carry the axis uniformly and fail loudly here rather than
 	// silently dropping it.
 	Reduction string
+	// Order selects the engine's exploration order ("", "levelsync",
+	// "async"). Like Reduction it exists so limit plumbing can carry the
+	// axis uniformly: the witness-producing searches here require
+	// provenance chains, which the async order cannot maintain (admission
+	// order is nondeterministic, so parent pointers would race), and the
+	// engine rejects the combination loudly rather than this package
+	// silently dropping the axis.
+	Order string
 	// Progress, if non-nil, receives per-level engine throughput (the
 	// CLIs stream it to stderr so stdout stays parseable).
 	Progress func(check.Progress)
@@ -58,14 +66,15 @@ func (l SearchLimits) withDefaults() SearchLimits {
 }
 
 // engineOptions translates the limits into frontier-engine options.
-// Reduction is passed through verbatim: the engine rejects any reduction
-// together with Provenance, which is exactly the "explicitly disabled
-// for witness-producing searches" contract.
+// Reduction and Order are passed through verbatim: the engine rejects
+// either a reduction or the async order together with Provenance, which
+// is exactly the "explicitly disabled for witness-producing searches"
+// contract.
 func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions) {
 	l = l.withDefaults()
 	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
 		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
-			Store: l.Store, MemBudget: l.MemBudget, Reduction: l.Reduction,
+			Store: l.Store, MemBudget: l.MemBudget, Reduction: l.Reduction, Order: l.Order,
 			// Witness extraction replays parent chains after the run.
 			Provenance: true, Progress: l.Progress}
 }

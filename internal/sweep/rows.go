@@ -48,6 +48,11 @@ type Outcome struct {
 	// unconditionally — violation rows included — so a reduced run that
 	// finds a violation is just as auditable as a clean one.
 	Reduction *check.ReductionStats
+	// Async, when the scenario ran the explorer, reports the exploration
+	// order that executed and the async order's work-stealing and
+	// quiescence activity. Like Reduction it is set unconditionally on
+	// explorer outcomes, violation rows included.
+	Async *check.AsyncStats
 }
 
 // RowSpec is one declarative experiment scenario: the unit shared by
@@ -377,7 +382,7 @@ func exploreOutcome(p model.Protocol, inputs []int, k int, cell Cell) (*Outcome,
 	out := &Outcome{
 		Measured: -1, Certified: -1,
 		States: res.Visited, Decided: res.DecidedValues, Complete: res.Complete,
-		Store: &res.Store, Reduction: &res.Reduction,
+		Store: &res.Store, Reduction: &res.Reduction, Async: &res.Async,
 	}
 	if res.AgreementViolation != nil {
 		out.Violated = true

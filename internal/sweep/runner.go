@@ -72,6 +72,14 @@ type Result struct {
 	OrbitHits    int64  `json:"orbit_hits,omitempty"`
 	SleepSkipped int64  `json:"sleep_skipped,omitempty"`
 
+	// Order and the async counters record the exploration order that ran
+	// the cell. Order is set on every explorer record ("levelsync" or
+	// "async"), violation rows included; the steal and quiescence-scan
+	// counters are only nonzero for async-order runs.
+	Order           string `json:"order,omitempty"`
+	Steals          int64  `json:"steals,omitempty"`
+	QuiescenceScans int64  `json:"quiescence_scans,omitempty"`
+
 	States        int        `json:"states,omitempty"`
 	Measured      int        `json:"measured"`
 	Certified     int        `json:"certified"`
@@ -187,9 +195,10 @@ func RunCell(cell Cell) (*Outcome, error) {
 // RunCellRecord executes one cell under its timeout and packages the
 // outcome as a Result record.
 func RunCellRecord(cell Cell) Result {
-	// Reduce is populated from the Outcome below, not from the cell spec:
-	// certificate rows deliberately drop the reduce axis (witness searches
-	// run unreduced), and their records must not claim otherwise.
+	// Reduce and Order are populated from the Outcome below, not from the
+	// cell spec: certificate rows deliberately drop both axes (witness
+	// searches run unreduced and level-synchronized), and their records
+	// must not claim otherwise.
 	rec := Result{
 		Grid: cell.Grid, Cell: cell.ID(), Row: cell.Row, N: cell.N, K: cell.K,
 		Workers: cell.Engine.Workers, Shards: cell.Engine.Shards, Keys: cell.Engine.Keys,
@@ -252,6 +261,11 @@ func RunCellRecord(cell Cell) Result {
 		rec.StatesPruned = out.Reduction.StatesPruned
 		rec.OrbitHits = out.Reduction.OrbitHits
 		rec.SleepSkipped = out.Reduction.SleepSkipped
+	}
+	if out.Async != nil {
+		rec.Order = out.Async.Order
+		rec.Steals = out.Async.Steals
+		rec.QuiescenceScans = out.Async.QuiescenceScans
 	}
 	rec.States = out.States
 	rec.Measured = out.Measured

@@ -47,6 +47,12 @@ type EngineSpec struct {
 	// unreduced — reductions merge schedules, so witness extraction
 	// rejects them — and ignore this axis.
 	Reduce string `json:"reduce,omitempty"`
+	// Order selects the exploration order for exploration scenarios:
+	// "" or "levelsync" (the BFS level barrier), "async" (barrier-free
+	// work stealing). Certificate searches always run level-synchronized
+	// — witness extraction needs provenance chains, which async cannot
+	// maintain — and ignore this axis the same way they ignore Reduce.
+	Order string `json:"order,omitempty"`
 }
 
 // label is the engine's contribution to a cell ID. Cells on the default
@@ -66,6 +72,9 @@ func (e EngineSpec) label() string {
 	}
 	if e.Reduce != "" && e.Reduce != check.ReduceNone {
 		l += "-" + e.Reduce
+	}
+	if e.Order != "" && e.Order != check.OrderLevelSync {
+		l += "-" + e.Order
 	}
 	return l
 }
@@ -89,6 +98,12 @@ func (e EngineSpec) validate() error {
 	}
 	if e.Reduce != "" && e.Reduce != check.ReduceNone && e.Keys == "string" {
 		return fmt.Errorf("sweep: reduce %q requires fingerprint keying (orbit members have distinct exact keys)", e.Reduce)
+	}
+	if err := check.ValidateOrder(e.Order); err != nil {
+		return fmt.Errorf("sweep: order: %w", err)
+	}
+	if e.Order == check.OrderAsync && e.Keys == "string" {
+		return fmt.Errorf("sweep: order %q requires fingerprint keying (single-owner partition tables admit by fingerprint)", e.Order)
 	}
 	return nil
 }
@@ -229,11 +244,12 @@ func (c Cell) ValidateOptions() harness.ValidateOptions {
 // SearchLimits translates the cell into lower-bound search limits, using
 // the scenario's default budget where the cell does not override it.
 // Certificate searches default to exact string keys; Keys "fingerprint"
-// opts into fingerprint dedup. The Reduce axis is deliberately NOT
-// carried over: the searches behind these limits extract witness
-// schedules, which every reduction is unsound for (and rejected by), so
-// a grid may sweep the reduce axis without breaking its certificate
-// rows.
+// opts into fingerprint dedup. The Reduce and Order axes are
+// deliberately NOT carried over: the searches behind these limits
+// extract witness schedules from provenance chains, which every
+// reduction is unsound for and the async order cannot maintain (both
+// rejected by the engine), so a grid may sweep either axis without
+// breaking its certificate rows.
 func (c Cell) SearchLimits(defConfigs, defDepth int) lowerbound.SearchLimits {
 	if c.MaxConfigs > 0 {
 		defConfigs = c.MaxConfigs
@@ -258,7 +274,7 @@ func (c Cell) ExploreOptions() check.ExploreOptions {
 			Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 			StringKeys: c.Engine.Keys == "string",
 			Store:      c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
-			Reduction: c.Engine.Reduce,
+			Reduction: c.Engine.Reduce, Order: c.Engine.Order,
 		},
 	}
 }
