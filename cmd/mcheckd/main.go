@@ -1,0 +1,159 @@
+// Command mcheckd is the model checker as a service: a long-running
+// daemon that accepts instance specifications in the sweep registry's
+// cell vocabulary over HTTP/JSON, runs them on the shared frontier
+// engine under a global memory/CPU budget, and keys the verdicts on the
+// orbit-canonical instance fingerprint so symmetric resubmissions of an
+// already-checked instance are answered from a persistent result cache
+// instead of being re-explored. Identical in-flight requests coalesce
+// onto a single exploration.
+//
+// Usage:
+//
+//	mcheckd [-addr 127.0.0.1:7077] [-par N] [-membudget 4GiB]
+//	        [-reqbudget 256MiB] [-queue 64] [-cache DIR]
+//	        [-timeout SECONDS] [-drain SECONDS] [-quiet]
+//
+// Endpoints:
+//
+//	POST /check        run a check; {"async":true} returns a job ID
+//	GET  /status/<id>  stream an async job's progress + verdict (NDJSON)
+//	GET  /cache/stats  cache, admission and coalescing counters
+//	GET  /healthz      liveness
+//
+// -par bounds concurrently executing checks; -membudget is the byte
+// budget they share, with each check carving out its declared engine
+// mem_budget (or -reqbudget when it declares none). When all slots are
+// busy, up to -queue further checks wait FIFO; beyond that the daemon
+// answers 503. -cache persists verdicts across restarts; -timeout is
+// the default per-check wall-time bound (requests may set their own).
+//
+// On SIGTERM/SIGINT the daemon stops accepting work and drains: it
+// waits up to -drain seconds for in-flight checks to finish, then
+// cancels the rest in-process and exits 0.
+//
+// Exit status: 0 on a clean (drained) shutdown, 1 on runtime errors,
+// 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	case isUsageError(err):
+		fmt.Fprintln(os.Stderr, "mcheckd:", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "mcheckd:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks flag-level problems (exit 2, like the other commands).
+var errUsage = errors.New("usage")
+
+func isUsageError(err error) bool { return errors.Is(err, errUsage) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mcheckd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+	par := fs.Int("par", 0, "concurrently executing checks (0 = all cores)")
+	memBudget := harness.RegisterByteSizeFlag(fs, "membudget", "",
+		"global resident-memory budget shared by running checks, e.g. 4GiB (0 = unconstrained)")
+	reqBudget := harness.RegisterByteSizeFlag(fs, "reqbudget", "",
+		"default per-check memory carve-out for requests that declare no engine mem_budget (0 = none)")
+	queue := fs.Int("queue", 64, "checks that may wait for a slot before new work is refused with 503 (-1 = unbounded)")
+	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = cache in memory only)")
+	timeout := fs.Int("timeout", 0, "default per-check wall-time budget in seconds (0 = none; requests may override)")
+	drain := fs.Int("drain", 30, "graceful-drain window after SIGTERM/SIGINT, in seconds")
+	quiet := fs.Bool("quiet", false, "suppress per-check log lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("%w: unexpected arguments %v", errUsage, fs.Args())
+	}
+
+	cfg := serve.Config{
+		Parallelism:      *par,
+		MemBudget:        memBudget.Bytes(),
+		DefaultReqBudget: reqBudget.Bytes(),
+		MaxQueue:         *queue,
+		CacheDir:         *cacheDir,
+		DefaultTimeout:   time.Duration(*timeout) * time.Second,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "mcheckd: "+format+"\n", a...)
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	cacheNote := "memory-only cache"
+	if *cacheDir != "" {
+		cacheNote = "cache " + *cacheDir
+	}
+	fmt.Fprintf(stdout, "mcheckd listening on http://%s (%s)\n", ln.Addr(), cacheNote)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve never returns nil; anything here is a listener failure.
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills us
+
+	fmt.Fprintf(stdout, "mcheckd: signal received, draining (up to %ds)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drain)*time.Second)
+	defer cancel()
+	// Shutdown stops the listener and waits for in-flight HTTP requests
+	// (synchronous checks); Drain then waits for async jobs, cancelling
+	// whatever the window does not cover.
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	srv.Drain(drainCtx)
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		fmt.Fprintln(stdout, "mcheckd: drain window expired, remaining work cancelled")
+	} else {
+		fmt.Fprintln(stdout, "mcheckd: drained")
+	}
+	return nil
+}

@@ -9,7 +9,7 @@
 //	      [-n 8] [-k 2] [-rows a,b,c] [-schedules N] [-seed S]
 //	      [-max N] [-depth N] [-store mem|spill] [-membudget 64MB]
 //	      [-reduce none|sym|sym+sleep] [-order levelsync|async]
-//	      [-par N] [-timeout SECONDS]
+//	      [-par N] [-timeout SECONDS] [-daemon URL]
 //	      [-out sweep.json] [-json] [-progress]
 //
 // -store/-membudget select the frontier engine's state store for every
@@ -26,6 +26,12 @@
 // BFS level barrier with work-stealing deques — same visited set and
 // verdicts — while certificate searches always run level-synchronized
 // (witness extraction needs provenance chains async cannot maintain).
+//
+// -daemon routes every cell to a running mcheckd instance instead of
+// checking in-process: the daemon applies its own admission control and
+// answers orbit-equivalent duplicates from its result cache, and the
+// records that come back are the same JSONL schema, so -out checkpoints
+// are interchangeable between the two modes.
 //
 // -out appends JSONL records to the file and makes the run resumable:
 // cells whose IDs already appear in the file are skipped, so an
@@ -65,6 +71,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/harness"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
@@ -108,6 +115,7 @@ func run(args []string, stdout io.Writer) error {
 	progress := fs.Bool("progress", false, "report per-cell completions to stderr")
 	benchRun := fs.Bool("bench", false, "run the explorer benchmark suite and write a BENCH_<n>.json snapshot")
 	benchBaseline := fs.String("benchbaseline", "", "compare -bench against this snapshot (\"auto\" = highest committed BENCH_<n>.json); >20% states/sec regression fails")
+	daemonURL := fs.String("daemon", "", "run cells through an mcheckd instance at this base URL (e.g. http://127.0.0.1:7077) instead of in-process; symmetric duplicates hit its result cache")
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -215,6 +223,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := sweep.RunOptions{Parallelism: *par}
+	if *daemonURL != "" {
+		// Cell IDs (and therefore checkpoint skip sets) are identical in
+		// both modes, so a sweep can move between in-process and daemon
+		// execution across resumes of the same -out file.
+		opts.RunCell = (&serve.Client{BaseURL: *daemonURL}).RunCell
+	}
 
 	// Checkpoint resume: prior records in -out become the skip set, and
 	// fresh records are appended to the same file.

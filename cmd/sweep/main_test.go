@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
@@ -252,4 +256,71 @@ func nonEmptyLines(s string) []string {
 		}
 	}
 	return out
+}
+
+// TestDaemonFlagRoutesCellsThroughService: with -daemon every cell is
+// executed by a live mcheckd service instead of in-process, and the
+// records that come back gate the exit status exactly as local ones do.
+func TestDaemonFlagRoutesCellsThroughService(t *testing.T) {
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	args := []string{"-rows", "consensus-readable-b2,consensus-readable-bb",
+		"-n", "4", "-k", "1", "-json", "-daemon", ts.URL}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	records, err := sweep.ReadResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("daemon-mode stdout is not JSONL: %v\n%s", err, out.String())
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	for _, r := range records {
+		if r.Status != sweep.StatusOK {
+			t.Errorf("cell %s: status %s (%s), want ok", r.Cell, r.Status, r.Error)
+		}
+	}
+
+	// The work must actually have happened on the daemon.
+	resp, err := http.Get(ts.URL + "/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Checks int64 `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checks != 2 {
+		t.Fatalf("daemon executed %d checks, want 2", stats.Checks)
+	}
+}
+
+// A sweep pointed at a daemon that is not there must fail its cells
+// (transport errors become error records), not pass silently.
+func TestDaemonFlagUnreachable(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-rows", "consensus-readable-b2", "-n", "4", "-k", "1",
+		"-json", "-daemon", "http://127.0.0.1:1"}
+	err := run(args, &out)
+	if err == nil {
+		t.Fatal("sweep against unreachable daemon exited clean")
+	}
+	records, rerr := sweep.ReadResults(strings.NewReader(out.String()))
+	if rerr != nil || len(records) != 1 {
+		t.Fatalf("records=%v err=%v", records, rerr)
+	}
+	if records[0].Status != sweep.StatusError {
+		t.Fatalf("status = %s, want error", records[0].Status)
+	}
 }

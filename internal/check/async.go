@@ -336,6 +336,24 @@ func runAsync(run *engineRun, store StateStore, root *Node, c asyncParams) (RunS
 	}
 	a := &asyncRun{run: run, store: as, c: c, start: time.Now(), doneCh: make(chan struct{})}
 
+	// In-process cancellation mirrors the level loop's: the watcher routes
+	// Ctx's done signal through fail, which closes doneCh, and every
+	// worker, owner and monitor loop selects on doneCh.
+	if ctx := c.opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return RunStats{}, fmt.Errorf("frontier engine: %w", err)
+		}
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				a.fail(fmt.Errorf("frontier engine: %w", ctx.Err()))
+			case <-watchDone:
+			}
+		}()
+	}
+
 	nw := c.opts.Workers
 	a.workers = make([]*asyncWorker, nw)
 	for i := range a.workers {

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// The in-process cancellation contract (EngineOptions.Ctx): a cancelled
+// run must return promptly with the context error — not run to its
+// configuration budget — and must leave no engine goroutines behind.
+// This is what the serving daemon's per-cell timeouts rely on: before
+// Ctx existed, a hung cell could only be killed by process exit.
+
+// cancelInstance returns an Algorithm 1 instance whose reachable space
+// vastly exceeds what a few milliseconds can explore (lap counters grow
+// without bound), so a run that ignores cancellation is caught by the
+// wall-time assertion rather than finishing early by accident.
+func cancelInstance(t *testing.T) (model.Protocol, *model.Config, []int) {
+	t.Helper()
+	p, err := core.New(core.Params{N: 6, K: 2, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]int, 6)
+	for i := range inputs {
+		inputs[i] = i % 3
+	}
+	c, err := model.NewConfig(p, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := make([]int, 6)
+	for i := range pids {
+		pids[i] = i
+	}
+	return p, c, pids
+}
+
+// waitNoGoroutineLeak polls until the goroutine count returns to (about)
+// its pre-run level; a cancelled run that strands workers, owners or the
+// ctx watcher fails here with a full stack dump.
+func waitNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after cancelled run: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func testCancelPromptly(t *testing.T, order string) {
+	p, c, pids := cancelInstance(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+		Limits: ExploreLimits{MaxConfigs: 5_000_000},
+		Engine: EngineOptions{Ctx: ctx, Workers: 4, Order: order},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled %s run: err = %v, want context.Canceled", order, err)
+	}
+	// 5M configurations take many seconds; a cancelled run must come back
+	// as soon as the in-flight nodes drain. The bound is generous for
+	// race-detector CI, yet far below the full run's wall time.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled %s run returned after %v, want prompt return", order, elapsed)
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+func TestFrontierCancelLevelsync(t *testing.T) { testCancelPromptly(t, OrderLevelSync) }
+func TestFrontierCancelAsync(t *testing.T)     { testCancelPromptly(t, OrderAsync) }
+
+// A context that is already done must abort before any exploration.
+func TestFrontierCancelBeforeStart(t *testing.T) {
+	p, c, pids := cancelInstance(t)
+	for _, order := range []string{OrderLevelSync, OrderAsync} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+			Limits: ExploreLimits{MaxConfigs: 5_000_000},
+			Engine: EngineOptions{Ctx: ctx, Order: order},
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: pre-cancelled ctx: err = %v, want context.Canceled", order, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: pre-cancelled ctx returned a result: %+v", order, res)
+		}
+	}
+}
+
+// A deadline shares the cancellation path; the error must say so.
+func TestFrontierCancelDeadline(t *testing.T) {
+	p, c, pids := cancelInstance(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+		Limits: ExploreLimits{MaxConfigs: 5_000_000},
+		Engine: EngineOptions{Ctx: ctx},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// A context that never fires must not change anything — including on runs
+// that complete, where the watcher goroutine has to exit with the run.
+func TestFrontierCancelNopCtx(t *testing.T) {
+	p, c, pids := cancelInstance(t)
+	before := runtime.NumGoroutine()
+	plain, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+		Limits: ExploreLimits{MaxConfigs: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+		Limits: ExploreLimits{MaxConfigs: 3000},
+		Engine: EngineOptions{Ctx: context.Background()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Visited != withCtx.Visited || plain.Complete != withCtx.Complete {
+		t.Fatalf("ctx-bearing run diverged: %d/%v vs %d/%v",
+			withCtx.Visited, withCtx.Complete, plain.Visited, plain.Complete)
+	}
+	waitNoGoroutineLeak(t, before)
+}

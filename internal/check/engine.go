@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -71,6 +72,13 @@ import (
 
 // EngineOptions configures the sharded frontier engine.
 type EngineOptions struct {
+	// Ctx, when non-nil, cancels the run in-process: once it is done the
+	// workers stop pulling and expanding at the next node boundary and
+	// the run returns Ctx.Err() (wrapped). This is what lets a serving
+	// layer kill a hung or over-budget check without killing the process
+	// — both exploration orders honor it. A nil Ctx means "never
+	// cancelled", preserving every existing call site.
+	Ctx context.Context
 	// Workers is the number of goroutines draining each frontier level
 	// (default runtime.GOMAXPROCS(0)). Results do not depend on it.
 	Workers int
@@ -623,6 +631,25 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		if err != nil && runErr.CompareAndSwap(nil, err) {
 			cancelled.Store(true)
 		}
+	}
+	// In-process cancellation: a watcher turns Ctx's done signal into the
+	// same cancelled/runErr path a visit error takes, so every worker
+	// breaks out at its next node boundary and the level loop returns the
+	// context error after the in-flight level drains.
+	if ctx := opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			stats.Complete = false
+			return stats, fmt.Errorf("frontier engine: %w", err)
+		}
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(fmt.Errorf("frontier engine: %w", ctx.Err()))
+			case <-watchDone:
+			}
+		}()
 	}
 
 	frontier := seed.Frontier

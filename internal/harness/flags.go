@@ -247,6 +247,45 @@ func (f *EngineFlags) SearchLimits(maxConfigs, maxDepth int, progressW io.Writer
 	return l, nil
 }
 
+// ByteSizeFlag is a flag.Value for human-readable byte sizes ("64MB",
+// "1GiB", "1048576"): the text is parsed by ParseByteSize at flag-parse
+// time, so a typo fails in the usage error rather than mid-run. The
+// zero value means "unset" (0 bytes).
+type ByteSizeFlag struct {
+	text  string
+	bytes int64
+}
+
+// RegisterByteSizeFlag declares a byte-size flag on fs. The default
+// must be a valid size literal ("" for none); an invalid default is a
+// programming error and panics at registration.
+func RegisterByteSizeFlag(fs *flag.FlagSet, name, def, usage string) *ByteSizeFlag {
+	f := &ByteSizeFlag{}
+	if def != "" {
+		if err := f.Set(def); err != nil {
+			panic(fmt.Sprintf("harness: -%s default: %v", name, err))
+		}
+	}
+	fs.Var(f, name, usage)
+	return f
+}
+
+// String returns the text as given (flag.Value).
+func (f *ByteSizeFlag) String() string { return f.text }
+
+// Set parses and records a size (flag.Value).
+func (f *ByteSizeFlag) Set(s string) error {
+	b, err := ParseByteSize(s)
+	if err != nil {
+		return err
+	}
+	f.text, f.bytes = s, b
+	return nil
+}
+
+// Bytes returns the parsed size (0 when unset).
+func (f *ByteSizeFlag) Bytes() int64 { return f.bytes }
+
 // byteSuffixes maps size suffixes to multipliers, longest first so that
 // "MiB" is not parsed as "B" with trailing garbage.
 var byteSuffixes = []struct {

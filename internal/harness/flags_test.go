@@ -2,6 +2,7 @@ package harness
 
 import (
 	"flag"
+	"io"
 	"testing"
 
 	"repro/internal/check"
@@ -159,5 +160,35 @@ func TestInstanceFlagsOptionalM(t *testing.T) {
 	inst = RegisterInstanceFlags(fs, 3, 1, 2)
 	if inst.M == nil || fs.Lookup("m") == nil {
 		t.Error("defM>0 did not register -m")
+	}
+}
+
+// ByteSizeFlag parses at flag-parse time, so an invalid size surfaces
+// as a usage error, and carries both the text and the byte count.
+func TestByteSizeFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterByteSizeFlag(fs, "budget", "", "test budget")
+	if err := fs.Parse([]string{"-budget", "64MB"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Bytes() != 64<<20 || f.String() != "64MB" {
+		t.Fatalf("parsed %d %q, want %d %q", f.Bytes(), f.String(), int64(64<<20), "64MB")
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	RegisterByteSizeFlag(fs, "budget", "", "test budget")
+	if err := fs.Parse([]string{"-budget", "lots"}); err == nil {
+		t.Fatal("invalid byte size accepted at parse time")
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	f = RegisterByteSizeFlag(fs, "budget", "1GiB", "test budget")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Bytes() != 1<<30 {
+		t.Fatalf("default not applied: %d", f.Bytes())
 	}
 }

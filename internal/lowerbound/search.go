@@ -1,6 +1,7 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,10 @@ import (
 // SearchLimits bounds the schedule searches in this file and carries the
 // frontier-engine knobs through to them.
 type SearchLimits struct {
+	// Ctx, when non-nil, cancels the underlying engine run in-process
+	// (the search returns the context error). Nil means uncancellable,
+	// as every search ran before the serving layer existed.
+	Ctx context.Context
 	// MaxConfigs caps distinct configurations visited (default 300000).
 	MaxConfigs int
 	// MaxDepth caps schedule length (0 = until MaxConfigs).
@@ -73,7 +78,7 @@ func (l SearchLimits) withDefaults() SearchLimits {
 func (l SearchLimits) engineOptions() (check.ExploreLimits, check.EngineOptions) {
 	l = l.withDefaults()
 	return check.ExploreLimits{MaxConfigs: l.MaxConfigs, MaxDepth: l.MaxDepth},
-		check.EngineOptions{Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
+		check.EngineOptions{Ctx: l.Ctx, Workers: l.Workers, Shards: l.Shards, StringKeys: !l.Fingerprints,
 			Store: l.Store, MemBudget: l.MemBudget, Reduction: l.Reduction, Order: l.Order,
 			// Witness extraction replays parent chains after the run.
 			Provenance: true, Progress: l.Progress}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBusy is returned when the admission queue is full: the daemon is
+// saturated and the client should retry later (HTTP 503).
+var ErrBusy = errors.New("serve: at capacity, retry later")
+
+// Admission is the daemon's global scheduler: at most `slots` checks run
+// concurrently, their declared memory carve-outs may not exceed the
+// global byte budget, and at most `maxQueue` further checks may wait.
+// Waiters are served strictly FIFO — a small check never overtakes a
+// large one that was admitted to the queue first, so a stream of small
+// requests cannot starve a big exploration indefinitely.
+type Admission struct {
+	slots    int
+	budget   int64 // 0 = bytes unconstrained
+	maxQueue int
+
+	mu      sync.Mutex
+	running int
+	used    int64
+	waiters []*waiter
+	// granted counts every successful admission; queued counts the ones
+	// that had to wait first.
+	granted int64
+	queued  int64
+	refused int64
+}
+
+type waiter struct {
+	bytes int64
+	ready chan struct{}
+	// admitted is set under Admission.mu before ready is closed, so a
+	// context-cancelled waiter can tell "promoted concurrently" (must
+	// release the grant) from "still queued" (must dequeue itself).
+	admitted bool
+}
+
+// NewAdmission builds a scheduler. slots <= 0 means one slot; maxQueue
+// < 0 means an unbounded queue; budget 0 disables the byte constraint.
+func NewAdmission(slots int, budget int64, maxQueue int) *Admission {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &Admission{slots: slots, budget: budget, maxQueue: maxQueue}
+}
+
+// Acquire blocks until bytes of budget and one slot are available (or
+// ctx fires), returning a release function. A request that can never
+// fit, or that arrives with the queue full, fails immediately.
+func (a *Admission) Acquire(ctx context.Context, bytes int64) (release func(), err error) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if a.budget > 0 && bytes > a.budget {
+		return nil, fmt.Errorf("serve: request budget %d bytes exceeds the global budget %d", bytes, a.budget)
+	}
+	a.mu.Lock()
+	// Fast path only when the queue is empty: admitting around waiting
+	// requests would break FIFO.
+	if len(a.waiters) == 0 && a.admitLocked(bytes) {
+		a.granted++
+		a.mu.Unlock()
+		return a.releaser(bytes), nil
+	}
+	if a.maxQueue >= 0 && len(a.waiters) >= a.maxQueue {
+		a.refused++
+		a.mu.Unlock()
+		return nil, ErrBusy
+	}
+	w := &waiter{bytes: bytes, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.releaser(bytes), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.admitted {
+			// Lost the race with a promotion: the grant exists, give it
+			// straight back so the next waiter gets it.
+			a.mu.Unlock()
+			a.releaser(bytes)()
+			return nil, ctx.Err()
+		}
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked claims a slot and bytes if both fit. Caller holds mu.
+func (a *Admission) admitLocked(bytes int64) bool {
+	if a.running >= a.slots {
+		return false
+	}
+	if a.budget > 0 && a.used+bytes > a.budget {
+		return false
+	}
+	a.running++
+	a.used += bytes
+	return true
+}
+
+// releaser returns the (idempotent) release function for a grant.
+func (a *Admission) releaser(bytes int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.running--
+			a.used -= bytes
+			a.promoteLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// promoteLocked admits queued waiters in FIFO order until the head no
+// longer fits. Caller holds mu.
+func (a *Admission) promoteLocked() {
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if !a.admitLocked(w.bytes) {
+			return
+		}
+		a.waiters = a.waiters[1:]
+		a.granted++
+		w.admitted = true
+		close(w.ready)
+	}
+}
+
+// AdmissionStats is the scheduler's slice of the stats payload.
+type AdmissionStats struct {
+	Slots     int   `json:"slots"`
+	Running   int   `json:"running"`
+	Budget    int64 `json:"budget_bytes,omitempty"`
+	UsedBytes int64 `json:"used_bytes"`
+	Queue     int   `json:"queue"`
+	MaxQueue  int   `json:"max_queue"`
+	Granted   int64 `json:"granted"`
+	Queued    int64 `json:"queued"`
+	Refused   int64 `json:"refused"`
+}
+
+// Stats snapshots the scheduler.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Slots: a.slots, Running: a.running,
+		Budget: a.budget, UsedBytes: a.used,
+		Queue: len(a.waiters), MaxQueue: a.maxQueue,
+		Granted: a.granted, Queued: a.queued, Refused: a.refused,
+	}
+}

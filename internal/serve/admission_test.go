@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStats polls the scheduler until cond holds — admission happens on
+// other goroutines, so tests synchronize on observable state.
+func waitStats(t *testing.T, a *Admission, cond func(AdmissionStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(a.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission state never converged: %+v", a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionSlotCap(t *testing.T) {
+	a := NewAdmission(2, 0, -1)
+	ctx := context.Background()
+	r1, err := a.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := make(chan struct{})
+	go func() {
+		r3, err := a.Acquire(ctx, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(third)
+		r3()
+	}()
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 1 })
+	select {
+	case <-third:
+		t.Fatal("third check ran with both slots held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r1()
+	<-third
+	r2()
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Running == 0 && s.UsedBytes == 0 })
+}
+
+func TestAdmissionByteBudget(t *testing.T) {
+	a := NewAdmission(10, 100, -1)
+	ctx := context.Background()
+	rBig, err := a.Acquire(ctx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		r, err := a.Acquire(ctx, 60)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(admitted)
+		r()
+	}()
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("second 60-byte check admitted into a 100-byte budget")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rBig()
+	<-admitted
+	waitStats(t, a, func(s AdmissionStats) bool { return s.UsedBytes == 0 })
+}
+
+// A request that could never fit must fail immediately, not deadlock
+// the queue.
+func TestAdmissionOversizedRequest(t *testing.T) {
+	a := NewAdmission(4, 100, -1)
+	if _, err := a.Acquire(context.Background(), 200); err == nil {
+		t.Fatal("200-byte request admitted into a 100-byte budget")
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(1, 0, 0)
+	r1, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background(), 0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full queue: err = %v, want ErrBusy", err)
+	}
+	if s := a.Stats(); s.Refused != 1 {
+		t.Fatalf("refused = %d, want 1", s.Refused)
+	}
+	r1()
+	r2, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+	r2()
+}
+
+// Waiters are served in arrival order: a small check does not overtake
+// a bigger one that queued first.
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(1, 0, -1)
+	r1, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	start := func(name string) chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			r, err := a.Acquire(context.Background(), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			r()
+			close(done)
+		}()
+		return done
+	}
+	dA := start("A")
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 1 })
+	dB := start("B")
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 2 })
+	r1()
+	<-dA
+	<-dB
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "A" || order[1] != "B" {
+		t.Fatalf("service order %v, want [A B]", order)
+	}
+}
+
+// A queued waiter whose context fires must dequeue cleanly and leave
+// the scheduler consistent.
+func TestAdmissionCtxCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 0, -1)
+	r1, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 0)
+		errCh <- err
+	}()
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Queue == 0 })
+	r1()
+	// The scheduler must still hand out slots normally.
+	r2, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Running == 0 })
+}
+
+// Concurrent churn for the race detector: many acquirers over few slots
+// and a tight budget, all of whom must eventually run exactly once.
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := NewAdmission(3, 90, -1)
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ran int
+	)
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background(), int64(10+(i%3)*10))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			r()
+		}(i)
+	}
+	wg.Wait()
+	if ran != 40 {
+		t.Fatalf("ran = %d, want 40", ran)
+	}
+	if s := a.Stats(); s.Running != 0 || s.UsedBytes != 0 || s.Queue != 0 {
+		t.Fatalf("scheduler not drained: %+v", s)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// CacheSchema versions the on-disk entry layout. Entries live under
+// <dir>/<CacheSchema>/, so a future format change starts a fresh
+// subdirectory instead of misreading old entries.
+const CacheSchema = "v1"
+
+// cacheEntry is one persisted verdict: the full key (verified on read,
+// so filename hash collisions degrade to misses) plus the sweep record.
+type cacheEntry struct {
+	Key    string       `json:"key"`
+	Result sweep.Result `json:"result"`
+}
+
+// Cache is the daemon's result cache: an in-memory index over an
+// optional on-disk entry directory. All verdict-bearing records
+// (ok/fail/violation) are cached; timeouts and errors never are — they
+// describe the run, not the instance, and a retry may well succeed.
+type Cache struct {
+	dir string // entry directory (with schema suffix); "" = memory-only
+
+	mu      sync.Mutex
+	entries map[string]sweep.Result
+	hits    int64
+	misses  int64
+	stores  int64
+	// loadErrs counts unreadable entries skipped at startup, surfaced in
+	// stats so a corrupted cache directory is visible, not silent.
+	loadErrs int64
+}
+
+// NewCache opens (or creates) a cache rooted at dir; dir "" makes a
+// memory-only cache that forgets everything on restart. Existing
+// entries under the current schema are loaded eagerly — the daemon
+// answers from them immediately after a restart.
+func NewCache(dir string) (*Cache, error) {
+	c := &Cache{entries: map[string]sweep.Result{}}
+	if dir == "" {
+		return c, nil
+	}
+	c.dir = filepath.Join(dir, CacheSchema)
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open cache: %w", err)
+	}
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open cache: %w", err)
+	}
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(c.dir, de.Name()))
+		if err != nil {
+			c.loadErrs++
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(data, &e); err != nil || e.Key == "" {
+			c.loadErrs++
+			continue
+		}
+		c.entries[e.Key] = e.Result
+	}
+	return c, nil
+}
+
+// Get returns the cached record for key, counting the hit or miss.
+func (c *Cache) Get(key string) (sweep.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rec, ok
+}
+
+// Cacheable reports whether a record carries a verdict worth keeping:
+// deterministic statuses only.
+func Cacheable(rec sweep.Result) bool {
+	switch rec.Status {
+	case sweep.StatusOK, sweep.StatusFail, sweep.StatusViolation:
+		return true
+	}
+	return false
+}
+
+// Put stores a verdict under key, persisting it when the cache is
+// disk-backed. Non-cacheable records are ignored. A persistence failure
+// keeps the in-memory entry (the daemon still answers) and is counted
+// in loadErrs.
+func (c *Cache) Put(key string, rec sweep.Result) {
+	if !Cacheable(rec) {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = rec
+	c.stores++
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Key: key, Result: rec})
+	if err == nil {
+		// Write-then-rename so a crash mid-write cannot leave a torn
+		// entry for the next startup to trip over.
+		tmp := filepath.Join(dir, cacheFileName(key)+".tmp")
+		if werr := os.WriteFile(tmp, data, 0o644); werr == nil {
+			err = os.Rename(tmp, filepath.Join(dir, cacheFileName(key)))
+		} else {
+			err = werr
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.loadErrs++
+		c.mu.Unlock()
+	}
+}
+
+// CacheStats is the /cache/stats payload.
+type CacheStats struct {
+	Schema  string `json:"schema"`
+	Dir     string `json:"dir,omitempty"`
+	Entries int    `json:"entries"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Stores  int64  `json:"stores"`
+	// LoadErrors counts entries that could not be read at startup or
+	// persisted at store time.
+	LoadErrors int64 `json:"load_errors,omitempty"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Schema: CacheSchema, Dir: c.dir, Entries: len(c.entries),
+		Hits: c.hits, Misses: c.misses, Stores: c.stores, LoadErrors: c.loadErrs,
+	}
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func okRecord(cell string) sweep.Result {
+	return sweep.Result{Cell: cell, Row: "explore", N: 4, K: 2,
+		Status: sweep.StatusOK, States: 42, Measured: -1, Certified: -1}
+}
+
+// Every verdict-relevant axis must produce its own cache key: a hit
+// across any of these would hand back a verdict for a different
+// experiment.
+func TestCacheKeyAxesAreDistinct(t *testing.T) {
+	base := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 1000}
+	variants := map[string]Request{
+		"row":        {Row: "explore-anon", N: 4, K: 2, MaxConfigs: 1000},
+		"n":          {Row: "explore", N: 5, K: 2, MaxConfigs: 1000},
+		"k":          {Row: "explore", N: 4, K: 1, MaxConfigs: 1000},
+		"reduce":     {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Reduce: "sym"}},
+		"store":      {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Store: "spill"}},
+		"order":      {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Order: "async"}},
+		"keys":       {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Keys: "string"}},
+		"maxconfigs": {Row: "explore", N: 4, K: 2, MaxConfigs: 2000},
+		"maxdepth":   {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, MaxDepth: 7},
+		"schedules":  {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Schedules: 5},
+		"seed":       {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Seed: 9},
+		"inputs":     {Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Inputs: []int{0, 0, 0, 0}},
+	}
+	baseKey, err := base.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"base": baseKey}
+	for name, req := range variants {
+		key, err := req.CacheKey()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, prevKey := range seen {
+			if key == prevKey {
+				t.Fatalf("axis %q collided with %q: %s", name, prev, key)
+			}
+		}
+		seen[name] = key
+	}
+}
+
+// Workers and shards are scheduling knobs, not experiment axes: the
+// engine's determinism contract makes verdicts independent of them, so
+// runs at different worker counts must share a slot.
+func TestCacheKeyIgnoresWorkersAndShards(t *testing.T) {
+	a := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Workers: 1}}
+	b := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Engine: sweep.EngineSpec{Workers: 16, Shards: 8}}
+	ka, err := a.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("worker/shard counts changed the cache key:\n  %s\n  %s", ka, kb)
+	}
+}
+
+// The orbit fold: for a process-symmetric row, permuted input
+// assignments are one instance and share a key; for Algorithm 1 (no
+// declared symmetry) they are distinct instances.
+func TestCacheKeyOrbitFold(t *testing.T) {
+	perm1 := Request{Row: "explore-anon", N: 4, K: 2, MaxConfigs: 1000, Inputs: []int{0, 1, 1, 0}}
+	perm2 := Request{Row: "explore-anon", N: 4, K: 2, MaxConfigs: 1000, Inputs: []int{1, 0, 0, 1}}
+	k1, err := perm1.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := perm2.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("process-permuted symmetric instances got distinct keys:\n  %s\n  %s", k1, k2)
+	}
+
+	pos1 := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Inputs: []int{0, 1, 2, 0}}
+	pos2 := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 1000, Inputs: []int{1, 0, 2, 0}}
+	p1, err := pos1.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pos2.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("permuted inputs shared a key for a protocol without declared symmetry")
+	}
+}
+
+// Persistence round-trip: verdicts written by one cache instance must
+// be served by a fresh instance over the same directory — the daemon
+// restart scenario.
+func TestCachePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := okRecord("explore/n=4/k=2/w0-s0-default")
+	c1.Put("key-a", rec)
+	c1.Put("key-b", okRecord("explore/n=5/k=2/w0-s0-default"))
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("key-a")
+	if !ok {
+		t.Fatal("restarted cache missed a persisted verdict")
+	}
+	if got.Cell != rec.Cell || got.States != rec.States || got.Status != rec.Status {
+		t.Fatalf("restarted cache returned %+v, want %+v", got, rec)
+	}
+	if st := c2.Stats(); st.Entries != 2 {
+		t.Fatalf("restarted cache has %d entries, want 2", st.Entries)
+	}
+	if _, ok := c2.Get("key-c"); ok {
+		t.Fatal("restarted cache invented an entry")
+	}
+}
+
+// Only deterministic verdicts are worth keeping: a timeout or error
+// describes one run, not the instance, and must not short-circuit
+// retries.
+func TestCacheRejectsNonVerdicts(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, status := range []string{sweep.StatusTimeout, sweep.StatusError} {
+		rec := okRecord("x")
+		rec.Status = status
+		c.Put("key-"+status, rec)
+		if _, ok := c.Get("key-" + status); ok {
+			t.Fatalf("cached a %q record", status)
+		}
+	}
+	for _, status := range []string{sweep.StatusOK, sweep.StatusFail, sweep.StatusViolation} {
+		rec := okRecord("x")
+		rec.Status = status
+		c.Put("key-"+status, rec)
+		if _, ok := c.Get("key-" + status); !ok {
+			t.Fatalf("did not cache a %q record", status)
+		}
+	}
+}
+
+// A corrupt or truncated entry file must be skipped at startup, not
+// crash the daemon or surface as a wrong verdict.
+func TestCacheSkipsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("good", okRecord("ok-cell"))
+	if err := os.WriteFile(filepath.Join(dir, CacheSchema, "torn.json"), []byte(`{"key":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("good"); !ok {
+		t.Fatal("good entry lost next to a corrupt one")
+	}
+	st := c2.Stats()
+	if st.LoadErrors == 0 {
+		t.Fatal("corrupt entry was not counted in load_errors")
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// Entries live under a schema-versioned subdirectory so a format change
+// cannot misread old files.
+func TestCacheSchemaDirectory(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", okRecord("cell"))
+	entries, err := os.ReadDir(filepath.Join(dir, CacheSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasSuffix(entries[0].Name(), ".json") {
+		t.Fatalf("unexpected schema dir contents: %v", entries)
+	}
+}

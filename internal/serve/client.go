@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Client is a minimal mcheckd client: enough for cmd/sweep to route a
+// grid's cells through a daemon and for tests to drive one.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (nil = http.DefaultClient). Checks can run
+	// for minutes, so give it a generous or zero timeout.
+	HTTP *http.Client
+}
+
+// RequestForCell translates a sweep cell into the wire request that
+// reproduces it. Sub-second timeouts round up to one second (the wire
+// carries whole seconds).
+func RequestForCell(cell sweep.Cell) Request {
+	timeoutSec := 0
+	if cell.Timeout > 0 {
+		timeoutSec = int((cell.Timeout + time.Second - 1) / time.Second)
+	}
+	return Request{
+		Row: cell.Row, N: cell.N, K: cell.K, Inputs: cell.Inputs,
+		Engine:    cell.Engine,
+		Schedules: cell.Schedules, Seed: cell.Seed,
+		MaxConfigs: cell.MaxConfigs, MaxDepth: cell.MaxDepth,
+		TimeoutSec: timeoutSec,
+	}
+}
+
+// Check submits one synchronous check and decodes the response.
+func (c *Client) Check(req Request) (CheckResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return CheckResponse{}, fmt.Errorf("serve: encode request: %w", err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/check"
+	httpResp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return CheckResponse{}, fmt.Errorf("serve: %w", err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return CheckResponse{}, fmt.Errorf("serve: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return CheckResponse{}, fmt.Errorf("serve: daemon: %s (HTTP %d)", eb.Error, httpResp.StatusCode)
+		}
+		return CheckResponse{}, fmt.Errorf("serve: daemon: HTTP %d", httpResp.StatusCode)
+	}
+	var resp CheckResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return CheckResponse{}, fmt.Errorf("serve: decode response: %w", err)
+	}
+	return resp, nil
+}
+
+// RunCell is the sweep.RunOptions.RunCell adapter: it executes the cell
+// on the daemon and returns the record, mapping transport failures to
+// error records so a grid run survives a flaky daemon the way it
+// survives a failing scenario.
+func (c *Client) RunCell(cell sweep.Cell) sweep.Result {
+	resp, err := c.Check(RequestForCell(cell))
+	if err != nil {
+		return sweep.Result{
+			Grid: cell.Grid, Cell: cell.ID(), Row: cell.Row, N: cell.N, K: cell.K,
+			Inputs: cell.Inputs, Status: sweep.StatusError, Error: err.Error(),
+			Measured: -1, Certified: -1,
+		}
+	}
+	return resp.Result
+}

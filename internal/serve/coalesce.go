@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// flightGroup coalesces identical in-flight checks: requests that share
+// a cache key while one of them is executing wait for that execution
+// instead of starting their own. (The standard library offers this as
+// x/sync/singleflight; the repository takes no dependencies, and the
+// needed slice is small.)
+type flightGroup struct {
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced int64
+}
+
+type flight struct {
+	done chan struct{}
+	rec  sweep.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// Do runs fn for key, or — if a run for key is already in flight —
+// waits for it and returns its result. shared reports that this call
+// rode an existing flight rather than executing fn itself.
+func (g *flightGroup) Do(key string, fn func() (sweep.Result, error)) (rec sweep.Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-f.done
+		return f.rec, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.rec, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.rec, false, f.err
+}
+
+// Coalesced returns how many requests rode another request's flight.
+func (g *flightGroup) Coalesced() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}
+
+// InFlight returns the number of distinct executions currently running.
+func (g *flightGroup) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

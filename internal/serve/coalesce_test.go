@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// Concurrent Do calls for one key must execute fn exactly once and all
+// observe its result.
+func TestCoalesceSingleExecution(t *testing.T) {
+	g := newFlightGroup()
+	var (
+		executions atomic.Int64
+		entered    = make(chan struct{})
+		release    = make(chan struct{})
+	)
+	rec := okRecord("shared-cell")
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		got, shared, err := g.Do("key", func() (sweep.Result, error) {
+			executions.Add(1)
+			close(entered)
+			<-release
+			return rec, nil
+		})
+		if err != nil || shared || got.Cell != rec.Cell {
+			t.Errorf("leader: rec=%+v shared=%v err=%v", got, shared, err)
+		}
+	}()
+	<-entered // the flight is in progress; followers must now coalesce
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, shared, err := g.Do("key", func() (sweep.Result, error) {
+				executions.Add(1)
+				return okRecord("wrong"), nil
+			})
+			if err != nil || got.Cell != rec.Cell {
+				t.Errorf("follower: rec=%+v err=%v", got, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait for all followers to be parked on the flight before releasing
+	// it, so every one of them coalesces deterministically.
+	waitFor(t, func() bool { return g.Coalesced() == 8 })
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != 8 {
+		t.Fatalf("shared for %d followers, want 8", n)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after completion", g.InFlight())
+	}
+}
+
+// Distinct keys never coalesce.
+func TestCoalesceDistinctKeys(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, shared, err := g.Do(string(rune('a'+i)), func() (sweep.Result, error) {
+				executions.Add(1)
+				return okRecord("c"), nil
+			})
+			if err != nil || shared {
+				t.Errorf("distinct key coalesced: shared=%v err=%v", shared, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := executions.Load(); n != 4 {
+		t.Fatalf("executions = %d, want 4", n)
+	}
+}
+
+// A finished flight must not be ridden: a Do after completion executes
+// fresh (the cache layer above decides reuse, not the flight group).
+func TestCoalesceFlightEnds(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int64
+	run := func() {
+		_, _, err := g.Do("key", func() (sweep.Result, error) {
+			executions.Add(1)
+			return okRecord("c"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("sequential executions = %d, want 2", n)
+	}
+}

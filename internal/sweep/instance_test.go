@@ -1,0 +1,214 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+)
+
+// --- explicit inputs and instance fingerprints (the serving daemon's
+// cache-key primitives) ---
+
+func TestCellIDIncludesInputs(t *testing.T) {
+	base := Cell{Row: "explore-anon", N: 4, K: 2}
+	with := base
+	with.Inputs = []int{1, 0, 0, 1}
+	if base.ID() == with.ID() {
+		t.Fatalf("explicit inputs did not change the cell ID: %s", base.ID())
+	}
+	if !strings.HasSuffix(with.ID(), "/in=1,0,0,1") {
+		t.Fatalf("cell ID = %q, want /in=1,0,0,1 suffix", with.ID())
+	}
+	// Ctx and Progress are runtime plumbing, never identity.
+	run := with
+	run.Ctx = context.Background()
+	run.Progress = func(check.Progress) {}
+	if run.ID() != with.ID() {
+		t.Fatalf("Ctx/Progress changed the cell ID: %s vs %s", run.ID(), with.ID())
+	}
+}
+
+// The declared-symmetric row: process-permuted input assignments are the
+// same instance, so their fingerprints must coincide, while a different
+// input multiset must not.
+func TestInstanceFingerprintOrbitInvariant(t *testing.T) {
+	cell := func(in ...int) Cell { return Cell{Row: "explore-anon", N: 4, K: 2, Inputs: in} }
+	fp := func(c Cell) uint64 {
+		t.Helper()
+		v, ok, err := c.InstanceFingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("cell %s: no instance fingerprint", c.ID())
+		}
+		return v
+	}
+	a := fp(cell(0, 1, 1, 0))
+	b := fp(cell(1, 0, 0, 1))
+	if a != b {
+		t.Fatalf("process-permuted instances got distinct fingerprints: %#x vs %#x", a, b)
+	}
+	if c := fp(cell(1, 1, 1, 0)); c == a {
+		t.Fatalf("different input multiset collided with %#x", a)
+	}
+	// The default assignment (i mod 2 = 0,1,0,1) is itself a permutation
+	// of 0,1,1,0 — a defaulted cell and its explicit permutation must hit
+	// the same cache slot.
+	if d := fp(cell()); d != a {
+		t.Fatalf("defaulted instance fingerprint %#x differs from permuted explicit %#x", d, a)
+	}
+}
+
+// Algorithm 1 declares no process symmetry, so its fingerprint is
+// positional: still well-defined (same inputs, same value) but permuted
+// assignments are distinct instances.
+func TestInstanceFingerprintPositionalForUndeclared(t *testing.T) {
+	a, ok, err := Cell{Row: "explore", N: 4, K: 2, Inputs: []int{0, 1, 2, 0}}.InstanceFingerprint()
+	if err != nil || !ok {
+		t.Fatalf("explore fingerprint: ok=%v err=%v", ok, err)
+	}
+	b, _, err := Cell{Row: "explore", N: 4, K: 2, Inputs: []int{0, 1, 2, 0}}.InstanceFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %#x vs %#x", a, b)
+	}
+	c, _, err := Cell{Row: "explore", N: 4, K: 2, Inputs: []int{1, 0, 2, 0}}.InstanceFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatalf("permuted inputs collided for a protocol without declared symmetry")
+	}
+}
+
+func TestInstanceFingerprintAbsentForCertificateRows(t *testing.T) {
+	for _, row := range []string{"theorem10", "consensus-swap", "violation-hunt"} {
+		_, ok, err := Cell{Row: row, N: 3, K: 1}.InstanceFingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", row, err)
+		}
+		if ok {
+			t.Fatalf("%s claims an instance fingerprint but declares no Instance", row)
+		}
+	}
+}
+
+// Rows without an Instance builder cannot honor explicit inputs; the
+// runner must fail the cell rather than silently run the default
+// instance under an input-specific identity.
+func TestStrayInputsRejected(t *testing.T) {
+	cell := Cell{Row: "theorem10", N: 3, K: 1, Inputs: []int{0, 1, 0}}
+	rec := RunCellRecord(cell)
+	if rec.Status != StatusError || !strings.Contains(rec.Error, "explicit inputs") {
+		t.Fatalf("stray inputs: status=%q error=%q, want error about explicit inputs", rec.Status, rec.Error)
+	}
+	if _, err := RunCell(cell); err == nil || !strings.Contains(err.Error(), "explicit inputs") {
+		t.Fatalf("RunCell accepted stray inputs: %v", err)
+	}
+}
+
+func TestInputsValidated(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		inputs []int
+	}{
+		{"wrong length", []int{0, 1}},
+		{"out of domain", []int{0, 1, 2, 9}},
+		{"negative", []int{0, 1, 2, -1}},
+	} {
+		rec := RunCellRecord(Cell{Row: "explore", N: 4, K: 2, Inputs: tc.inputs, MaxConfigs: 100})
+		if rec.Status != StatusError {
+			t.Fatalf("%s: status=%q error=%q, want %q", tc.name, rec.Status, rec.Error, StatusError)
+		}
+	}
+}
+
+// Explicit inputs must reach the actual exploration, not just the ID:
+// an all-zero assignment can only ever decide 0 (validity), unlike the
+// default mixed assignment.
+func TestInputsHonoredByExploreRun(t *testing.T) {
+	rec := RunCellRecord(Cell{Row: "explore", N: 4, K: 2, Inputs: []int{0, 0, 0, 0}, MaxConfigs: 20000})
+	if rec.Status != StatusOK {
+		t.Fatalf("all-zero explore: status=%q error=%q", rec.Status, rec.Error)
+	}
+	if len(rec.Decided) != 1 || rec.Decided[0] != 0 {
+		t.Fatalf("all-zero inputs decided %v, want [0] — explicit inputs were not honored", rec.Decided)
+	}
+	if len(rec.Inputs) != 4 {
+		t.Fatalf("record did not echo the inputs: %v", rec.Inputs)
+	}
+}
+
+// --- context-aware cell execution ---
+
+// A cancelled context must stop an engine-backed cell in-process: the
+// record reports the cancellation and the scenario goroutine unwinds
+// instead of running its multi-second budget to completion.
+func TestRunCellRecordCtxCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rec := RunCellRecordCtx(ctx, Cell{Row: "explore", N: 6, K: 2, MaxConfigs: 5_000_000})
+	if rec.Status != StatusError || !strings.Contains(rec.Error, "cancelled") {
+		t.Fatalf("cancelled cell: status=%q error=%q", rec.Status, rec.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled cell returned after %v, want prompt return", elapsed)
+	}
+	waitCellGoroutines(t, before)
+}
+
+// The cell's own Timeout rides the same path and keeps the classic
+// timeout verdict, but now the engine goroutines actually exit.
+func TestRunCellRecordTimeoutInProcess(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rec := RunCellRecord(Cell{Row: "explore", N: 6, K: 2, MaxConfigs: 5_000_000, Timeout: 100 * time.Millisecond})
+	if rec.Status != StatusTimeout || !strings.Contains(rec.Error, "exceeded") {
+		t.Fatalf("timed-out cell: status=%q error=%q", rec.Status, rec.Error)
+	}
+	waitCellGoroutines(t, before)
+}
+
+// A context that never fires must not perturb a normal run.
+func TestRunCellRecordCtxNop(t *testing.T) {
+	plain := RunCellRecord(Cell{Row: "explore", N: 4, K: 2, MaxConfigs: 20000})
+	withCtx := RunCellRecordCtx(context.Background(), Cell{Row: "explore", N: 4, K: 2, MaxConfigs: 20000})
+	if plain.Status != StatusOK || withCtx.Status != StatusOK {
+		t.Fatalf("statuses: plain=%q ctx=%q", plain.Status, withCtx.Status)
+	}
+	if plain.States != withCtx.States || plain.Complete != withCtx.Complete {
+		t.Fatalf("ctx-bearing run diverged: %d/%v vs %d/%v",
+			withCtx.States, withCtx.Complete, plain.States, plain.Complete)
+	}
+}
+
+// waitCellGoroutines polls until the goroutine count returns to (about)
+// its pre-run level, failing with a stack dump if engine goroutines were
+// abandoned rather than cancelled.
+func waitCellGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after cancelled cell: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -68,8 +68,102 @@ type RowSpec struct {
 	// a violation (negative controls); for them a found witness is status
 	// "ok" and an empty-handed search is a failure.
 	ExpectViolation bool
+	// Instance, when non-nil, builds the concrete model-checking instance
+	// — protocol plus initial input assignment — that Run explores for a
+	// cell. Declaring it is what lets a cell carry explicit Inputs and
+	// what gives the cell an instance fingerprint (the serving daemon's
+	// cache key); rows without it reject explicit inputs.
+	Instance func(cell Cell) (model.Protocol, []int, error)
 	// Run executes the scenario for one cell.
 	Run func(cell Cell) (*Outcome, error)
+}
+
+// rejectStrayInputs fails cells that carry explicit inputs into a row
+// that cannot honor them: silently ignoring Inputs would record — and,
+// in the serving layer, cache-key — an instance that was never run.
+func rejectStrayInputs(spec RowSpec, cell Cell) error {
+	if len(cell.Inputs) > 0 && spec.Instance == nil {
+		return fmt.Errorf("sweep: row %q does not take explicit inputs", cell.Row)
+	}
+	return nil
+}
+
+// instanceInputs returns the cell's input assignment over value domain
+// [0, m): the explicit Inputs when set (validated for length and
+// domain), else the default round-robin assignment i mod m that the
+// mcheck CLI also defaults to.
+func instanceInputs(cell Cell, m int) ([]int, error) {
+	if len(cell.Inputs) == 0 {
+		inputs := make([]int, cell.N)
+		for i := range inputs {
+			inputs[i] = i % m
+		}
+		return inputs, nil
+	}
+	if len(cell.Inputs) != cell.N {
+		return nil, fmt.Errorf("sweep: row %q: %d inputs for n=%d processes", cell.Row, len(cell.Inputs), cell.N)
+	}
+	for i, v := range cell.Inputs {
+		if v < 0 || v >= m {
+			return nil, fmt.Errorf("sweep: row %q: input[%d] = %d outside value domain [0,%d)", cell.Row, i, v, m)
+		}
+	}
+	return append([]int(nil), cell.Inputs...), nil
+}
+
+// exploreInstance is the "explore" row's instance: Algorithm 1 at
+// (n, k) with m = k+1 input values — exactly what `mcheck -proto
+// algorithm1` builds from the same parameters.
+func exploreInstance(cell Cell) (model.Protocol, []int, error) {
+	p, err := core.New(core.Params{N: cell.N, K: cell.K, M: cell.K + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs, err := instanceInputs(cell, cell.K+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, inputs, nil
+}
+
+// exploreAnonInstance is the "explore-anon" row's instance: the binary
+// anonymous toy-bit race, the registry's process-symmetric protocol.
+func exploreAnonInstance(cell Cell) (model.Protocol, []int, error) {
+	p, err := baseline.NewToyBitRace(cell.N, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs, err := instanceInputs(cell, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, inputs, nil
+}
+
+// InstanceFingerprint returns the orbit-canonical fingerprint of the
+// cell's initial configuration, with ok reporting whether the cell's
+// row model-checks a concrete instance at all (certificate and
+// validation rows do not, and get no fingerprint). For protocols that
+// declare process symmetry the fingerprint is invariant under permuting
+// the initial states within a symmetry class — process-permuted
+// resubmissions of one instance share it — while protocols without
+// declared symmetry fall back to the positional slot fingerprint, so
+// the value is well-defined either way. This is the instance component
+// of the serving daemon's result-cache key.
+func (c Cell) InstanceFingerprint() (uint64, bool, error) {
+	spec, okRow := RowByKey(c.Row)
+	if !okRow || spec.Instance == nil {
+		return 0, false, nil
+	}
+	p, inputs, err := spec.Instance(c)
+	if err != nil {
+		return 0, false, err
+	}
+	cfg, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return 0, false, err
+	}
+	return cfg.CanonicalSlotFingerprint(model.SymmetryClasses(p)), true, nil
 }
 
 // rowOrder fixes registry iteration order; the first eight keys are the
@@ -270,16 +364,13 @@ var rowRegistry = map[string]RowSpec{
 	},
 
 	"explore": {
-		Key: "explore",
-		Doc: "Model check Algorithm 1: explore the reachable space, verify k-agreement, report coverage and throughput",
+		Key:      "explore",
+		Doc:      "Model check Algorithm 1: explore the reachable space, verify k-agreement, report coverage and throughput",
+		Instance: exploreInstance,
 		Run: func(cell Cell) (*Outcome, error) {
-			p, err := core.New(core.Params{N: cell.N, K: cell.K, M: cell.K + 1})
+			p, inputs, err := exploreInstance(cell)
 			if err != nil {
 				return nil, err
-			}
-			inputs := make([]int, cell.N)
-			for i := range inputs {
-				inputs[i] = i % (cell.K + 1)
 			}
 			return exploreOutcome(p, inputs, cell.K, cell)
 		},
@@ -293,14 +384,11 @@ var rowRegistry = map[string]RowSpec{
 		// schedule that splits decisions exists within small budgets.
 		Applies:         func(n, k int) bool { return n >= 3 },
 		ExpectViolation: true,
+		Instance:        exploreAnonInstance,
 		Run: func(cell Cell) (*Outcome, error) {
-			p, err := baseline.NewToyBitRace(cell.N, 2)
+			p, inputs, err := exploreAnonInstance(cell)
 			if err != nil {
 				return nil, err
-			}
-			inputs := make([]int, cell.N)
-			for i := range inputs {
-				inputs[i] = i % 2
 			}
 			return exploreOutcome(p, inputs, 1, cell)
 		},

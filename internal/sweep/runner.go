@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -41,11 +43,14 @@ type Violation struct {
 // Result is one JSON Lines record: everything known about one executed
 // cell. Measured and Certified use -1 for "not applicable".
 type Result struct {
-	Grid    string `json:"grid,omitempty"`
-	Cell    string `json:"cell"`
-	Row     string `json:"row"`
-	N       int    `json:"n"`
-	K       int    `json:"k"`
+	Grid string `json:"grid,omitempty"`
+	Cell string `json:"cell"`
+	Row  string `json:"row"`
+	N    int    `json:"n"`
+	K    int    `json:"k"`
+	// Inputs echoes the cell's explicit input assignment (empty when the
+	// scenario ran its default assignment).
+	Inputs  []int  `json:"inputs,omitempty"`
 	Workers int    `json:"workers,omitempty"`
 	Shards  int    `json:"shards,omitempty"`
 	Keys    string `json:"keys,omitempty"`
@@ -118,6 +123,10 @@ type RunOptions struct {
 	// long grid reports live progress. Calls are serialized but their
 	// order follows completion, not cell order.
 	OnResult func(r Result, cached bool)
+	// RunCell, when non-nil, replaces RunCellRecord as the per-cell
+	// executor — the hook cmd/sweep's -daemon mode uses to run cells
+	// through a checker daemon instead of in-process.
+	RunCell func(cell Cell) Result
 }
 
 // Run executes the cells with bounded parallelism, honoring per-cell
@@ -137,6 +146,10 @@ func Run(cells []Cell, opts RunOptions) ([]Result, error) {
 		if _, ok := RowByKey(cell.Row); !ok {
 			return nil, fmt.Errorf("sweep: unknown row %q in cell %d", cell.Row, i)
 		}
+	}
+	runCell := opts.RunCell
+	if runCell == nil {
+		runCell = RunCellRecord
 	}
 
 	results := make([]Result, len(cells))
@@ -161,7 +174,7 @@ func Run(cells []Cell, opts RunOptions) ([]Result, error) {
 		go func(i int, cell Cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec := RunCellRecord(cell)
+			rec := runCell(cell)
 			mu.Lock()
 			results[i] = rec
 			if opts.Out != nil && outErr == nil {
@@ -189,18 +202,45 @@ func RunCell(cell Cell) (*Outcome, error) {
 	if !ok {
 		return nil, fmt.Errorf("sweep: unknown row %q", cell.Row)
 	}
+	if err := rejectStrayInputs(spec, cell); err != nil {
+		return nil, err
+	}
 	return spec.Run(cell)
 }
+
+// cellCancelGrace is how long an expired cell's scenario goroutine gets
+// to unwind through the in-process cancellation path before the runner
+// abandons it. Engine-backed rows observe cell.Ctx at node granularity
+// and return within milliseconds; the grace only matters for rows that
+// never look at the context.
+const cellCancelGrace = 2 * time.Second
 
 // RunCellRecord executes one cell under its timeout and packages the
 // outcome as a Result record.
 func RunCellRecord(cell Cell) Result {
+	return RunCellRecordCtx(context.Background(), cell)
+}
+
+// RunCellRecordCtx is RunCellRecord under a caller-supplied context: the
+// context, with the cell timeout layered on when set, is threaded into
+// the cell (overwriting any Cell.Ctx), so engine-backed scenarios cancel
+// in-process — the run's goroutines unwind and release their memory
+// instead of burning CPU behind an abandoned channel, which is what lets
+// the serving daemon time out one check without poisoning the rest.
+// Once the context fires before the scenario returns, the record is the
+// expiry verdict (StatusTimeout for the cell's own deadline, StatusError
+// "cancelled" for the caller's) regardless of whether the goroutine
+// manages to finish inside the grace window; scenarios that ignore the
+// context entirely are abandoned after the grace, preserving the old
+// runner's survival property for large grids.
+func RunCellRecordCtx(ctx context.Context, cell Cell) Result {
 	// Reduce and Order are populated from the Outcome below, not from the
 	// cell spec: certificate rows deliberately drop both axes (witness
 	// searches run unreduced and level-synchronized), and their records
 	// must not claim otherwise.
 	rec := Result{
 		Grid: cell.Grid, Cell: cell.ID(), Row: cell.Row, N: cell.N, K: cell.K,
+		Inputs:  cell.Inputs,
 		Workers: cell.Engine.Workers, Shards: cell.Engine.Shards, Keys: cell.Engine.Keys,
 		Measured: -1, Certified: -1,
 	}
@@ -210,6 +250,17 @@ func RunCellRecord(cell Cell) Result {
 		rec.Error = fmt.Sprintf("unknown row %q", cell.Row)
 		return rec
 	}
+	if err := rejectStrayInputs(spec, cell); err != nil {
+		rec.Status = StatusError
+		rec.Error = err.Error()
+		return rec
+	}
+	if cell.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cell.Timeout)
+		defer cancel()
+	}
+	cell.Ctx = ctx
 
 	type done struct {
 		out *Outcome
@@ -219,7 +270,9 @@ func RunCellRecord(cell Cell) Result {
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var d done
-	if cell.Timeout <= 0 {
+	if ctx.Done() == nil {
+		// Uncancellable context, no timeout: run inline as the original
+		// runner did.
 		d.out, d.err = spec.Run(cell)
 	} else {
 		ch := make(chan done, 1)
@@ -229,12 +282,14 @@ func RunCellRecord(cell Cell) Result {
 		}()
 		select {
 		case d = <-ch:
-		case <-time.After(cell.Timeout):
-			// The scenario goroutine is abandoned (searches are not
-			// interruptible mid-level); the record says so and the runner
-			// moves on, which is what a large grid needs to survive.
-			rec.Status = StatusTimeout
-			rec.Error = fmt.Sprintf("exceeded %v", cell.Timeout)
+		case <-ctx.Done():
+			// Expired. Wait briefly for the in-process unwind (so the
+			// goroutine and its memory actually go away), then abandon.
+			select {
+			case <-ch:
+			case <-time.After(cellCancelGrace):
+			}
+			rec.Status, rec.Error = expiryVerdict(ctx.Err(), cell)
 			rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 			return rec
 		}
@@ -243,6 +298,12 @@ func RunCellRecord(cell Cell) Result {
 	rec.WallMS = float64(elapsed) / float64(time.Millisecond)
 
 	if d.err != nil {
+		// A scenario error wrapping the context error is the same expiry,
+		// observed from the other side of the race.
+		if errors.Is(d.err, context.Canceled) || errors.Is(d.err, context.DeadlineExceeded) {
+			rec.Status, rec.Error = expiryVerdict(d.err, cell)
+			return rec
+		}
 		rec.Status = StatusError
 		rec.Error = d.err.Error()
 		return rec
@@ -287,6 +348,16 @@ func RunCellRecord(cell Cell) Result {
 	}
 	rec.Status = cellStatus(spec, out)
 	return rec
+}
+
+// expiryVerdict maps a fired context to a record status: the cell's own
+// deadline is the classic timeout; anything else (the daemon draining, a
+// client hanging up) is an externally cancelled run.
+func expiryVerdict(err error, cell Cell) (status, detail string) {
+	if errors.Is(err, context.DeadlineExceeded) && cell.Timeout > 0 {
+		return StatusTimeout, fmt.Sprintf("exceeded %v", cell.Timeout)
+	}
+	return StatusError, fmt.Sprintf("cancelled: %v", err)
 }
 
 // cellStatus derives the record status from a completed outcome.

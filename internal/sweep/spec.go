@@ -12,9 +12,12 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/check"
@@ -107,6 +110,15 @@ func (e EngineSpec) validate() error {
 	}
 	return nil
 }
+
+// Validate is the exported form of the spec check, for callers that
+// accept EngineSpec values from outside a Grid (the serving daemon's
+// request decoding).
+func (e EngineSpec) Validate() error { return e.validate() }
+
+// MemBudgetBytes returns the parsed resident-memory budget in bytes
+// (0 when unset). Validate first; an unparsable budget reads as 0 here.
+func (e EngineSpec) MemBudgetBytes() int64 { return e.memBudgetBytes() }
 
 // memBudgetBytes returns the parsed budget; specs are validated when the
 // grid expands, so a parse failure here cannot occur.
@@ -218,6 +230,11 @@ type Cell struct {
 	Row string
 	// N and K are the instance parameters (N > K >= 1).
 	N, K int
+	// Inputs optionally overrides the scenario's default input assignment
+	// for rows that model-check one concrete instance (RowSpec.Instance
+	// non-nil; other rows reject it). Length must be N. Inputs are
+	// identity-relevant: cells differing only here have different IDs.
+	Inputs []int
 	// Engine selects frontier-engine options.
 	Engine EngineSpec
 	// Schedules and Seed configure validation (0 = harness defaults).
@@ -228,12 +245,31 @@ type Cell struct {
 	MaxConfigs, MaxDepth int
 	// Timeout bounds the cell's wall time (0 = none).
 	Timeout time.Duration
+	// Ctx, when non-nil, cancels the cell's engine runs in-process (the
+	// serving daemon's per-cell timeouts and shutdown drain). The runner
+	// sets it; grid specs never carry one.
+	Ctx context.Context
+	// Progress, when non-nil, receives engine progress reports from the
+	// cell's exploration or search — the hook the daemon's /status
+	// streaming rides on. Nil for ordinary grid runs.
+	Progress func(check.Progress)
 }
 
 // ID is the cell's stable identity, used for checkpoint resume: a cell
 // re-expanded from the same grid axes maps to the same ID across runs.
+// Explicit inputs are part of the identity (distinct input assignments
+// are distinct experiments); Ctx and Progress are runtime plumbing, not
+// identity.
 func (c Cell) ID() string {
-	return fmt.Sprintf("%s/n=%d/k=%d/%s", c.Row, c.N, c.K, c.Engine.label())
+	id := fmt.Sprintf("%s/n=%d/k=%d/%s", c.Row, c.N, c.K, c.Engine.label())
+	if len(c.Inputs) > 0 {
+		parts := make([]string, len(c.Inputs))
+		for i, v := range c.Inputs {
+			parts[i] = strconv.Itoa(v)
+		}
+		id += "/in=" + strings.Join(parts, ",")
+	}
+	return id
 }
 
 // ValidateOptions translates the cell into harness validation options.
@@ -258,10 +294,12 @@ func (c Cell) SearchLimits(defConfigs, defDepth int) lowerbound.SearchLimits {
 		defDepth = c.MaxDepth
 	}
 	return lowerbound.SearchLimits{
+		Ctx:        c.Ctx,
 		MaxConfigs: defConfigs, MaxDepth: defDepth,
 		Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 		Fingerprints: c.Engine.Keys == "fingerprint",
 		Store:        c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
+		Progress: c.Progress,
 	}
 }
 
@@ -271,10 +309,12 @@ func (c Cell) ExploreOptions() check.ExploreOptions {
 	return check.ExploreOptions{
 		Limits: check.ExploreLimits{MaxConfigs: c.MaxConfigs, MaxDepth: c.MaxDepth},
 		Engine: check.EngineOptions{
+			Ctx:     c.Ctx,
 			Workers: c.Engine.Workers, Shards: c.Engine.Shards,
 			StringKeys: c.Engine.Keys == "string",
 			Store:      c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
 			Reduction: c.Engine.Reduce, Order: c.Engine.Order,
+			Progress: c.Progress,
 		},
 	}
 }
