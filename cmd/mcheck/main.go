@@ -9,7 +9,7 @@
 //	mcheck -proto algorithm1 -n 3 -k 1 -m 2 [-inputs 0,1,1] [-max 200000]
 //	       [-workers 0] [-shards 64] [-stringkeys] [-progress]
 //	       [-store mem|spill] [-membudget 64MB] [-reduce none|sym|sym+sleep]
-//	       [-order levelsync|async]
+//	       [-order levelsync|async] [-checkpoint dir [-checkpointevery N]]
 //
 // Exploration runs on the sharded frontier engine: -workers sets the
 // parallelism (0 = all cores), -shards the visited-set partition count,
@@ -31,7 +31,11 @@
 // work-stealing deques — the same visited set and verdicts, better
 // multicore scaling, but no per-level progress and no witness
 // provenance (so -order async composes with exploration, not with the
-// certificate searches).
+// certificate searches). -checkpoint names a directory to snapshot
+// exploration state into at level barriers; re-running the same command
+// after a crash or kill resumes from the last committed snapshot and
+// reaches the identical final verdict. -checkpointevery thins snapshots
+// to every N-th barrier.
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.

@@ -10,7 +10,7 @@
 //	      [-max N] [-depth N] [-store mem|spill] [-membudget 64MB]
 //	      [-reduce none|sym|sym+sleep] [-order levelsync|async]
 //	      [-par N] [-timeout SECONDS] [-daemon URL]
-//	      [-out sweep.json] [-json] [-progress]
+//	      [-out sweep.json] [-checkpointdir DIR] [-json] [-progress]
 //
 // -store/-membudget select the frontier engine's state store for every
 // cell: "spill" bounds resident store memory by the budget, spilling
@@ -35,9 +35,16 @@
 //
 // -out appends JSONL records to the file and makes the run resumable:
 // cells whose IDs already appear in the file are skipped, so an
-// interrupted grid picks up where it left off. -json streams the records
-// to stdout instead of the table. -progress reports per-cell completions
-// to stderr, keeping stdout parseable.
+// interrupted grid picks up where it left off. A torn final line (the
+// one defect a killed sweep leaves in -out) is detected, dropped and
+// repaired on resume; that cell simply re-runs. -checkpointdir goes
+// further: each in-process cell snapshots its exploration at level
+// barriers under a private subdirectory, so a sweep killed mid-cell
+// resumes that cell from its last snapshot instead of restarting it
+// (completed cells' snapshots are cleaned up; timeout cells keep theirs
+// so a retry with a larger budget picks up partway). -json streams the
+// records to stdout instead of the table. -progress reports per-cell
+// completions to stderr, keeping stdout parseable.
 //
 // Benchmark trajectory:
 //
@@ -111,6 +118,7 @@ func run(args []string, stdout io.Writer) error {
 	par := fs.Int("par", 0, "concurrently executing cells (0 = all cores)")
 	timeout := fs.Int("timeout", -1, "per-cell wall-time budget in seconds (-1 = grid default, 0 = none)")
 	outFile := fs.String("out", "", "JSONL results file; existing cells are skipped (resume)")
+	ckptDir := fs.String("checkpointdir", "", "directory for per-cell engine snapshots: a sweep killed mid-cell resumes that cell from its last level barrier instead of restarting it (in-process exploration rows only)")
 	jsonOut := fs.Bool("json", false, "stream JSONL records to stdout instead of the table")
 	progress := fs.Bool("progress", false, "report per-cell completions to stderr")
 	benchRun := fs.Bool("bench", false, "run the explorer benchmark suite and write a BENCH_<n>.json snapshot")
@@ -222,12 +230,15 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	opts := sweep.RunOptions{Parallelism: *par}
+	opts := sweep.RunOptions{Parallelism: *par, CheckpointDir: *ckptDir}
 	if *daemonURL != "" {
 		// Cell IDs (and therefore checkpoint skip sets) are identical in
 		// both modes, so a sweep can move between in-process and daemon
 		// execution across resumes of the same -out file.
-		opts.RunCell = (&serve.Client{BaseURL: *daemonURL}).RunCell
+		// The retrying client rides out daemon restarts and transient
+		// saturation (503 + Retry-After) instead of recording a stripe of
+		// spurious error cells.
+		opts.RunCell = serve.NewRetryingClient(*daemonURL).RunCell
 	}
 
 	// Checkpoint resume: prior records in -out become the skip set, and
@@ -360,6 +371,10 @@ func loadGrid(specFile, gridName string) (sweep.Grid, error) {
 	return sweep.ParseGrid(data)
 }
 
+// readCheckpoint loads -out's prior records as the skip set. A torn
+// final line — the defect a killed sweep leaves — is dropped (its cell
+// re-runs) and the file is rewritten without it, because appending
+// fresh records after a torn line would corrupt them too.
 func readCheckpoint(path string) (map[string]sweep.Result, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -368,10 +383,33 @@ func readCheckpoint(path string) (map[string]sweep.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	prior, err := sweep.ReadResults(f)
+	prior, dropped, err := sweep.ReadResultsResume(f)
+	f.Close()
 	if err != nil {
 		return nil, err
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %s: dropped a torn final line (its cell will re-run)\n", path)
+		tmp := path + ".tmp"
+		w, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range prior {
+			if err := sweep.WriteResult(w, r); err != nil {
+				w.Close()
+				os.Remove(tmp)
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			os.Remove(tmp)
+			return nil, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return nil, err
+		}
 	}
 	return sweep.Checkpoint(prior), nil
 }

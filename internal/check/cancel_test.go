@@ -3,6 +3,9 @@ package check
 import (
 	"context"
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -122,6 +125,102 @@ func TestFrontierCancelDeadline(t *testing.T) {
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("deadline run: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Cancellation while the spill store is active — sorted runs on disk,
+// spool writers open, possibly mid-merge at a barrier — must leave the
+// caller-provided spill directory empty: every run file removed, every
+// in-progress temp aborted, and no store goroutines behind.
+func TestCancelSpillLeavesNoFiles(t *testing.T) {
+	p, c, pids := cancelInstance(t)
+	dir := t.TempDir()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := ExploreOpts(p, c, pids, 2, ExploreOptions{
+		Limits: ExploreLimits{MaxConfigs: 5_000_000},
+		Engine: EngineOptions{
+			Ctx: ctx, Workers: 4,
+			// A 1-byte budget forces a spill at every level barrier, so
+			// the cancel lands with real disk state in play.
+			Store: StoreSpill, MemBudget: 1, SpillDir: dir,
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled spill run: err = %v, want context.Canceled", err)
+	}
+	waitNoGoroutineLeak(t, before)
+
+	var leftover []string
+	if werr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			leftover = append(leftover, path)
+		}
+		return nil
+	}); werr != nil {
+		t.Fatal(werr)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("cancelled spill run left files behind: %v", leftover)
+	}
+}
+
+// Close on a spill store abandoned mid-level (open spool writers,
+// unmerged deltas, published runs) must clean up fully, and a second
+// Close must be a safe no-op — the engine's deferred Close can race a
+// caller's explicit cleanup under error paths.
+func TestSpillStoreCloseIdempotent(t *testing.T) {
+	p := stepProto{n: 2, steps: 3}
+	cfg := model.MustNewConfig(p, []int{0, 0})
+	dir := t.TempDir()
+	st, err := newSpillStore(storeCtx{
+		parts: 2, nObj: 1, nProc: 2,
+		newNode: func() *Node { return &Node{} },
+		recycle: func(*Node) {},
+	}, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admit := func(base uint64) {
+		t.Helper()
+		for i := uint64(0); i < 8; i++ {
+			n := &Node{Cfg: cfg}
+			n.fp = base + i*0x9e3779b97f4a7c15
+			st.Admit(int(i)&1, n)
+		}
+	}
+	// One full level (flushes runs under the 1-byte budget), then a
+	// second level abandoned before its barrier (open spools).
+	admit(1)
+	if _, err := st.EndLevel(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	admit(1 << 40)
+
+	if err := st.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("closed store left files in its directory: %v", names)
 	}
 }
 

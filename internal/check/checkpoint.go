@@ -1,0 +1,415 @@
+package check
+
+// Exploration checkpointing: at a level barrier the engine's state is a
+// pure function of (visited set, next frontier, counters, search-layer
+// accumulators) — no goroutine is live and no node is half-expanded —
+// so a crash-consistent snapshot is three artifacts plus a manifest:
+//
+//	visited-<gen>   every visited (fingerprint, key) entry
+//	frontier-<gen>  the next level's nodes as root-to-node pid paths
+//	aux-<gen>       opaque search-layer accumulators (Explore/valency)
+//	MANIFEST.json   counters + profile + generation, renamed LAST
+//
+// The manifest rename is the commit point: everything else is written
+// (checksummed, tmp+renamed) before it, so a crash at any instant
+// leaves either the old generation or the new one, never a mix.
+//
+// Frontier nodes are persisted as pid paths rather than configuration
+// encodings because canonical Values/States are protocol-opaque (they
+// cannot be decoded from bytes without the in-process intern exchange,
+// which dies with the process). Resume replays each path from the start
+// configuration through Stepper.ApplyCOW — O(frontier × depth) applies,
+// paid once at resume — and then re-applies the run's keying switch, so
+// the rebuilt nodes are bit-identical to the lost ones. Paths store one
+// byte per step, which caps checkpointable protocols at 255 processes.
+//
+// Scope: level-synchronized order only. The async order has no barrier
+// at which the invariant above holds; it accepts the option as a no-op,
+// which is still crash-safe by a different argument — an async rerun
+// from scratch is deterministic, so "resume" and "restart" produce the
+// same verdict, just without salvaging partial work.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// ckptProfile pins the run parameters a checkpoint is only valid for.
+// Workers, Shards and the store backend are deliberately absent: the
+// visited snapshot is store-agnostic and partition routing is recomputed
+// from fingerprints at seed time, so a run may resume with a different
+// parallelism or store. A custom Canonical hook is recorded only by
+// presence — callers must not swap one hook for another between runs.
+type ckptProfile struct {
+	Protocol   string `json:"protocol"`
+	NObj       int    `json:"n_obj"`
+	NProc      int    `json:"n_proc"`
+	StartFP    uint64 `json:"start_fp"`
+	StringKeys bool   `json:"string_keys"`
+	Reduction  string `json:"reduction"`
+	Canonical  bool   `json:"canonical"`
+	MaxConfigs int    `json:"max_configs"`
+	MaxDepth   int    `json:"max_depth"`
+}
+
+// ckptManifest is the commit record of one checkpoint generation.
+type ckptManifest struct {
+	Version   int         `json:"version"`
+	Profile   ckptProfile `json:"profile"`
+	Gen       int         `json:"gen"`
+	NextDepth int         `json:"next_depth"`
+	Processed int         `json:"processed"`
+	Levels    int         `json:"levels"`
+	Admitted  int64       `json:"admitted"`
+	Closed    bool        `json:"closed"`
+	Truncated bool        `json:"truncated"`
+	// Finished marks a checkpoint taken at the run's final barrier
+	// (empty next frontier or an early stop): resume restores the
+	// verdict without re-entering the level loop.
+	Finished bool `json:"finished"`
+	HasAux   bool `json:"has_aux"`
+	// Sum is the CRC32-IEEE of the manifest JSON serialized with Sum=0.
+	Sum uint32 `json:"sum"`
+}
+
+const ckptManifestVersion = 1
+
+func ckptManifestPath(dir string) string { return filepath.Join(dir, "MANIFEST.json") }
+
+func ckptGenPath(dir, kind string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d", kind, gen))
+}
+
+// ckptVisited is one visited-set entry in a snapshot.
+type ckptVisited struct {
+	fp  uint64
+	key string
+}
+
+// ckptFrontNode is one frontier node in a snapshot: its pid path from
+// the root and its finished sleep mask.
+type ckptFrontNode struct {
+	path  []byte
+	sleep uint64
+}
+
+// ckptLoaded is a fully-read checkpoint, ready for the engine to seed.
+type ckptLoaded struct {
+	man      ckptManifest
+	visited  []ckptVisited
+	frontier []ckptFrontNode
+	aux      []byte
+}
+
+// loadCheckpoint reads the latest committed checkpoint under dir.
+// Returns (nil, nil) when there is none, or when the one found is
+// corrupt — corrupt generations are quarantined and the run restarts
+// fresh (losing progress, never correctness). A manifest whose profile
+// does not match the current run is an error: silently ignoring it
+// would discard the user's checkpoint without telling them why.
+func loadCheckpoint(dir string, profile ckptProfile) (*ckptLoaded, error) {
+	raw, err := os.ReadFile(ckptManifestPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var man ckptManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		quarantine(ckptManifestPath(dir), "manifest not parseable")
+		return nil, nil
+	}
+	sum := man.Sum
+	man.Sum = 0
+	clean, _ := json.Marshal(man)
+	if crc32.ChecksumIEEE(clean) != sum || man.Version != ckptManifestVersion {
+		quarantine(ckptManifestPath(dir), "manifest checksum/version mismatch")
+		return nil, nil
+	}
+	man.Sum = sum
+	if man.Profile != profile {
+		return nil, fmt.Errorf("checkpoint: %s holds a checkpoint for a different run (profile %+v, want %+v); use a fresh directory", dir, man.Profile, profile)
+	}
+
+	loaded := &ckptLoaded{man: man}
+	if err := loaded.readVisited(dir); err != nil {
+		return ckptDiscard(dir, man, err)
+	}
+	if err := loaded.readFrontier(dir); err != nil {
+		return ckptDiscard(dir, man, err)
+	}
+	if man.HasAux {
+		aux, err := readArtifactFile(ckptGenPath(dir, "aux", man.Gen), artifactAux)
+		if err != nil {
+			return ckptDiscard(dir, man, err)
+		}
+		loaded.aux = aux
+	}
+	return loaded, nil
+}
+
+// ckptDiscard handles a manifest that committed but whose artifacts are
+// unreadable or corrupt: quarantine the generation and restart fresh.
+// I/O errors other than corruption are surfaced (retrying fresh would
+// likely hit them too).
+func ckptDiscard(dir string, man ckptManifest, err error) (*ckptLoaded, error) {
+	var corrupt *CorruptArtifactError
+	if !errorsAs(err, &corrupt) && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	quarantine(ckptManifestPath(dir), "references unreadable artifacts")
+	quarantine(ckptGenPath(dir, "visited", man.Gen), "generation discarded")
+	quarantine(ckptGenPath(dir, "frontier", man.Gen), "generation discarded")
+	if man.HasAux {
+		quarantine(ckptGenPath(dir, "aux", man.Gen), "generation discarded")
+	}
+	return nil, nil
+}
+
+// errorsAs is errors.As without importing errors twice under test
+// builds; kept tiny and local.
+func errorsAs(err error, target *(*CorruptArtifactError)) bool {
+	for err != nil {
+		if c, ok := err.(*CorruptArtifactError); ok {
+			*target = c
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// readVisited streams the visited snapshot: fp (8B LE) | uvarint klen |
+// key bytes.
+func (l *ckptLoaded) readVisited(dir string) error {
+	r, _, err := openArtifact(ckptGenPath(dir, "visited", l.man.Gen), artifactVisited)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	br := newByteReader(r)
+	for {
+		var fixed [8]byte
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		klen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		key := ""
+		if klen > 0 {
+			kb := make([]byte, klen)
+			if _, err := io.ReadFull(br, kb); err != nil {
+				return err
+			}
+			key = string(kb)
+		}
+		l.visited = append(l.visited, ckptVisited{fp: binary.LittleEndian.Uint64(fixed[:]), key: key})
+	}
+}
+
+// readFrontier streams the frontier snapshot: uvarint plen | path bytes
+// | sleep (8B LE).
+func (l *ckptLoaded) readFrontier(dir string) error {
+	r, _, err := openArtifact(ckptGenPath(dir, "frontier", l.man.Gen), artifactFrontier)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	br := newByteReader(r)
+	for {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		path := make([]byte, plen)
+		if _, err := io.ReadFull(br, path); err != nil {
+			return err
+		}
+		var fixed [8]byte
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return err
+		}
+		l.frontier = append(l.frontier, ckptFrontNode{path: path, sleep: binary.LittleEndian.Uint64(fixed[:])})
+	}
+}
+
+// ckptWriter owns the checkpoint directory for one engine run.
+type ckptWriter struct {
+	dir     string
+	profile ckptProfile
+	every   int           // write at every N-th barrier (>=1)
+	gen     int           // next generation to write
+	dump    dumpVisitedFn // installed by the engine; streams the visited set
+}
+
+// dumpVisitedFn streams every visited (fp, key) entry to emit.
+type dumpVisitedFn func(emit func(fp uint64, key string) error) error
+
+func newCkptWriter(dir string, profile ckptProfile, every, startGen int) (*ckptWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	removeStaleArtifacts(dir)
+	if every < 1 {
+		every = 1
+	}
+	return &ckptWriter{dir: dir, profile: profile, every: every, gen: startGen}, nil
+}
+
+// due reports whether the barrier completing depth should checkpoint.
+func (w *ckptWriter) due(depth int) bool { return (depth+1)%w.every == 0 }
+
+// write commits one checkpoint generation. nodes is the next level's
+// frontier (with finished sleep masks already swapped into prevSleep);
+// sleepOf returns a node's mask.
+func (w *ckptWriter) write(man ckptManifest, nodes []*Node, sleepOf func(*Node) uint64, aux []byte) error {
+	gen := w.gen
+	man.Version = ckptManifestVersion
+	man.Profile = w.profile
+	man.Gen = gen
+	man.HasAux = len(aux) > 0
+
+	vw, err := newArtifactWriter(ckptGenPath(w.dir, "visited", gen), artifactVisited)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	vw.sync = true
+	var scratch [16]byte
+	writeEntry := func(fp uint64, key string) error {
+		binary.LittleEndian.PutUint64(scratch[:8], fp)
+		h := binary.AppendUvarint(scratch[:8], uint64(len(key)))
+		if _, err := vw.Write(h); err != nil {
+			return err
+		}
+		if len(key) > 0 {
+			if _, err := io.WriteString(vw, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.dump(writeEntry); err != nil {
+		vw.abort()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := vw.finish(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+
+	fw, err := newArtifactWriter(ckptGenPath(w.dir, "frontier", gen), artifactFrontier)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	fw.sync = true
+	for _, n := range nodes {
+		h := binary.AppendUvarint(scratch[:0], uint64(len(n.path)))
+		if _, err := fw.Write(h); err != nil {
+			fw.abort()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if _, err := fw.Write(n.path); err != nil {
+			fw.abort()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], sleepOf(n))
+		if _, err := fw.Write(scratch[:8]); err != nil {
+			fw.abort()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if _, err := fw.finish(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+
+	if man.HasAux {
+		if err := writeArtifactFile(ckptGenPath(w.dir, "aux", gen), artifactAux, aux, true); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+
+	// Commit: the manifest rename publishes the generation. A crash
+	// before the rename leaves the previous manifest pointing at its
+	// intact generation; the new generation's files are stale artifacts
+	// a later open cleans up.
+	man.Sum = 0
+	clean, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	man.Sum = crc32.ChecksumIEEE(clean)
+	final, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	mp := ckptManifestPath(w.dir)
+	f, err := fault.Create(mp + ".tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(final); err != nil {
+		f.File.Close()
+		os.Remove(mp + ".tmp")
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.File.Close()
+		os.Remove(mp + ".tmp")
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.File.Close(); err != nil {
+		os.Remove(mp + ".tmp")
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Crash point: the full generation is on disk but unpublished.
+	fault.Crash(fault.CrashCheckpointManifest)
+	if err := fault.Rename(mp+".tmp", mp); err != nil {
+		os.Remove(mp + ".tmp")
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+
+	// The previous generation is now unreachable; reclaim it.
+	if gen > 1 {
+		os.Remove(ckptGenPath(w.dir, "visited", gen-1))
+		os.Remove(ckptGenPath(w.dir, "frontier", gen-1))
+		os.Remove(ckptGenPath(w.dir, "aux", gen-1))
+	}
+	w.gen++
+	return nil
+}
+
+// newByteReader wraps an artifactReader for uvarint decoding.
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}

@@ -138,6 +138,26 @@ type EngineOptions struct {
 	// SpillDir is where the spill store keeps its run and segment files
 	// ("" = a fresh directory under os.TempDir, removed on completion).
 	SpillDir string
+	// Checkpoint is a directory for crash-safe snapshots: at level
+	// barriers the engine writes the visited set, the next frontier and
+	// the search-layer accumulators there (write-then-rename manifests),
+	// and a new run pointed at the same directory resumes from the last
+	// committed generation with an identical final verdict. Levelsync
+	// order only — the async order accepts the option as a no-op (an
+	// async rerun from scratch is deterministic, so restart == resume).
+	// Incompatible with Provenance, and limited to 255 processes
+	// (checkpoint.go explains both). Empty disables checkpointing.
+	Checkpoint string
+	// CheckpointEvery writes a snapshot at every Nth level barrier
+	// (<= 0 means every barrier). The run's final barrier always
+	// snapshots, so a finished run resumes to its verdict instantly.
+	CheckpointEvery int
+	// CheckpointAux, if non-nil, serializes the search layer's
+	// accumulators (decided values, witness state) into each snapshot;
+	// CheckpointRestore rehydrates them on resume. Installed by
+	// ExploreOpts/ClassifyValencyOpts, not by end callers.
+	CheckpointAux     func() ([]byte, error)
+	CheckpointRestore func([]byte) error
 	// Progress, if non-nil, is invoked after every completed level with
 	// cumulative throughput statistics.
 	Progress func(Progress)
@@ -200,6 +220,7 @@ type Node struct {
 	slotH  []uint64 // per-slot content hashes, parallel to Cfg slots
 	key    string   // exact encoding, set only in string-key mode
 	sleep  uint64   // sleep-set pid bitmask, set only in sleep-reduction mode
+	path   []byte   // root-to-node pid bytes, set only in checkpointing runs
 
 	// Async-order scheduling state (async.go): how to (re-)expand the
 	// node (asyncFresh / asyncWake / asyncDeepen) and, for wake items,
@@ -216,6 +237,13 @@ func (n *Node) Parent() *Node { return n.parent }
 // Fingerprint returns the dedup key of the node's configuration under the
 // engine's keying mode.
 func (n *Node) Fingerprint() uint64 { return n.fp }
+
+// Path returns the pid sequence from the root to n as one byte per
+// step. It is populated only in checkpointing runs (where it is how the
+// search layer persists replayable witnesses without provenance); the
+// returned slice is the node's own buffer and must be copied if
+// retained beyond the visit.
+func (n *Node) Path() []byte { return n.path }
 
 // Schedule returns the pid sequence leading from the root to n. It
 // requires a run with EngineOptions.Provenance (otherwise parent chains
@@ -428,6 +456,13 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			return RunStats{}, fmt.Errorf("frontier engine: order %q requires fingerprint keying: exact string keys pick a timing-dependent representative among colliding encodings without the level barrier", OrderAsync)
 		}
 	}
+	// Checkpointing is a levelsync-barrier feature; the async order
+	// accepts the option as a documented no-op (restart == resume for a
+	// deterministic from-scratch rerun).
+	ckptOn := opts.Checkpoint != "" && !asyncOn
+	if opts.Checkpoint != "" && opts.Provenance {
+		return RunStats{}, fmt.Errorf("frontier engine: Checkpoint and Provenance are mutually exclusive: parent chains are in-RAM pointers that cannot be persisted across a crash")
+	}
 	if symOn || sleepOn {
 		switch {
 		case opts.Provenance:
@@ -449,6 +484,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	if len(start.Objects) != nObj || len(start.States) != nProc {
 		return RunStats{}, fmt.Errorf("frontier engine: start configuration has %d objects and %d states, protocol declares %d and %d",
 			len(start.Objects), len(start.States), nObj, nProc)
+	}
+	if ckptOn && nProc > 255 {
+		return RunStats{}, fmt.Errorf("frontier engine: checkpointing supports at most 255 processes (frontier paths store one pid byte per step), protocol declares %d", nProc)
 	}
 	slots := nObj + nProc
 
@@ -492,6 +530,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		nProc:      nProc,
 		stringKeys: run.stringKeys,
 		retain:     opts.Provenance,
+		paths:      ckptOn,
 		newNode:    run.newNode,
 		recycle:    run.recycleAlways,
 	})
@@ -558,6 +597,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	root.Cfg.CopyFrom(start)
 	root.Depth, root.Pid = 0, -1
 	root.parent = nil
+	root.path = root.path[:0]
 	root.slotFP = stepperFor(0).InitSlots(root.Cfg, root.slotH)
 
 	// Reduction plan: refine the declared symmetry classes against this
@@ -612,13 +652,42 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		})
 	}
 
-	if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
-		run.recycleAlways(root)
-	}
-	run.admitted.Store(1)
-	seed, err := store.EndLevel(limits.MaxConfigs)
-	if err != nil {
-		return RunStats{}, err
+	// Checkpoint wiring: load any previous generation (nil when absent or
+	// quarantined-corrupt — a fresh start) and arm the writer for this
+	// run's barrier snapshots. The manifest profile pins everything that
+	// shapes the explored space; Workers/Shards/Store deliberately stay
+	// out of it, so a resume may change parallelism and storage freely.
+	var (
+		ckpt    *ckptWriter
+		resumed *ckptLoaded
+	)
+	if ckptOn {
+		cs, ok := store.(checkpointableStore)
+		if !ok {
+			return RunStats{}, fmt.Errorf("frontier engine: store %q does not support checkpointing", opts.Store)
+		}
+		profile := ckptProfile{
+			Protocol:   p.Name(),
+			NObj:       nObj,
+			NProc:      nProc,
+			StartFP:    root.slotFP,
+			StringKeys: run.stringKeys,
+			Reduction:  fmt.Sprintf("sym=%t,sleep=%t", symOn, sleepOn),
+			Canonical:  opts.Canonical != nil,
+			MaxConfigs: limits.MaxConfigs,
+			MaxDepth:   limits.MaxDepth,
+		}
+		if resumed, err = loadCheckpoint(opts.Checkpoint, profile); err != nil {
+			return RunStats{}, err
+		}
+		startGen := 1
+		if resumed != nil {
+			startGen = resumed.man.Gen + 1
+		}
+		if ckpt, err = newCkptWriter(opts.Checkpoint, profile, opts.CheckpointEvery, startGen); err != nil {
+			return RunStats{}, err
+		}
+		ckpt.dump = cs.DumpVisited
 	}
 
 	var (
@@ -652,8 +721,32 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}()
 	}
 
-	frontier := seed.Frontier
-	for depth := 0; frontier.Size() > 0; depth++ {
+	// Seed level 0 — from the checkpoint when resuming (the store's
+	// visited set is rebuilt wholesale and the frontier replayed from
+	// paths, bypassing the admission queue entirely), otherwise by
+	// admitting the root through the store like any node.
+	var frontier FrontierSource
+	startDepth := 0
+	if resumed != nil {
+		run.recycleAlways(root)
+		frontier, err = resumeFromCheckpoint(run, resumed, store.(checkpointableStore), &stats, opts, start, stepperFor(0), symFor(0))
+		if err != nil {
+			stats.Complete = false
+			return stats, err
+		}
+		startDepth = resumed.man.NextDepth
+	} else {
+		if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
+			run.recycleAlways(root)
+		}
+		run.admitted.Store(1)
+		seed, err := store.EndLevel(limits.MaxConfigs)
+		if err != nil {
+			return RunStats{}, err
+		}
+		frontier = seed.Frontier
+	}
+	for depth := startDepth; frontier.Size() > 0; depth++ {
 		stats.Levels++
 		levelSize := frontier.Size()
 		admittedBefore := int(run.admitted.Load())
@@ -769,6 +862,13 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 						succ.parent = nil
 						if run.provenance {
 							succ.parent = n
+						}
+						if ckptOn {
+							// Root-to-node pid path: the only protocol-
+							// independent serialization of a frontier node
+							// (configs are opaque; a resumed process replays
+							// the path through its own stepper).
+							succ.path = append(append(succ.path[:0], n.path...), byte(pid))
 						}
 						switch {
 						case opts.Canonical != nil:
@@ -907,12 +1007,57 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			stats.Complete = false
 		}
 
+		// Checkpoint barrier: snapshot visited + frontier + search-layer
+		// accumulators when a generation is due or the run is ending (early
+		// stop or empty frontier — a Finished manifest lets a resume return
+		// the verdict without re-exploring). The early-stop decision is
+		// taken BEFORE the snapshot so Finished is recorded truthfully.
+		stop := afterLevel != nil && afterLevel(depth, stats.Processed)
+		if ckpt != nil && (stop || lvl.Frontier.Size() == 0 || ckpt.due(depth)) {
+			nodes, derr := drainFrontier(lvl.Frontier)
+			if derr != nil {
+				stats.Complete = false
+				return stats, derr
+			}
+			var aux []byte
+			if opts.CheckpointAux != nil {
+				if aux, derr = opts.CheckpointAux(); derr != nil {
+					stats.Complete = false
+					return stats, fmt.Errorf("checkpoint: serializing search state: %w", derr)
+				}
+			}
+			sleepOf := func(n *Node) uint64 { return 0 }
+			if run.sleepOn {
+				sleepOf = func(n *Node) uint64 {
+					if m := run.prevSleep[n.fp&run.ownerMask]; m != nil {
+						return m[n.fp]
+					}
+					return 0
+				}
+			}
+			man := ckptManifest{
+				NextDepth: depth + 1,
+				Processed: stats.Processed,
+				Levels:    stats.Levels,
+				Admitted:  run.admitted.Load(),
+				Closed:    run.closed.Load(),
+				Truncated: run.truncated.Load(),
+				Finished:  stop || len(nodes) == 0,
+				HasAux:    len(aux) > 0,
+			}
+			if werr := ckpt.write(man, nodes, sleepOf, aux); werr != nil {
+				stats.Complete = false
+				return stats, werr
+			}
+			lvl.Frontier = &memSource{nodes: nodes}
+		}
+
 		if opts.Progress != nil {
 			opts.Progress(Progress{Depth: depth, FrontierSize: levelSize,
 				Processed: stats.Processed, Admitted: int(run.admitted.Load()),
 				Elapsed: time.Since(startTime)})
 		}
-		if afterLevel != nil && afterLevel(depth, stats.Processed) {
+		if stop {
 			return stats, nil
 		}
 		frontier = lvl.Frontier
@@ -921,4 +1066,132 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		stats.Complete = false
 	}
 	return stats, nil
+}
+
+// resumeFromCheckpoint seeds the engine from a loaded checkpoint: the
+// visited set is seeded wholesale into the store (bypassing admission —
+// delayed-duplicate accounting already ran before the snapshot), the
+// frontier is rebuilt by replaying each node's pid path from the start
+// configuration, and the run counters are restored so the resumed
+// process behaves as if it had explored the prefix itself.
+func resumeFromCheckpoint(run *engineRun, resumed *ckptLoaded, cs checkpointableStore, stats *RunStats,
+	opts EngineOptions, start *model.Config, st *model.Stepper, sw *symWorker) (FrontierSource, error) {
+	man := resumed.man
+	for _, v := range resumed.visited {
+		cs.SeedVisited(int(v.fp&run.ownerMask), v.fp, v.key)
+	}
+	var scratch []byte
+	nodes := make([]*Node, 0, len(resumed.frontier))
+	for _, rec := range resumed.frontier {
+		n, err := replayPath(run, st, start, rec.path)
+		if err != nil {
+			return nil, err
+		}
+		// Re-apply the run's keying switch, mirroring root seeding: the
+		// rebuilt node must carry the same (fp, key) the lost one did.
+		switch {
+		case opts.Canonical != nil:
+			n.fp = opts.Canonical(n.Cfg)
+		case run.stringKeys:
+			n.fp = n.slotFP
+			scratch = n.Cfg.AppendEncoding(scratch[:0])
+			n.key = string(scratch)
+		default:
+			n.fp = n.slotFP
+			if sw != nil {
+				n.fp = sw.canonFP(n.slotFP, n.slotH)
+			}
+		}
+		n.sleep = rec.sleep
+		nodes = append(nodes, n)
+	}
+	if run.sleepOn {
+		for i := range run.prevSleep {
+			if run.prevSleep[i] == nil {
+				run.prevSleep[i] = map[uint64]uint64{}
+			}
+		}
+		for _, n := range nodes {
+			if n.sleep != 0 {
+				run.prevSleep[n.fp&run.ownerMask][n.fp] = n.sleep
+			}
+		}
+	}
+	run.admitted.Store(man.Admitted)
+	if man.Closed {
+		run.closed.Store(true)
+	}
+	if man.Truncated {
+		run.truncated.Store(true)
+		stats.Complete = false
+	}
+	stats.Processed = man.Processed
+	stats.Levels = man.Levels
+	if opts.CheckpointRestore != nil && len(resumed.aux) > 0 {
+		if err := opts.CheckpointRestore(resumed.aux); err != nil {
+			return nil, fmt.Errorf("checkpoint: restoring search state: %w", err)
+		}
+	}
+	if man.Finished {
+		// The run ended at the snapshot barrier; an empty frontier skips
+		// the level loop and returns the restored verdict directly.
+		return &memSource{}, nil
+	}
+	return &memSource{nodes: nodes}, nil
+}
+
+// replayPath rebuilds a frontier node by applying its root-to-node pid
+// path from the start configuration. Failure means the checkpoint does
+// not belong to this protocol (the profile check guards the common
+// cases; this is the backstop for a changed protocol implementation).
+func replayPath(run *engineRun, st *model.Stepper, start *model.Config, path []byte) (*Node, error) {
+	cur := run.newNode()
+	cur.Cfg.CopyFrom(start)
+	cur.Depth, cur.Pid = 0, -1
+	cur.parent = nil
+	cur.path = cur.path[:0]
+	cur.slotFP = st.InitSlots(cur.Cfg, cur.slotH)
+	for i, pb := range path {
+		succ := run.newNode()
+		fp, ok, err := st.ApplyCOW(cur.Cfg, cur.slotFP, cur.slotH, int(pb), succ.Cfg, succ.slotH)
+		if err == nil && !ok {
+			err = fmt.Errorf("pid %d has no step at depth %d", pb, i)
+		}
+		if err != nil {
+			run.recycleAlways(succ)
+			run.recycleAlways(cur)
+			return nil, fmt.Errorf("checkpoint: frontier path does not replay (%v); was the checkpoint written by a different protocol build?", err)
+		}
+		succ.slotFP = fp
+		succ.Depth = cur.Depth + 1
+		succ.Pid = int(pb)
+		succ.parent = nil
+		succ.path = append(succ.path[:0], path[:i+1]...)
+		run.recycleAlways(cur)
+		cur = succ
+	}
+	return cur, nil
+}
+
+// drainFrontier materializes a level's frontier into a slice. Memory
+// cost is one level resident, paid only at checkpoint barriers; the
+// level is then served to the workers from the slice.
+func drainFrontier(src FrontierSource) ([]*Node, error) {
+	if ms, ok := src.(*memSource); ok {
+		return ms.nodes, nil
+	}
+	want := src.Size()
+	nodes := make([]*Node, 0, want)
+	buf := make([]*Node, batchSize)
+	for {
+		m := src.Next(buf)
+		if m == 0 {
+			break
+		}
+		nodes = append(nodes, buf[:m]...)
+	}
+	if len(nodes) != want {
+		return nil, fmt.Errorf("checkpoint: frontier drain came up short (%d of %d nodes): the store hit an I/O error reading its spooled segments", len(nodes), want)
+	}
+	return nodes, nil
 }

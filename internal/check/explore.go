@@ -1,7 +1,9 @@
 package check
 
 import (
+	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/model"
@@ -109,11 +111,14 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res := &ExploreResult{}
 
 	// witness is a violation candidate snapshotted during its visit (the
-	// engine releases node configurations afterwards).
+	// engine releases node configurations afterwards). path is recorded
+	// on checkpointing runs so the witness survives a crash: a restored
+	// witness has cfg == nil and is rebuilt by replaying the path.
 	type witness struct {
 		depth int
 		fp    uint64
 		key   string
+		path  []byte
 		cfg   *model.Config
 	}
 	lessWitness := func(a, b *witness) bool {
@@ -162,6 +167,7 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 			w := &witness{depth: n.Depth, fp: n.Fingerprint(), key: n.Cfg.Key()}
 			if lessWitness(w, violation) {
 				w.cfg = n.Cfg.Clone()
+				w.path = append([]byte(nil), n.Path()...)
 				violation = w
 			}
 		}
@@ -169,7 +175,52 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 		return nil
 	}
 
-	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, nil)
+	// Checkpointing: the search-layer accumulators (decided set, witness)
+	// ride along in the aux artifact, under an "explore" subdirectory so
+	// the exploration and valency phases of one run never share state.
+	eng := opts.Engine
+	if eng.Checkpoint != "" {
+		type auxWitness struct {
+			Depth int    `json:"depth"`
+			FP    uint64 `json:"fp"`
+			Key   []byte `json:"key,omitempty"`
+			Path  []byte `json:"path"`
+		}
+		type exploreAux struct {
+			Decided     []int       `json:"decided"`
+			MaxTogether int         `json:"max_together"`
+			Violation   *auxWitness `json:"violation,omitempty"`
+		}
+		eng.Checkpoint = filepath.Join(eng.Checkpoint, "explore")
+		eng.CheckpointAux = func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			aux := exploreAux{Decided: sortedValueSet(decided), MaxTogether: res.MaxDecidedTogether}
+			if violation != nil {
+				aux.Violation = &auxWitness{Depth: violation.depth, FP: violation.fp,
+					Key: []byte(violation.key), Path: violation.path}
+			}
+			return json.Marshal(aux)
+		}
+		eng.CheckpointRestore = func(b []byte) error {
+			var aux exploreAux
+			if err := json.Unmarshal(b, &aux); err != nil {
+				return fmt.Errorf("explore checkpoint aux: %w", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range aux.Decided {
+				decided[v] = true
+			}
+			res.MaxDecidedTogether = aux.MaxTogether
+			if w := aux.Violation; w != nil {
+				violation = &witness{depth: w.Depth, fp: w.FP, key: string(w.Key), path: w.Path}
+			}
+			return nil
+		}
+	}
+
+	stats, err := RunFrontier(p, c, pids, opts.Limits, eng, visit, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +231,17 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res.Async = stats.Async
 	res.DecidedValues = sortedValueSet(decided)
 	if violation != nil {
+		if violation.cfg == nil {
+			// Restored from a checkpoint: rebuild the witness configuration
+			// by replaying its recorded schedule from the start.
+			cfg := c.Clone()
+			for _, pb := range violation.path {
+				if _, err := model.Apply(p, cfg, int(pb)); err != nil {
+					return nil, fmt.Errorf("explore checkpoint: replaying violation witness: %w", err)
+				}
+			}
+			violation.cfg = cfg
+		}
 		res.AgreementViolation = violation.cfg
 	}
 	return res, nil
@@ -348,7 +410,30 @@ func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts Exp
 		defer mu.Unlock()
 		return len(decided) >= 2 // bivalence certified; stopping early is sound
 	}
-	stats, err := RunFrontier(p, c, pids, opts.Limits, opts.Engine, visit, afterLevel)
+	// Checkpointing: the decided-value set is the only search-layer state;
+	// it lives in a "valency" subdirectory, disjoint from ExploreOpts's.
+	eng := opts.Engine
+	if eng.Checkpoint != "" {
+		eng.Checkpoint = filepath.Join(eng.Checkpoint, "valency")
+		eng.CheckpointAux = func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return json.Marshal(sortedValueSet(decided))
+		}
+		eng.CheckpointRestore = func(b []byte) error {
+			var vals []int
+			if err := json.Unmarshal(b, &vals); err != nil {
+				return fmt.Errorf("valency checkpoint aux: %w", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range vals {
+				decided[v] = true
+			}
+			return nil
+		}
+	}
+	stats, err := RunFrontier(p, c, pids, opts.Limits, eng, visit, afterLevel)
 	if err != nil {
 		return nil, err
 	}

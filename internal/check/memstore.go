@@ -18,8 +18,10 @@ type memStore struct {
 // memPart is one partition: its visited table (fingerprint set or exact
 // key map, per the keying mode) and its slice of the next frontier.
 type memPart struct {
-	fps      *fpSet
-	keys     map[string]struct{}
+	fps *fpSet
+	// keys maps exact encoding key -> fingerprint (the fp rides along so
+	// checkpoint snapshots can re-derive partition routing on resume).
+	keys     map[string]uint64
 	keyBytes int64
 	next     []*Node
 }
@@ -28,7 +30,7 @@ func newMemStore(ctx storeCtx) *memStore {
 	s := &memStore{ctx: ctx, parts: make([]memPart, ctx.parts)}
 	for i := range s.parts {
 		if ctx.stringKeys {
-			s.parts[i].keys = map[string]struct{}{}
+			s.parts[i].keys = map[string]uint64{}
 		} else {
 			s.parts[i].fps = newFpSet(1024)
 		}
@@ -42,7 +44,7 @@ func (s *memStore) Admit(part int, n *Node) (added, retained bool) {
 		if _, dup := p.keys[n.key]; dup {
 			return false, true
 		}
-		p.keys[n.key] = struct{}{}
+		p.keys[n.key] = n.fp
 		p.keyBytes += int64(len(n.key)) + mapEntryOverhead
 	} else if !p.fps.Add(n.fp) {
 		return false, true
@@ -61,7 +63,7 @@ func (s *memStore) AdmitAsync(part int, n *Node) (added bool, err error) {
 		if _, dup := p.keys[n.key]; dup {
 			return false, nil
 		}
-		p.keys[n.key] = struct{}{}
+		p.keys[n.key] = n.fp
 		p.keyBytes += int64(len(n.key)) + mapEntryOverhead
 		return true, nil
 	}
@@ -137,6 +139,41 @@ func (s *memStore) Stats() StoreStats {
 }
 
 func (s *memStore) Close() error { return nil }
+
+// DumpVisited streams every visited entry to emit, for checkpoint
+// snapshots (runs at a level barrier only).
+func (s *memStore) DumpVisited(emit func(fp uint64, key string) error) error {
+	for i := range s.parts {
+		p := &s.parts[i]
+		if s.ctx.stringKeys {
+			for k, fp := range p.keys {
+				if err := emit(fp, k); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for _, fp := range p.fps.appendAll(nil) {
+			if err := emit(fp, ""); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SeedVisited marks one entry visited (checkpoint resume).
+func (s *memStore) SeedVisited(part int, fp uint64, key string) {
+	p := &s.parts[part]
+	if s.ctx.stringKeys {
+		if _, dup := p.keys[key]; !dup {
+			p.keys[key] = fp
+			p.keyBytes += int64(len(key)) + mapEntryOverhead
+		}
+		return
+	}
+	p.fps.Add(fp)
+}
 
 // mapEntryOverhead is the per-entry bookkeeping estimate (header, bucket
 // slot, string header) added to key bytes in resident-memory accounting.

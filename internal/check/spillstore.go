@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
@@ -151,12 +152,15 @@ func entryLess(a, b spillEntry) bool {
 
 // spillRun is one sorted run file. The async admission path keeps a lazy
 // read handle and the entry count for binary-search probes (fingerprint
-// mode writes fixed 8-byte records, so the file IS a sorted array);
-// level-synchronized runs never open one.
+// mode writes fixed 8-byte records after the artifact header, so the
+// payload IS a sorted array); level-synchronized runs never open one.
+// verified records that the file passed a full checksum pass since it
+// was last opened by a consumer that may stop reading early.
 type spillRun struct {
-	path    string
-	f       *os.File
-	entries int64
+	path     string
+	f        *fault.File
+	entries  int64
+	verified bool
 }
 
 // runFanout is the per-partition run-count threshold that triggers a
@@ -176,6 +180,12 @@ func newSpillStore(ctx storeCtx, budget int64, dir string) (*spillStore, error) 
 		dir, ownsDir = d, true
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("spill store: %w", err)
+	} else {
+		// A previous process may have died here: unpublished *.tmp files
+		// and published runs/segments from the dead run are garbage (the
+		// visited set is rebuilt from scratch or from a checkpoint, never
+		// from a dead process's spill files).
+		removeStaleArtifacts(dir, "run-", "seg-")
 	}
 	s := &spillStore{ctx: ctx, dir: dir, ownsDir: ownsDir, budget: budget,
 		parts: make([]spillPart, ctx.parts)}
@@ -285,21 +295,29 @@ func (s *spillStore) AdmitAsync(part int, n *Node) (added bool, err error) {
 
 // probeRuns binary-searches every run file of the partition for fp,
 // opening read handles lazily (they persist until compaction consumes
-// the run, or Close).
+// the run, or Close). Each run is checksum-verified once at first open:
+// probes read the file piecemeal, so corruption would otherwise go
+// undetected and silently change the admitted set.
 func (s *spillStore) probeRuns(p *spillPart, fp uint64) (bool, error) {
 	for i := range p.runs {
 		r := &p.runs[i]
 		if r.f == nil {
-			f, err := os.Open(r.path)
+			if !r.verified {
+				if err := verifyArtifact(r.path, artifactRun); err != nil {
+					return false, err
+				}
+				r.verified = true
+			}
+			f, err := fault.Open(r.path)
 			if err != nil {
 				return false, fmt.Errorf("spill store: %w", err)
 			}
 			st, err := f.Stat()
 			if err != nil {
-				f.Close()
+				f.File.Close()
 				return false, fmt.Errorf("spill store: %w", err)
 			}
-			r.f, r.entries = f, st.Size()/8
+			r.f, r.entries = f, (st.Size()-artifactOverhead)/8
 		}
 		found, err := probeRunFile(r.f, r.entries, fp)
 		if err != nil {
@@ -313,13 +331,13 @@ func (s *spillStore) probeRuns(p *spillPart, fp uint64) (bool, error) {
 }
 
 // probeRunFile binary-searches a fingerprint-mode run file (sorted fixed
-// 8-byte little-endian records) for fp.
-func probeRunFile(f *os.File, entries int64, fp uint64) (bool, error) {
+// 8-byte little-endian records following the artifact header) for fp.
+func probeRunFile(f io.ReaderAt, entries int64, fp uint64) (bool, error) {
 	var buf [8]byte
 	lo, hi := int64(0), entries
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if _, err := f.ReadAt(buf[:], mid*8); err != nil {
+		if _, err := f.ReadAt(buf[:], artifactHeaderLen+mid*8); err != nil {
 			return false, fmt.Errorf("spill store: run probe: %w", err)
 		}
 		switch v := binary.LittleEndian.Uint64(buf[:]); {
@@ -360,7 +378,11 @@ func (s *spillStore) spoolNode(p *spillPart, n *Node) error {
 	}
 	p.spans = spans
 	s.exch.intern(n.Cfg, spans, s.ctx.nObj)
-	written, err := p.spool.write(n.Pid, n.fp, n.slotFP, p.enc)
+	var pth []byte
+	if s.ctx.paths {
+		pth = n.path
+	}
+	written, err := p.spool.write(n.Pid, n.fp, n.slotFP, p.enc, pth)
 	if err != nil {
 		return err
 	}
@@ -547,8 +569,8 @@ func (s *spillStore) markDead(p *spillPart) (int, error) {
 	}
 	sort.Slice(order, func(i, j int) bool { return entryLess(p.level[order[i]], p.level[order[j]]) })
 
-	for _, run := range p.runs {
-		if err := s.mergeMark(p, run, order); err != nil {
+	for i := range p.runs {
+		if err := s.mergeMark(p, &p.runs[i], order); err != nil {
 			return 0, err
 		}
 	}
@@ -561,7 +583,18 @@ func (s *spillStore) markDead(p *spillPart) (int, error) {
 	return dead, nil
 }
 
-func (s *spillStore) mergeMark(p *spillPart, run spillRun, order []int) error {
+func (s *spillStore) mergeMark(p *spillPart, run *spillRun, order []int) error {
+	// The merge stops as soon as the suspect list is exhausted, so EOF's
+	// streaming checksum may never run; verify the whole file once at
+	// first open instead (a corrupt run must fail loudly — silently
+	// dropping it would skip delayed-duplicate revocations and could
+	// change the verdict).
+	if !run.verified {
+		if err := verifyArtifact(run.path, artifactRun); err != nil {
+			return err
+		}
+		run.verified = true
+	}
 	r, err := newRunReader(run.path, s.ctx.stringKeys)
 	if err != nil {
 		return err
@@ -697,6 +730,9 @@ func (s *spillStore) compact(p *spillPart) error {
 		}
 		last, haveLast = e, true
 	}
+	// Crash point: the merged run is complete but unpublished and the
+	// input runs are still in place.
+	fault.Crash(fault.CrashSpillRunMerge)
 	written, err := w.finish()
 	if err != nil {
 		return err
@@ -708,7 +744,7 @@ func (s *spillStore) compact(p *spillPart) error {
 	for i := range p.runs {
 		// Async probe handles on the consumed runs go with them.
 		if p.runs[i].f != nil {
-			p.runs[i].f.Close()
+			p.runs[i].f.File.Close()
 		}
 		os.Remove(p.runs[i].path)
 	}
@@ -764,7 +800,7 @@ func (s *spillStore) Close() error {
 	for i := range s.parts {
 		for j := range s.parts[i].runs {
 			if f := s.parts[i].runs[j].f; f != nil {
-				f.Close()
+				f.File.Close()
 				s.parts[i].runs[j].f = nil
 			}
 		}
@@ -852,80 +888,89 @@ func (e *slotExchange) state(span []byte) (model.State, bool) {
 
 // ---- segment (frontier spool) I/O ----
 
-// spoolWriter appends frontier records to one partition's segment file.
+// spoolWriter appends frontier records to one partition's segment file
+// (an artifactSegment: checksummed, published by rename in finish).
 // Record: uvarint(pid+1) | fp (8B LE) | slotFP (8B LE) | uvarint len |
-// encoding bytes.
+// encoding bytes | uvarint plen | path bytes (plen is 0 unless the
+// engine is checkpointing, in which case the node's root-to-here pid
+// path rides along so a resumed run can rebuild the node).
 type spoolWriter struct {
 	path string
-	f    *os.File
-	bw   *bufio.Writer
+	aw   *artifactWriter
 	hdr  []byte
 }
 
 func newSpoolWriter(path string) (*spoolWriter, error) {
-	f, err := os.Create(path)
+	aw, err := newArtifactWriter(path, artifactSegment)
 	if err != nil {
 		return nil, fmt.Errorf("spill store: %w", err)
 	}
-	return &spoolWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<18)}, nil
+	return &spoolWriter{path: path, aw: aw}, nil
 }
 
-func (w *spoolWriter) write(pid int, fp, slotFP uint64, enc []byte) (int64, error) {
+func (w *spoolWriter) write(pid int, fp, slotFP uint64, enc, path []byte) (int64, error) {
 	h := binary.AppendUvarint(w.hdr[:0], uint64(pid+1))
 	h = binary.LittleEndian.AppendUint64(h, fp)
 	h = binary.LittleEndian.AppendUint64(h, slotFP)
 	h = binary.AppendUvarint(h, uint64(len(enc)))
 	w.hdr = h
-	if _, err := w.bw.Write(h); err != nil {
+	if _, err := w.aw.Write(h); err != nil {
 		return 0, fmt.Errorf("spill store: segment write: %w", err)
 	}
-	if _, err := w.bw.Write(enc); err != nil {
+	if _, err := w.aw.Write(enc); err != nil {
 		return 0, fmt.Errorf("spill store: segment write: %w", err)
 	}
-	return int64(len(h) + len(enc)), nil
+	t := binary.AppendUvarint(w.hdr[len(w.hdr):], uint64(len(path)))
+	if _, err := w.aw.Write(t); err != nil {
+		return 0, fmt.Errorf("spill store: segment write: %w", err)
+	}
+	if len(path) > 0 {
+		if _, err := w.aw.Write(path); err != nil {
+			return 0, fmt.Errorf("spill store: segment write: %w", err)
+		}
+	}
+	return int64(len(h) + len(enc) + len(t) + len(path)), nil
 }
 
 func (w *spoolWriter) finish() error {
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("spill store: segment flush: %w", err)
-	}
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("spill store: segment close: %w", err)
+	if _, err := w.aw.finish(); err != nil {
+		return fmt.Errorf("spill store: segment finish: %w", err)
 	}
 	return nil
 }
 
 func (w *spoolWriter) abort() {
-	w.f.Close()
-	os.Remove(w.path)
+	w.aw.abort()
 }
 
-// spoolReader streams one segment file back.
+// spoolReader streams one segment file back, verifying the payload
+// checksum as a side effect of reaching EOF.
 type spoolReader struct {
-	f  *os.File
+	ar *artifactReader
 	br *bufio.Reader
 }
 
 func newSpoolReader(path string) (*spoolReader, error) {
-	f, err := os.Open(path)
+	ar, _, err := openArtifact(path, artifactSegment)
 	if err != nil {
 		return nil, fmt.Errorf("spill store: %w", err)
 	}
-	return &spoolReader{f: f, br: bufio.NewReaderSize(f, 1<<18)}, nil
+	return &spoolReader{ar: ar, br: bufio.NewReaderSize(ar, 1<<18)}, nil
 }
 
 // rawRec is one un-decoded segment record; its encoding lives in the
-// batch buffer at [off:end].
+// batch buffer at [off:end] and its pid path (checkpoint runs only) at
+// [pathOff:pathEnd].
 type rawRec struct {
-	pid      int
-	fp       uint64
-	slotFP   uint64
-	off, end int
+	pid              int
+	fp               uint64
+	slotFP           uint64
+	off, end         int
+	pathOff, pathEnd int
 }
 
-// read appends the next record's encoding to *data and returns the
-// record, or ok == false at EOF.
+// read appends the next record's encoding (and path) to *data and
+// returns the record, or ok == false at EOF.
 func (r *spoolReader) read(data *[]byte) (rec rawRec, ok bool, err error) {
 	pid1, err := binary.ReadUvarint(r.br)
 	if err == io.EOF {
@@ -943,7 +988,30 @@ func (r *spoolReader) read(data *[]byte) (rec rawRec, ok bool, err error) {
 		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
 	}
 	off := len(*data)
-	need := off + int(n)
+	if err := appendRead(r.br, data, int(n)); err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	end := len(*data)
+	pn, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	if err := appendRead(r.br, data, int(pn)); err != nil {
+		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
+	}
+	return rawRec{
+		pid:    int(pid1) - 1,
+		fp:     binary.LittleEndian.Uint64(fixed[0:8]),
+		slotFP: binary.LittleEndian.Uint64(fixed[8:16]),
+		off:    off, end: end,
+		pathOff: end, pathEnd: len(*data),
+	}, true, nil
+}
+
+// appendRead grows *data by n bytes read from br.
+func appendRead(br *bufio.Reader, data *[]byte, n int) error {
+	off := len(*data)
+	need := off + n
 	if cap(*data) < need {
 		grown := make([]byte, need, 2*need+4096)
 		copy(grown, *data)
@@ -951,38 +1019,31 @@ func (r *spoolReader) read(data *[]byte) (rec rawRec, ok bool, err error) {
 	} else {
 		*data = (*data)[:need]
 	}
-	if _, err := io.ReadFull(r.br, (*data)[off:]); err != nil {
-		return rawRec{}, false, fmt.Errorf("spill store: segment read: %w", err)
-	}
-	return rawRec{
-		pid:    int(pid1) - 1,
-		fp:     binary.LittleEndian.Uint64(fixed[0:8]),
-		slotFP: binary.LittleEndian.Uint64(fixed[8:16]),
-		off:    off, end: len(*data),
-	}, true, nil
+	_, err := io.ReadFull(br, (*data)[off:])
+	return err
 }
 
-func (r *spoolReader) close() { r.f.Close() }
+func (r *spoolReader) close() { r.ar.close() }
 
 // ---- sorted-run I/O ----
 
-// runWriter writes sorted dedup entries: fp (8B LE) plus, in exact-key
-// mode, uvarint len | key bytes.
+// runWriter writes sorted dedup entries (an artifactRun: checksummed,
+// published by rename): fp (8B LE) plus, in exact-key mode, uvarint
+// len | key bytes.
 type runWriter struct {
 	path       string
-	f          *os.File
-	bw         *bufio.Writer
+	aw         *artifactWriter
 	stringKeys bool
 	hdr        []byte
 	bytes      int64
 }
 
 func newRunWriter(path string, stringKeys bool) (*runWriter, error) {
-	f, err := os.Create(path)
+	aw, err := newArtifactWriter(path, artifactRun)
 	if err != nil {
 		return nil, fmt.Errorf("spill store: %w", err)
 	}
-	return &runWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<18), stringKeys: stringKeys}, nil
+	return &runWriter{path: path, aw: aw, stringKeys: stringKeys}, nil
 }
 
 func (w *runWriter) write(e spillEntry) error {
@@ -991,12 +1052,12 @@ func (w *runWriter) write(e spillEntry) error {
 		h = binary.AppendUvarint(h, uint64(len(e.key)))
 	}
 	w.hdr = h
-	if _, err := w.bw.Write(h); err != nil {
+	if _, err := w.aw.Write(h); err != nil {
 		return fmt.Errorf("spill store: run write: %w", err)
 	}
 	w.bytes += int64(len(h))
 	if w.stringKeys {
-		if _, err := w.bw.WriteString(e.key); err != nil {
+		if _, err := io.WriteString(w.aw, e.key); err != nil {
 			return fmt.Errorf("spill store: run write: %w", err)
 		}
 		w.bytes += int64(len(e.key))
@@ -1005,20 +1066,14 @@ func (w *runWriter) write(e spillEntry) error {
 }
 
 func (w *runWriter) finish() (int64, error) {
-	if err := w.bw.Flush(); err != nil {
-		w.abort()
-		return 0, fmt.Errorf("spill store: run flush: %w", err)
-	}
-	if err := w.f.Close(); err != nil {
-		os.Remove(w.path)
-		return 0, fmt.Errorf("spill store: run close: %w", err)
+	if _, err := w.aw.finish(); err != nil {
+		return 0, fmt.Errorf("spill store: run finish: %w", err)
 	}
 	return w.bytes, nil
 }
 
 func (w *runWriter) abort() {
-	w.f.Close()
-	os.Remove(w.path)
+	w.aw.abort()
 }
 
 func writeRun(path string, entries []spillEntry, stringKeys bool) (int64, error) {
@@ -1032,23 +1087,27 @@ func writeRun(path string, entries []spillEntry, stringKeys bool) (int64, error)
 			return 0, err
 		}
 	}
+	// Crash point: the sorted run is fully written but not yet renamed
+	// into place — the delta it snapshots dies with the process.
+	fault.Crash(fault.CrashSpillRunWrite)
 	return w.finish()
 }
 
-// runReader streams a sorted run back.
+// runReader streams a sorted run back; reaching EOF verifies the
+// payload checksum.
 type runReader struct {
-	f          *os.File
+	ar         *artifactReader
 	br         *bufio.Reader
 	stringKeys bool
 	keyBuf     []byte
 }
 
 func newRunReader(path string, stringKeys bool) (*runReader, error) {
-	f, err := os.Open(path)
+	ar, _, err := openArtifact(path, artifactRun)
 	if err != nil {
 		return nil, fmt.Errorf("spill store: %w", err)
 	}
-	return &runReader{f: f, br: bufio.NewReaderSize(f, 1<<18), stringKeys: stringKeys}, nil
+	return &runReader{ar: ar, br: bufio.NewReaderSize(ar, 1<<18), stringKeys: stringKeys}, nil
 }
 
 func (r *runReader) next() (spillEntry, bool, error) {
@@ -1077,7 +1136,7 @@ func (r *runReader) next() (spillEntry, bool, error) {
 	return e, true, nil
 }
 
-func (r *runReader) close() { r.f.Close() }
+func (r *runReader) close() { r.ar.close() }
 
 // ---- streaming frontier source ----
 
@@ -1229,10 +1288,72 @@ func (s *spillStore) decode(rec rawRec, data []byte, depth int, spans [][]byte) 
 	n.Pid = rec.pid
 	n.parent = nil
 	n.fp, n.slotFP = rec.fp, rec.slotFP
+	n.path = append(n.path[:0], data[rec.pathOff:rec.pathEnd]...)
 	if s.ctx.stringKeys {
 		n.key = string(enc)
 	} else {
 		n.key = ""
 	}
 	return n, spans, nil
+}
+
+// ---- checkpoint support ----
+
+// DumpVisited streams every visited entry (resident deltas plus all
+// spilled runs) to emit, for checkpoint snapshots. Runs at a level
+// barrier only. Entries may repeat across delta and runs; seeding is
+// idempotent so duplicates are harmless.
+func (s *spillStore) DumpVisited(emit func(fp uint64, key string) error) error {
+	for i := range s.parts {
+		p := &s.parts[i]
+		if s.ctx.stringKeys {
+			for k, fp := range p.deltaKeys {
+				if err := emit(fp, k); err != nil {
+					return err
+				}
+			}
+		} else if p.deltaFP != nil {
+			for _, fp := range p.deltaFP.appendAll(nil) {
+				if err := emit(fp, ""); err != nil {
+					return err
+				}
+			}
+		}
+		for j := range p.runs {
+			r, err := newRunReader(p.runs[j].path, s.ctx.stringKeys)
+			if err != nil {
+				return err
+			}
+			for {
+				e, ok, err := r.next()
+				if err != nil {
+					r.close()
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := emit(e.fp, e.key); err != nil {
+					r.close()
+					return err
+				}
+			}
+			r.close()
+		}
+	}
+	return nil
+}
+
+// SeedVisited marks one entry visited in the partition's resident delta
+// (checkpoint resume; the next over-budget barrier spills it normally).
+func (s *spillStore) SeedVisited(part int, fp uint64, key string) {
+	p := &s.parts[part]
+	if s.ctx.stringKeys {
+		if _, dup := p.deltaKeys[key]; !dup {
+			p.deltaKeys[key] = fp
+			p.deltaKeyBytes += int64(len(key)) + mapEntryOverhead
+		}
+	} else {
+		p.deltaFP.Add(fp)
+	}
 }

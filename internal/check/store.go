@@ -120,6 +120,16 @@ type asyncStateStore interface {
 	AdmitAsync(part int, n *Node) (added bool, err error)
 }
 
+// checkpointableStore is the optional capability checkpointing needs
+// from a store: dumping the visited set at a level barrier and seeding
+// it back on resume. Both built-in stores implement it. Dump may emit
+// an entry more than once (the spill store's deltas and runs can
+// overlap); SeedVisited is idempotent.
+type checkpointableStore interface {
+	DumpVisited(emit func(fp uint64, key string) error) error
+	SeedVisited(part int, fp uint64, key string)
+}
+
 // Store backend names accepted by EngineOptions.Store.
 const (
 	// StoreMem selects the in-memory state store (the default).
@@ -143,7 +153,11 @@ type storeCtx struct {
 	// retain forces stores to keep admitted nodes in RAM (provenance
 	// runs: parent chains must stay live, so frontier spooling is off and
 	// only dedup state spills).
-	retain  bool
+	retain bool
+	// paths asks the spill store to round-trip each node's root-to-node
+	// pid path through the frontier spool (checkpointing runs only; the
+	// path is how a resumed process rebuilds protocol-opaque nodes).
+	paths   bool
 	newNode func() *Node
 	recycle func(*Node)
 }

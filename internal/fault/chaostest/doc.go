@@ -1,0 +1,15 @@
+// Package chaostest is the crash-safety differential suite: it re-execs
+// the test binary with fault.CrashEnv armed at every registered crash
+// point (fault.Sites), asserts the child dies at the site with
+// fault.CrashExitCode, restarts it over the same on-disk state, and
+// requires the restarted run to reach the verdict of an uninterrupted
+// run. A second family injects I/O faults (ENOSPC, torn writes, silent
+// read corruption) into live explorations and requires each to end in
+// either the clean verdict or a typed error — never a wrong verdict, a
+// leaked goroutine, or a stray temp file.
+//
+// The tests are behind the "chaos" build tag so the tier-1 suite stays
+// fast:
+//
+//	go test -race -tags chaos ./internal/fault/chaostest/
+package chaostest

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Registered crash-point sites. Each names the instant just before a
+// durability commit (usually the rename that publishes an artifact);
+// killing the process there is the worst legal moment for that
+// operation, so the chaos matrix re-execs a child armed at each site
+// and asserts the restarted run reaches the clean verdict.
+const (
+	CrashSpillRunWrite      = "spill.run.write"      // before a sorted spill run is renamed into place
+	CrashSpillRunMerge      = "spill.run.merge"      // before a compacted (merged) run replaces its inputs
+	CrashCheckpointManifest = "checkpoint.manifest"  // before MANIFEST.json is renamed over the old generation
+	CrashCacheStore         = "cache.store"          // before a serve cache entry is renamed into place
+	CrashJournalAppend      = "serve.journal.append" // before a job-journal line is appended
+)
+
+// Sites lists every registered crash point, in a fixed order, for the
+// chaos kill-and-restart matrix.
+func Sites() []string {
+	return []string{
+		CrashSpillRunWrite,
+		CrashSpillRunMerge,
+		CrashCheckpointManifest,
+		CrashCacheStore,
+		CrashJournalAppend,
+	}
+}
+
+// CrashEnv arms a crash point for the whole process: "site" kills the
+// process the first time execution reaches that site, "site:n" the n-th
+// time (1-based). Parsed once at startup so the per-site check is a
+// single string comparison when disarmed.
+const CrashEnv = "REPRO_CRASHPOINT"
+
+// CrashExitCode is the status a crashed process exits with, so harness
+// code can tell an armed crash from an ordinary failure.
+const CrashExitCode = 86
+
+var (
+	armedSite string
+	armedHit  int64
+	crashHits atomic.Int64
+)
+
+func init() {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	site, nth, ok := strings.Cut(spec, ":")
+	armedSite, armedHit = site, 1
+	if ok {
+		n, err := strconv.Atoi(nth)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "fault: ignoring malformed %s=%q\n", CrashEnv, spec)
+			armedSite = ""
+			return
+		}
+		armedHit = int64(n)
+	}
+}
+
+// Crash aborts the process with CrashExitCode when site is armed via
+// CrashEnv and has been reached the armed number of times. Unarmed (the
+// production state) it is a string comparison against "".
+func Crash(site string) {
+	if armedSite == "" || site != armedSite {
+		return
+	}
+	if crashHits.Add(1) != armedHit {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fault: crash point %s reached, aborting\n", site)
+	os.Exit(CrashExitCode)
+}

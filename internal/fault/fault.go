@@ -1,0 +1,316 @@
+// Package fault is the injectable filesystem/IO substrate behind the
+// crash-safety layer: every durability-critical file operation in the
+// spill store, the checkpoint writer, the serve cache and the job
+// journal routes through the wrappers here, so tests can inject ENOSPC,
+// torn writes, read corruption and deterministic process crashes at
+// named sites without touching the code under test.
+//
+// When no rules are installed (the production state) every wrapper is a
+// single atomic load away from the plain os call, so the substrate is
+// effectively free on the hot path.
+package fault
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Op classifies a file operation for rule matching.
+type Op uint8
+
+// Operation classes.
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpRead
+	OpWrite
+	OpRename
+	OpRemove
+	OpMkdir
+)
+
+// String implements fmt.Stringer for test diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdir:
+		return "mkdir"
+	default:
+		return "op?"
+	}
+}
+
+// Rule is one injection: operations of class Op on paths containing
+// Path fail with Err once After matching operations have been allowed
+// through. A rule keeps firing until Count injections have happened
+// (0 = forever).
+type Rule struct {
+	// Path is a substring match on the operation's path ("" matches
+	// every path).
+	Path string
+	// Op is the operation class the rule applies to.
+	Op Op
+	// After is how many matching operations succeed before the rule
+	// starts firing (0 = the first match fires).
+	After int
+	// Err is the injected error (e.g. syscall.ENOSPC). Required unless
+	// Corrupt is set.
+	Err error
+	// Torn, on OpWrite, writes roughly half of the buffer before
+	// failing — the torn-write simulation.
+	Torn bool
+	// Corrupt, on OpRead, flips one bit in the bytes actually read
+	// instead of returning an error — silent media corruption.
+	Corrupt bool
+	// Count bounds how many times the rule fires (0 = forever).
+	Count int
+
+	seen  int // matching operations observed
+	fired int // injections performed
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	rules   []*Rule
+)
+
+// Inject installs the rule set, replacing any previous one, and enables
+// injection. Tests must pair it with Reset.
+func Inject(rs ...Rule) {
+	mu.Lock()
+	rules = make([]*Rule, len(rs))
+	for i := range rs {
+		r := rs[i]
+		rules[i] = &r
+	}
+	mu.Unlock()
+	enabled.Store(len(rs) > 0)
+}
+
+// Reset disables injection and clears all rules and counters.
+func Reset() {
+	mu.Lock()
+	rules = nil
+	mu.Unlock()
+	enabled.Store(false)
+}
+
+// Active reports whether any rules are installed.
+func Active() bool { return enabled.Load() }
+
+// Injected reports how many injections have fired across all rules —
+// the test-side assertion that a differential run actually exercised a
+// fault.
+func Injected() int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, r := range rules {
+		n += r.fired
+	}
+	return n
+}
+
+// match consults the rules for one operation. It returns the rule that
+// fires, or nil.
+func match(path string, op Op) *Rule {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.seen < r.After {
+			r.seen++
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.seen++
+		r.fired++
+		return r
+	}
+	return nil
+}
+
+// File wraps an *os.File so reads and writes pass through the injection
+// rules. With no rules installed each call is one atomic load plus the
+// underlying method.
+type File struct {
+	*os.File
+	path string
+}
+
+// Path returns the path the file was opened with.
+func (f *File) Path() string { return f.path }
+
+// Write implements io.Writer with write-fault injection (error, ENOSPC,
+// torn prefix writes).
+func (f *File) Write(p []byte) (int, error) {
+	if enabled.Load() {
+		if r := match(f.path, OpWrite); r != nil {
+			if r.Torn && len(p) > 1 {
+				n, err := f.File.Write(p[:len(p)/2])
+				if err != nil {
+					return n, err
+				}
+				return n, r.Err
+			}
+			return 0, r.Err
+		}
+	}
+	return f.File.Write(p)
+}
+
+// Read implements io.Reader with read-fault injection (errors or silent
+// single-bit corruption).
+func (f *File) Read(p []byte) (int, error) {
+	if enabled.Load() {
+		if r := match(f.path, OpRead); r != nil {
+			if !r.Corrupt {
+				return 0, r.Err
+			}
+			n, err := f.File.Read(p)
+			if n > 0 {
+				p[n/2] ^= 0x40
+			}
+			return n, err
+		}
+	}
+	return f.File.Read(p)
+}
+
+// ReadAt implements io.ReaderAt with the same read-fault injection.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if enabled.Load() {
+		if r := match(f.path, OpRead); r != nil {
+			if !r.Corrupt {
+				return 0, r.Err
+			}
+			n, err := f.File.ReadAt(p, off)
+			if n > 0 {
+				p[n/2] ^= 0x40
+			}
+			return n, err
+		}
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// Create is os.Create behind the injection rules.
+func Create(path string) (*File, error) {
+	if r := match(path, OpCreate); r != nil {
+		return nil, &os.PathError{Op: "create", Path: path, Err: r.Err}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f, path: path}, nil
+}
+
+// Open is os.Open behind the injection rules.
+func Open(path string) (*File, error) {
+	if r := match(path, OpOpen); r != nil {
+		return nil, &os.PathError{Op: "open", Path: path, Err: r.Err}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f, path: path}, nil
+}
+
+// OpenFile is os.OpenFile behind the injection rules (classed as OpOpen,
+// or OpCreate when os.O_CREATE is set).
+func OpenFile(path string, flag int, perm os.FileMode) (*File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if r := match(path, op); r != nil {
+		return nil, &os.PathError{Op: op.String(), Path: path, Err: r.Err}
+	}
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f, path: path}, nil
+}
+
+// Rename is os.Rename behind the injection rules (matched on the new
+// path — the one the commit is named after).
+func Rename(oldpath, newpath string) error {
+	if r := match(newpath, OpRename); r != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.Err}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove is os.Remove behind the injection rules.
+func Remove(path string) error {
+	if r := match(path, OpRemove); r != nil {
+		return &os.PathError{Op: "remove", Path: path, Err: r.Err}
+	}
+	return os.Remove(path)
+}
+
+// MkdirAll is os.MkdirAll behind the injection rules.
+func MkdirAll(path string, perm os.FileMode) error {
+	if r := match(path, OpMkdir); r != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: r.Err}
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// WriteFile is os.WriteFile behind the injection rules (create + write
+// through the wrapped handle, so torn-write rules apply).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.File.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// ReadFile is os.ReadFile behind the injection rules.
+func ReadFile(path string) ([]byte, error) {
+	r := match(path, OpRead)
+	if r != nil && !r.Corrupt {
+		return nil, &os.PathError{Op: "read", Path: path, Err: r.Err}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && r.Corrupt && len(data) > 0 {
+		data[len(data)/2] ^= 0x40
+	}
+	return data, nil
+}

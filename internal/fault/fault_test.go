@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestDisabledPassthrough(t *testing.T) {
+	Reset()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.bin")
+	f, err := Create(p)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if Active() {
+		t.Fatal("Active with no rules")
+	}
+}
+
+func TestErrorInjectionByPathAndOp(t *testing.T) {
+	defer Reset()
+	dir := t.TempDir()
+	Inject(Rule{Path: "run-", Op: OpWrite, Err: syscall.ENOSPC})
+
+	// Non-matching path is untouched.
+	f, err := Create(filepath.Join(dir, "seg-0"))
+	if err != nil {
+		t.Fatalf("Create seg: %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("unmatched write failed: %v", err)
+	}
+	f.Close()
+
+	// Matching path fails with the injected error.
+	g, err := Create(filepath.Join(dir, "run-1"))
+	if err != nil {
+		t.Fatalf("Create run: %v", err)
+	}
+	defer g.Close()
+	if _, err := g.Write([]byte("xx")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matched write err = %v, want ENOSPC", err)
+	}
+	if Injected() == 0 {
+		t.Fatal("Injected() = 0 after a fired rule")
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	defer Reset()
+	dir := t.TempDir()
+	Inject(Rule{Op: OpWrite, After: 2, Count: 1, Err: syscall.EIO})
+	f, _ := Create(filepath.Join(dir, "f"))
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("a")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("3rd write err = %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write after Count exhausted should pass: %v", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	defer Reset()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "torn")
+	Inject(Rule{Op: OpWrite, Torn: true, Err: syscall.ENOSPC, Count: 1})
+	f, err := Create(p)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	f.Close()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write err = %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write wrote %d bytes, want 5", n)
+	}
+	st, _ := os.Stat(p)
+	if st.Size() != 5 {
+		t.Fatalf("file size %d after torn write, want 5", st.Size())
+	}
+}
+
+func TestReadCorruption(t *testing.T) {
+	defer Reset()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "c")
+	if err := os.WriteFile(p, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Inject(Rule{Op: OpRead, Corrupt: true, Count: 1})
+	got, err := ReadFile(p)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) == "abcdef" {
+		t.Fatal("corrupt read returned clean bytes")
+	}
+}
+
+func TestCrashPointReExec(t *testing.T) {
+	if os.Getenv("FAULT_CRASH_CHILD") == "1" {
+		Crash("unit.site")  // 1st hit: not armed count yet
+		Crash("other.site") // different site, ignored
+		Crash("unit.site")  // 2nd hit: exits here
+		os.Exit(3)          // unreachable on success
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashPointReExec")
+	cmd.Env = append(os.Environ(), "FAULT_CRASH_CHILD=1", CrashEnv+"=unit.site:2")
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != CrashExitCode {
+		t.Fatalf("child exit = %v, want exit code %d", err, CrashExitCode)
+	}
+}
+
+func TestSitesCatalogStable(t *testing.T) {
+	want := []string{
+		CrashSpillRunWrite, CrashSpillRunMerge, CrashCheckpointManifest,
+		CrashCacheStore, CrashJournalAppend,
+	}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

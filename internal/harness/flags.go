@@ -135,6 +135,8 @@ type EngineFlags struct {
 	reduce       *string
 	order        *string
 	progress     *bool
+	checkpoint   *string
+	ckptEvery    *int
 }
 
 // RegisterEngineFlags declares the engine flag block on fs.
@@ -147,6 +149,8 @@ func RegisterEngineFlags(fs *flag.FlagSet, exactKeysDefault bool) *EngineFlags {
 		reduce:       fs.String("reduce", "", "state-space reduction: none (default), sym (process-symmetry quotient over classes the protocol declares), or sym+sleep (plus sleep-set pruning); sound for exploration/valency questions, rejected by witness-producing searches"),
 		order:        fs.String("order", "", "exploration order: levelsync (BFS level barriers, the default) or async (barrier-free work stealing — faster on multicore, same visited set and verdicts, but no depth metadata and rejected by witness-producing searches)"),
 		progress:     fs.Bool("progress", false, "report per-level engine throughput to stderr"),
+		checkpoint:   fs.String("checkpoint", "", "checkpoint directory: snapshot exploration state at level barriers and resume a killed run from it with the identical final verdict (levelsync order only)"),
+		ckptEvery:    fs.Int("checkpointevery", 0, "checkpoint every N-th level barrier (0 = every barrier; meaningful with -checkpoint)"),
 	}
 	if exactKeysDefault {
 		f.flip = fs.Bool("fingerprints", false, "dedup on 64-bit fingerprints instead of exact string keys (leaner, ~2^-64 per-pair collision risk)")
@@ -194,8 +198,14 @@ func (f *EngineFlags) Validate() error {
 	if *f.order == check.OrderAsync && f.StringKeys() {
 		return fmt.Errorf("-order %s requires fingerprint keying (single-owner partition tables admit by fingerprint)", check.OrderAsync)
 	}
+	if *f.ckptEvery > 0 && *f.checkpoint == "" {
+		return fmt.Errorf("-checkpointevery requires -checkpoint")
+	}
 	return nil
 }
+
+// Checkpoint returns the selected checkpoint directory ("" = disabled).
+func (f *EngineFlags) Checkpoint() string { return *f.checkpoint }
 
 // Options assembles check.EngineOptions. progressW receives per-level
 // throughput when -progress was set (pass stderr so stdout stays
@@ -206,13 +216,15 @@ func (f *EngineFlags) Options(progressW io.Writer) (check.EngineOptions, error) 
 	}
 	budget, _ := f.MemBudget()
 	opts := check.EngineOptions{
-		Workers:    *f.workers,
-		Shards:     *f.shards,
-		StringKeys: f.StringKeys(),
-		Store:      f.Store(),
-		MemBudget:  budget,
-		Reduction:  *f.reduce,
-		Order:      *f.order,
+		Workers:         *f.workers,
+		Shards:          *f.shards,
+		StringKeys:      f.StringKeys(),
+		Store:           f.Store(),
+		MemBudget:       budget,
+		Reduction:       *f.reduce,
+		Order:           *f.order,
+		Checkpoint:      *f.checkpoint,
+		CheckpointEvery: *f.ckptEvery,
 	}
 	if *f.progress && progressW != nil {
 		opts.Progress = check.ProgressPrinter(progressW)
@@ -225,6 +237,11 @@ func (f *EngineFlags) Options(progressW io.Writer) (check.EngineOptions, error) 
 func (f *EngineFlags) SearchLimits(maxConfigs, maxDepth int, progressW io.Writer) (lowerbound.SearchLimits, error) {
 	if err := f.Validate(); err != nil {
 		return lowerbound.SearchLimits{}, err
+	}
+	if *f.checkpoint != "" {
+		// The witness searches keep in-RAM parent chains (provenance),
+		// which cannot be persisted; refusing beats silently ignoring.
+		return lowerbound.SearchLimits{}, fmt.Errorf("-checkpoint is not supported by the witness-producing searches (their provenance chains are in-RAM only)")
 	}
 	budget, _ := f.MemBudget()
 	l := lowerbound.SearchLimits{

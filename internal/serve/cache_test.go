@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/sweep"
 )
 
@@ -162,8 +164,9 @@ func TestCacheRejectsNonVerdicts(t *testing.T) {
 	}
 }
 
-// A corrupt or truncated entry file must be skipped at startup, not
-// crash the daemon or surface as a wrong verdict.
+// A corrupt or truncated entry file must be quarantined at startup, not
+// crash the daemon or surface as a wrong verdict. Stale tmp files from
+// an interrupted store are swept.
 func TestCacheSkipsCorruptEntries(t *testing.T) {
 	dir := t.TempDir()
 	c1, err := NewCache(dir)
@@ -171,7 +174,16 @@ func TestCacheSkipsCorruptEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1.Put("good", okRecord("ok-cell"))
-	if err := os.WriteFile(filepath.Join(dir, CacheSchema, "torn.json"), []byte(`{"key":"`), 0o644); err != nil {
+	schemaDir := filepath.Join(dir, CacheSchema)
+	if err := os.WriteFile(filepath.Join(schemaDir, "torn.json"), []byte(`{"key":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A checksum-valid-JSON but bit-flipped entry: parseable, wrong CRC.
+	if err := os.WriteFile(filepath.Join(schemaDir, "flipped.json"),
+		[]byte(`{"key":"evil","result":{"cell":"x","status":"ok"},"sum":12345}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(schemaDir, "stale.json.tmp"), []byte(`{`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	c2, err := NewCache(dir)
@@ -181,12 +193,94 @@ func TestCacheSkipsCorruptEntries(t *testing.T) {
 	if _, ok := c2.Get("good"); !ok {
 		t.Fatal("good entry lost next to a corrupt one")
 	}
+	if _, ok := c2.Get("evil"); ok {
+		t.Fatal("checksum-mismatched entry was served")
+	}
 	st := c2.Stats()
-	if st.LoadErrors == 0 {
-		t.Fatal("corrupt entry was not counted in load_errors")
+	if st.Quarantined != 2 {
+		t.Fatalf("quarantined = %d, want 2", st.Quarantined)
 	}
 	if st.Entries != 1 {
 		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	for _, name := range []string{"torn.json", "flipped.json"} {
+		if _, err := os.Stat(filepath.Join(schemaDir, "quarantine", name)); err != nil {
+			t.Errorf("%s not quarantined: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(schemaDir, "stale.json.tmp")); !os.IsNotExist(err) {
+		t.Error("stale tmp file survived startup")
+	}
+}
+
+// A cache write that fails partway — disk full at the data write or at
+// the commit rename — must leave no temp file behind, keep the verdict
+// served from memory, and never crash.
+func TestCachePutFaultLeavesNoTemp(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		op   fault.Op
+	}{
+		{"enospc-write", fault.OpWrite},
+		{"enospc-rename", fault.OpRename},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c1, err := NewCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fault.Inject(fault.Rule{Path: CacheSchema, Op: tc.op, Err: syscall.ENOSPC})
+			c1.Put("k", okRecord("cell"))
+			fault.Reset()
+
+			// The in-memory copy still serves.
+			if _, ok := c1.Get("k"); !ok {
+				t.Fatal("failed persist dropped the in-memory entry")
+			}
+			// No temp debris in the schema dir.
+			ents, err := os.ReadDir(filepath.Join(dir, CacheSchema))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".tmp") {
+					t.Fatalf("failed persist left %s behind", e.Name())
+				}
+			}
+			// A restart sees either nothing or a valid entry — never a
+			// torn file (NewCache would quarantine it and count it).
+			c2, err := NewCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := c2.Stats(); st.Quarantined != 0 {
+				t.Fatalf("failed persist left a corrupt entry: %+v", st)
+			}
+		})
+	}
+}
+
+// A torn cache write (crash mid-write simulation) must surface as a
+// quarantined miss on restart, never as a wrong or partial verdict.
+func TestCachePutTornWriteQuarantinedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the data write: half the entry reaches the tmp file before
+	// the error. The partial file must never be published.
+	fault.Inject(fault.Rule{Path: CacheSchema, Op: fault.OpWrite, Err: syscall.EIO, Torn: true})
+	c1.Put("k", okRecord("cell"))
+	fault.Reset()
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("k"); ok {
+		t.Fatal("torn entry was served after restart")
 	}
 }
 

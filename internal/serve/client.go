@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,6 +22,65 @@ type Client struct {
 	// HTTP is the transport (nil = http.DefaultClient). Checks can run
 	// for minutes, so give it a generous or zero timeout.
 	HTTP *http.Client
+	// MaxAttempts caps tries per request (0 or 1 = no retries). Only
+	// transient failures retry: transport errors (connection refused,
+	// resets, timeouts) and HTTP 502/503/504. Anything else — including
+	// a 500, which may have been a completed-but-failed exploration —
+	// fails immediately.
+	MaxAttempts int
+	// RetryBase is the first backoff delay (0 = 200ms). Delays grow
+	// exponentially with equal jitter, capped at 5s; a parseable
+	// Retry-After header overrides the computed delay.
+	RetryBase time.Duration
+	// sleep intercepts backoff waits in tests (nil = time.Sleep).
+	sleep func(time.Duration)
+}
+
+// NewRetryingClient builds a client that retries transient daemon
+// failures with jittered exponential backoff — the default for sweep
+// drivers, which would otherwise turn a daemon restart into a stripe
+// of spurious error records.
+func NewRetryingClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, MaxAttempts: 5}
+}
+
+// retryMaxDelay caps a single backoff wait.
+const retryMaxDelay = 5 * time.Second
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// the gateway-flavored 5xx family a restarting or saturated daemon
+// emits.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the wait before attempt i (0-based), honoring a
+// Retry-After value when the daemon supplied one.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > retryMaxDelay {
+				d = retryMaxDelay
+			}
+			return d
+		}
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	// Equal jitter: half deterministic, half uniform — retries from many
+	// workers spread out instead of thundering back together.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // RequestForCell translates a sweep cell into the wire request that
@@ -39,12 +100,43 @@ func RequestForCell(cell sweep.Cell) Request {
 	}
 }
 
-// Check submits one synchronous check and decodes the response.
+// Check submits one synchronous check and decodes the response,
+// retrying transient failures per MaxAttempts. Retrying is safe: /check
+// is idempotent (the daemon coalesces identical in-flight requests and
+// caches verdicts), so a retry after an ambiguous failure re-reads the
+// same answer rather than re-running the work.
 func (c *Client) Check(req Request) (CheckResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return CheckResponse{}, fmt.Errorf("serve: encode request: %w", err)
 	}
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		resp, retryAfter, transient, err := c.checkOnce(body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !transient || attempt == attempts-1 {
+			break
+		}
+		wait := c.backoff(attempt, retryAfter)
+		if c.sleep != nil {
+			c.sleep(wait)
+		} else {
+			time.Sleep(wait)
+		}
+	}
+	return CheckResponse{}, lastErr
+}
+
+// checkOnce performs a single POST /check round trip. transient
+// classifies the failure for the retry loop.
+func (c *Client) checkOnce(body []byte) (resp CheckResponse, retryAfter string, transient bool, err error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -52,25 +144,28 @@ func (c *Client) Check(req Request) (CheckResponse, error) {
 	url := strings.TrimSuffix(c.BaseURL, "/") + "/check"
 	httpResp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return CheckResponse{}, fmt.Errorf("serve: %w", err)
+		// Transport-level failures (refused, reset, timeout) are the
+		// daemon-restart signature; all retryable.
+		return CheckResponse{}, "", true, fmt.Errorf("serve: %w", err)
 	}
 	defer httpResp.Body.Close()
 	data, err := io.ReadAll(httpResp.Body)
 	if err != nil {
-		return CheckResponse{}, fmt.Errorf("serve: read response: %w", err)
+		return CheckResponse{}, "", true, fmt.Errorf("serve: read response: %w", err)
 	}
 	if httpResp.StatusCode != http.StatusOK {
+		retryAfter = httpResp.Header.Get("Retry-After")
+		transient = retryableStatus(httpResp.StatusCode)
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return CheckResponse{}, fmt.Errorf("serve: daemon: %s (HTTP %d)", eb.Error, httpResp.StatusCode)
+			return CheckResponse{}, retryAfter, transient, fmt.Errorf("serve: daemon: %s (HTTP %d)", eb.Error, httpResp.StatusCode)
 		}
-		return CheckResponse{}, fmt.Errorf("serve: daemon: HTTP %d", httpResp.StatusCode)
+		return CheckResponse{}, retryAfter, transient, fmt.Errorf("serve: daemon: HTTP %d", httpResp.StatusCode)
 	}
-	var resp CheckResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
-		return CheckResponse{}, fmt.Errorf("serve: decode response: %w", err)
+		return CheckResponse{}, "", false, fmt.Errorf("serve: decode response: %w", err)
 	}
-	return resp, nil
+	return resp, "", false, nil
 }
 
 // RunCell is the sweep.RunOptions.RunCell adapter: it executes the cell

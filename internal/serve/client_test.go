@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// flakyHandler fails the first `failures` requests with `code` (and an
+// optional Retry-After header), then serves a real verdict.
+func flakyHandler(failures *atomic.Int32, code int, retryAfter string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(-1) >= 0 {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeJSON(w, code, errorBody{"saturated"})
+			return
+		}
+		writeJSON(w, http.StatusOK, CheckResponse{
+			Result: sweep.Result{Cell: "c", Status: sweep.StatusOK, Measured: -1, Certified: -1},
+		})
+	}
+}
+
+// A daemon that answers 503 twice and then recovers costs the retrying
+// client two backoff waits, not a spurious error record.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var failures atomic.Int32
+	failures.Store(2)
+	ts := httptest.NewServer(flakyHandler(&failures, http.StatusServiceUnavailable, ""))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := NewRetryingClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	c.sleep = func(d time.Duration) { waits = append(waits, d) }
+
+	resp, err := c.Check(Request{Row: "explore", N: 4, K: 2})
+	if err != nil {
+		t.Fatalf("retrying client surfaced a transient failure: %v", err)
+	}
+	if resp.Result.Status != sweep.StatusOK {
+		t.Fatalf("result = %+v", resp.Result)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("backoff waits = %d, want 2", len(waits))
+	}
+	for i, d := range waits {
+		if d <= 0 || d > retryMaxDelay {
+			t.Fatalf("wait %d = %v, outside (0, %v]", i, d, retryMaxDelay)
+		}
+	}
+}
+
+// A parseable Retry-After header overrides the computed backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var failures atomic.Int32
+	failures.Store(1)
+	ts := httptest.NewServer(flakyHandler(&failures, http.StatusServiceUnavailable, "3"))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := NewRetryingClient(ts.URL)
+	c.sleep = func(d time.Duration) { waits = append(waits, d) }
+
+	if _, err := c.Check(Request{Row: "explore", N: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 1 || waits[0] != 3*time.Second {
+		t.Fatalf("waits = %v, want exactly [3s]", waits)
+	}
+}
+
+// Transport-level failures (refused connections — the daemon-restart
+// signature) retry like 5xx responses do.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, CheckResponse{
+			Result: sweep.Result{Cell: "c", Status: sweep.StatusOK, Measured: -1, Certified: -1},
+		})
+	}))
+	url := ts.URL
+	ts.Close() // now refuses connections
+
+	attempts := 0
+	c := &Client{BaseURL: url, MaxAttempts: 3, RetryBase: time.Millisecond}
+	c.sleep = func(time.Duration) { attempts++ }
+	if _, err := c.Check(Request{Row: "explore", N: 4, K: 2}); err == nil {
+		t.Fatal("dead daemon produced no error")
+	}
+	// MaxAttempts=3 → 2 backoff sleeps between 3 tries.
+	if attempts != 2 {
+		t.Fatalf("backoff sleeps = %d, want 2", attempts)
+	}
+}
+
+// A 500 may be a completed-but-failed exploration: retrying could mask a
+// real verdict, so the client must fail immediately.
+func TestClientDoesNotRetryNonTransient(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{"boom"})
+	}))
+	defer ts.Close()
+
+	c := NewRetryingClient(ts.URL)
+	c.sleep = func(time.Duration) { t.Fatal("client slept before a non-retryable failure") }
+	if _, err := c.Check(Request{Row: "explore", N: 4, K: 2}); err == nil {
+		t.Fatal("500 produced no error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("500 was retried: %d calls", n)
+	}
+}
+
+// MaxAttempts caps the loop: a persistently saturated daemon eventually
+// surfaces its last error instead of retrying forever.
+func TestClientExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"saturated"})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 4, RetryBase: time.Millisecond}
+	c.sleep = func(time.Duration) {}
+	_, err := c.Check(Request{Row: "explore", N: 4, K: 2})
+	if err == nil {
+		t.Fatal("exhausted retries produced no error")
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts = 4", n)
+	}
+}
+
+// Backoff grows exponentially from RetryBase and is capped; Retry-After
+// values are clamped rather than trusted unboundedly.
+func TestClientBackoffShape(t *testing.T) {
+	c := &Client{RetryBase: 100 * time.Millisecond}
+	for attempt, ceiling := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		d := c.backoff(attempt, "")
+		if d < ceiling/2 || d > ceiling {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, ceiling/2, ceiling)
+		}
+	}
+	if d := c.backoff(40, ""); d > retryMaxDelay {
+		t.Fatalf("overflowed attempt: backoff %v exceeds cap %v", d, retryMaxDelay)
+	}
+	if d := c.backoff(0, "9999"); d != retryMaxDelay {
+		t.Fatalf("huge Retry-After: %v, want clamp to %v", d, retryMaxDelay)
+	}
+	if d := c.backoff(0, "2"); d != 2*time.Second {
+		t.Fatalf("Retry-After 2: %v, want 2s", d)
+	}
+	if d := c.backoff(1, "garbage"); d <= 0 {
+		t.Fatalf("unparsable Retry-After fell through to %v", d)
+	}
+}
+
+// The zero-value Client stays single-shot: existing callers that did not
+// opt into retries keep their old behavior.
+func TestClientZeroValueDoesNotRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"saturated"})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Check(Request{Row: "explore", N: 4, K: 2}); err == nil {
+		t.Fatal("503 produced no error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("zero-value client retried: %d calls", n)
+	}
+}

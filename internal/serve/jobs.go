@@ -114,13 +114,24 @@ func newJobRegistry() *jobRegistry {
 
 // create registers a fresh queued job for a cell. IDs carry a timestamp
 // so they stay unique across daemon restarts in client logs (the
-// registry itself is in-memory only).
+// registry itself is in-memory only; the job journal re-admits
+// in-flight work across restarts).
 func (r *jobRegistry) create(cellID string) *Job {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.seq++
+	id := fmt.Sprintf("job-%d-%d", time.Now().Unix(), r.seq)
+	r.mu.Unlock()
+	return r.createWithID(id, cellID)
+}
+
+// createWithID registers a queued job under a caller-chosen ID — the
+// journal replay path, which must preserve the IDs clients already
+// hold so their /status streams resolve after a daemon restart.
+func (r *jobRegistry) createWithID(id, cellID string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	j := &Job{
-		ID:   fmt.Sprintf("job-%d-%d", time.Now().Unix(), r.seq),
+		ID:   id,
 		Cell: cellID, state: JobQueued,
 		wake: make(chan struct{}),
 	}

@@ -1,0 +1,173 @@
+package serve
+
+// Job journal: a JSONL log of asynchronous submissions so a restarted
+// daemon re-admits work that was in flight when it died. Each accepted
+// async request appends a "submitted" event carrying the full request;
+// its terminal response appends a "done" event. On open, submissions
+// without a matching done are the crashed daemon's in-flight jobs: the
+// new daemon re-runs them under their original IDs (the result cache
+// makes re-running completed-but-unjournaled work cheap).
+//
+// The journal tolerates a torn final line — the one event a crash mid-
+// append can leave — by dropping it. Any earlier unparsable line means
+// real corruption and fails the open. After replay the journal is
+// compacted (write-then-rename) so it holds only live submissions.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// journalEvent is one JSONL line.
+type journalEvent struct {
+	Ev string `json:"ev"` // "submitted" | "done"
+	ID string `json:"id"`
+	// Req is the full request for submitted events, absent for done.
+	Req *Request `json:"req,omitempty"`
+}
+
+// jobJournal appends async-job lifecycle events to a JSONL file.
+type jobJournal struct {
+	path string
+
+	mu sync.Mutex
+	f  *fault.File
+}
+
+// pendingJob is a submission the previous daemon never finished.
+type pendingJob struct {
+	ID  string
+	Req Request
+}
+
+// openJobJournal opens (or creates) the journal at path, returning the
+// submissions that need re-admission. A missing file is an empty
+// journal; a torn final line is dropped.
+func openJobJournal(path string) (*jobJournal, []pendingJob, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("serve: job journal: %w", err)
+	}
+
+	type entry struct {
+		req  Request
+		done bool
+	}
+	byID := map[string]*entry{}
+	var order []string
+	if len(raw) > 0 {
+		lines := bytes.Split(raw, []byte("\n"))
+		for i, line := range lines {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var ev journalEvent
+			if jerr := json.Unmarshal(line, &ev); jerr != nil || ev.ID == "" {
+				if i >= len(lines)-2 {
+					// The final event line: a crash mid-append legitimately
+					// tears it. Drop it; the submission it would have
+					// recorded re-runs or re-submits.
+					break
+				}
+				return nil, nil, fmt.Errorf("serve: job journal %s: line %d corrupt mid-stream", path, i+1)
+			}
+			switch ev.Ev {
+			case "submitted":
+				if ev.Req != nil {
+					if _, seen := byID[ev.ID]; !seen {
+						order = append(order, ev.ID)
+					}
+					byID[ev.ID] = &entry{req: *ev.Req}
+				}
+			case "done":
+				if e, ok := byID[ev.ID]; ok {
+					e.done = true
+				}
+			}
+		}
+	}
+
+	var pending []pendingJob
+	for _, id := range order {
+		if e := byID[id]; !e.done {
+			pending = append(pending, pendingJob{ID: id, Req: e.req})
+		}
+	}
+
+	// Compact: rewrite only the live submissions, atomically, so the
+	// journal does not grow without bound across restarts.
+	var buf bytes.Buffer
+	for _, p := range pending {
+		req := p.Req
+		line, merr := json.Marshal(journalEvent{Ev: "submitted", ID: p.ID, Req: &req})
+		if merr != nil {
+			return nil, nil, fmt.Errorf("serve: job journal: %w", merr)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := fault.WriteFile(path+".tmp", buf.Bytes(), 0o644); err != nil {
+		return nil, nil, fmt.Errorf("serve: job journal: %w", err)
+	}
+	if err := fault.Rename(path+".tmp", path); err != nil {
+		os.Remove(path + ".tmp")
+		return nil, nil, fmt.Errorf("serve: job journal: %w", err)
+	}
+
+	f, err := fault.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: job journal: %w", err)
+	}
+	return &jobJournal{path: path, f: f}, pending, nil
+}
+
+// append writes one event line. Errors are returned for the caller to
+// count; the daemon keeps serving either way (the journal is a
+// restart aid, not a correctness dependency for the running process).
+func (j *jobJournal) append(ev journalEvent) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Crash point: the submission is accepted but not yet journaled.
+	fault.Crash(fault.CrashJournalAppend)
+	w := bufio.NewWriter(j.f)
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// submitted journals an accepted async request.
+func (j *jobJournal) submitted(id string, req Request) error {
+	return j.append(journalEvent{Ev: "submitted", ID: id, Req: &req})
+}
+
+// done journals a finished async job.
+func (j *jobJournal) done(id string) error {
+	return j.append(journalEvent{Ev: "done", ID: id})
+}
+
+// close releases the append handle.
+func (j *jobJournal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.File.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -78,6 +79,9 @@ type Server struct {
 	adm     *Admission
 	flights *flightGroup
 	jobs    *jobRegistry
+	// journal records async submissions so a restarted daemon re-admits
+	// in-flight work; nil when the server has no cache directory.
+	journal *jobJournal
 
 	// ctx is the daemon's lifetime: cancelling it (Drain's last resort)
 	// cancels every in-flight engine run in-process.
@@ -100,7 +104,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		adm:     NewAdmission(cfg.Parallelism, cfg.MemBudget, cfg.MaxQueue),
@@ -108,7 +112,41 @@ func New(cfg Config) (*Server, error) {
 		jobs:    newJobRegistry(),
 		ctx:     ctx, cancel: cancel,
 		start: time.Now(),
-	}, nil
+	}
+	if cfg.CacheDir != "" {
+		journal, pending, err := openJobJournal(filepath.Join(cfg.CacheDir, "jobs.jsonl"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = journal
+		// Re-admit the previous daemon's in-flight async jobs under their
+		// original IDs, so clients polling /status resolve after the
+		// restart. Completed-and-cached cells answer instantly.
+		for _, p := range pending {
+			s.logf("journal: re-admitting job %s", p.ID)
+			s.launchJob(s.jobs.createWithID(p.ID, p.Req.Cell(cfg.DefaultTimeout).ID()), p.Req)
+		}
+	}
+	return s, nil
+}
+
+// launchJob runs one async job on its own goroutine, journaling its
+// completion.
+func (s *Server) launchJob(job *Job, req Request) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		job.setState(JobRunning)
+		resp, err := s.execute(req, job.Progress)
+		if err != nil {
+			resp = CheckResponse{Result: errorResult(req, err)}
+		}
+		job.finish(resp)
+		if jerr := s.journal.done(job.ID); jerr != nil {
+			s.logf("journal: %v", jerr)
+		}
+	}()
 }
 
 // Handler returns the daemon's route table.
@@ -137,12 +175,14 @@ func (s *Server) Drain(ctx context.Context) {
 	}
 	s.cancel()
 	s.wg.Wait()
+	s.journal.close()
 }
 
 // Close force-cancels everything immediately.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	s.journal.close()
 }
 
 // execute answers one validated request: cache, then coalesced
@@ -194,16 +234,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Async {
 		job := s.jobs.create(req.Cell(s.cfg.DefaultTimeout).ID())
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			job.setState(JobRunning)
-			resp, err := s.execute(req, job.Progress)
-			if err != nil {
-				resp = CheckResponse{Result: errorResult(req, err)}
-			}
-			job.finish(resp)
-		}()
+		if jerr := s.journal.submitted(job.ID, req); jerr != nil {
+			s.logf("journal: %v", jerr)
+		}
+		s.launchJob(job, req)
 		writeJSON(w, http.StatusAccepted, jobAccepted{ID: job.ID, Cell: job.Cell, State: JobQueued})
 		return
 	}
@@ -279,12 +313,48 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// healthBody is /healthz: a liveness answer with enough capacity signal
+// for a load balancer or an operator to act on — slot occupancy, queue
+// depth, byte-budget headroom, and the cache hit ratio.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeMS      int64   `json:"uptime_ms"`
+	InFlight      int     `json:"in_flight"`
+	RunningSlots  int     `json:"running_slots"`
+	TotalSlots    int     `json:"total_slots"`
+	QueueDepth    int     `json:"queue_depth"`
+	MaxQueue      int     `json:"max_queue"`
+	BudgetBytes   int64   `json:"budget_bytes,omitempty"`
+	UsedBytes     int64   `json:"used_bytes"`
+	HeadroomBytes int64   `json:"headroom_bytes,omitempty"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"in_flight": s.flights.InFlight(),
-	})
+	adm := s.adm.Stats()
+	cs := s.cache.Stats()
+	body := healthBody{
+		Status:       "ok",
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+		InFlight:     s.flights.InFlight(),
+		RunningSlots: adm.Running,
+		TotalSlots:   adm.Slots,
+		QueueDepth:   adm.Queue,
+		MaxQueue:     adm.MaxQueue,
+		BudgetBytes:  adm.Budget,
+		UsedBytes:    adm.UsedBytes,
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+	}
+	if adm.Budget > 0 {
+		body.HeadroomBytes = adm.Budget - adm.UsedBytes
+	}
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		body.CacheHitRatio = float64(cs.Hits) / float64(lookups)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // errorResult wraps an execution-path error (admission refusal, bad

@@ -7,6 +7,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -420,18 +422,87 @@ func TestServeClientRunCell(t *testing.T) {
 	}
 }
 
+// Closing the server while a check is mid-flight cancels it in-process,
+// leaves no temp files in the cache directory, and a second Close is a
+// safe no-op.
+func TestServeCloseMidFlightIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(Request{Row: "explore", N: 6, K: 2,
+		MaxConfigs: 5_000_000, Async: true})
+	resp, err := http.Post(ts.URL+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, func() bool { return s.flights.InFlight() == 1 })
+
+	s.Close() // cancels the in-flight exploration and waits it out
+	s.Close() // idempotent
+
+	var leftover []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".tmp") {
+			leftover = append(leftover, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("closed server left temp files: %v", leftover)
+	}
+}
+
+// /healthz carries the capacity signal an operator or load balancer
+// acts on: slot occupancy, queue depth, byte-budget headroom, and the
+// cache hit ratio.
 func TestServeHealthz(t *testing.T) {
-	_, ts, _ := newTestServer(t, Config{})
+	_, ts, client := newTestServer(t, Config{
+		Parallelism: 3, MemBudget: 1 << 30, MaxQueue: 7, CacheDir: t.TempDir(),
+	})
+
+	// One explored check and one cache hit give the ratio something to say.
+	req := Request{Row: "explore", N: 4, K: 2, MaxConfigs: 20000}
+	if _, err := client.Check(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Check(req); err != nil {
+		t.Fatal(err)
+	}
+
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var h map[string]any
+	var h healthBody
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h["status"] != "ok" {
-		t.Fatalf("healthz: %v", h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz status: %+v", h)
+	}
+	if h.TotalSlots != 3 || h.RunningSlots != 0 || h.QueueDepth != 0 || h.MaxQueue != 7 {
+		t.Fatalf("capacity fields: %+v", h)
+	}
+	if h.BudgetBytes != 1<<30 || h.HeadroomBytes != 1<<30 || h.UsedBytes != 0 {
+		t.Fatalf("budget fields: %+v", h)
+	}
+	if h.CacheHits != 1 || h.CacheMisses != 1 || h.CacheHitRatio != 0.5 {
+		t.Fatalf("cache fields: %+v", h)
+	}
+	if h.UptimeMS < 0 {
+		t.Fatalf("uptime: %+v", h)
 	}
 }

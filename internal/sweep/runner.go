@@ -3,10 +3,14 @@ package sweep
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -127,6 +131,33 @@ type RunOptions struct {
 	// executor — the hook cmd/sweep's -daemon mode uses to run cells
 	// through a checker daemon instead of in-process.
 	RunCell func(cell Cell) Result
+	// CheckpointDir, when set, gives each in-process cell a private
+	// subdirectory (a hash of its cell ID) for engine level-barrier
+	// snapshots. A sweep killed mid-cell resumes that cell from its last
+	// snapshot on the next run; a cell that reaches a verdict has its
+	// subdirectory removed, while timeout and error cells keep theirs so
+	// a retry (say, with a larger timeout) picks up mid-exploration.
+	// Ignored when RunCell is set — a remote daemon checkpoints (or not)
+	// on its own disk.
+	CheckpointDir string
+}
+
+// CellCheckpointDir is the per-cell snapshot subdirectory under a
+// sweep checkpoint root: a hash of the cell ID, because IDs contain
+// characters ('/', '=') that are path syntax.
+func CellCheckpointDir(root, cellID string) string {
+	sum := sha256.Sum256([]byte(cellID))
+	return filepath.Join(root, hex.EncodeToString(sum[:8]))
+}
+
+// verdictStatus reports whether a record carries a completed verdict —
+// the statuses that make the cell's checkpoint directory disposable.
+func verdictStatus(status string) bool {
+	switch status {
+	case StatusOK, StatusFail, StatusViolation:
+		return true
+	}
+	return false
 }
 
 // Run executes the cells with bounded parallelism, honoring per-cell
@@ -148,8 +179,11 @@ func Run(cells []Cell, opts RunOptions) ([]Result, error) {
 		}
 	}
 	runCell := opts.RunCell
+	ckptRoot := opts.CheckpointDir
 	if runCell == nil {
 		runCell = RunCellRecord
+	} else {
+		ckptRoot = "" // remote cells checkpoint on the daemon's disk
 	}
 
 	results := make([]Result, len(cells))
@@ -162,6 +196,11 @@ func Run(cells []Cell, opts RunOptions) ([]Result, error) {
 	for i, cell := range cells {
 		if prior, ok := opts.Skip[cell.ID()]; ok {
 			results[i] = prior
+			if ckptRoot != "" && verdictStatus(prior.Status) {
+				// A verdicted cell's snapshots are stale (a crash between
+				// the record write and the cleanup can leave them behind).
+				os.RemoveAll(CellCheckpointDir(ckptRoot, cell.ID()))
+			}
 			if opts.OnResult != nil {
 				mu.Lock()
 				opts.OnResult(prior, true)
@@ -174,7 +213,13 @@ func Run(cells []Cell, opts RunOptions) ([]Result, error) {
 		go func(i int, cell Cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ckptRoot != "" {
+				cell.CheckpointDir = CellCheckpointDir(ckptRoot, cell.ID())
+			}
 			rec := runCell(cell)
+			if cell.CheckpointDir != "" && verdictStatus(rec.Status) {
+				os.RemoveAll(cell.CheckpointDir)
+			}
 			mu.Lock()
 			results[i] = rec
 			if opts.Out != nil && outErr == nil {
@@ -411,6 +456,44 @@ func ReadResults(r io.Reader) ([]Result, error) {
 		return nil, fmt.Errorf("sweep: read results: %w", err)
 	}
 	return out, nil
+}
+
+// ReadResultsResume parses a JSON Lines result stream for checkpoint
+// resume, tolerating the one defect a killed writer can leave: a torn
+// final line. The torn line is dropped (its cell simply re-runs) and
+// counted in dropped; an unparsable line anywhere BUT the end is real
+// corruption and still fails, because silently skipping it would
+// silently skip re-running its cell.
+func ReadResultsResume(r io.Reader) (results []Result, dropped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	badLine := 0 // most recent unparsable line, pending "was it last?"
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if badLine != 0 {
+			// Another record follows the unparsable line: mid-stream
+			// corruption, not a torn tail.
+			return nil, 0, fmt.Errorf("sweep: results line %d corrupt mid-stream", badLine)
+		}
+		var rec Result
+		if json.Unmarshal([]byte(text), &rec) != nil {
+			badLine = line
+			continue
+		}
+		results = append(results, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("sweep: read results: %w", err)
+	}
+	if badLine != 0 {
+		dropped = 1
+	}
+	return results, dropped, nil
 }
 
 // Checkpoint indexes prior results by cell ID (last record wins), the

@@ -253,6 +253,14 @@ type Cell struct {
 	// cell's exploration or search — the hook the daemon's /status
 	// streaming rides on. Nil for ordinary grid runs.
 	Progress func(check.Progress)
+	// CheckpointDir, when set, gives the cell's exploration a directory
+	// for crash-safe level-barrier snapshots: a killed run resumes
+	// mid-cell from the last snapshot. Runtime plumbing (the runner
+	// derives it from RunOptions.CheckpointDir), never identity — the
+	// same cell with or without a checkpoint directory is the same
+	// experiment. Certificate searches ignore it (their provenance
+	// chains are in-RAM only).
+	CheckpointDir string
 }
 
 // ID is the cell's stable identity, used for checkpoint resume: a cell
@@ -314,7 +322,8 @@ func (c Cell) ExploreOptions() check.ExploreOptions {
 			StringKeys: c.Engine.Keys == "string",
 			Store:      c.Engine.Store, MemBudget: c.Engine.memBudgetBytes(),
 			Reduction: c.Engine.Reduce, Order: c.Engine.Order,
-			Progress: c.Progress,
+			Progress:   c.Progress,
+			Checkpoint: c.CheckpointDir,
 		},
 	}
 }
