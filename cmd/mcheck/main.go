@@ -37,24 +37,38 @@
 // reaches the identical final verdict. -checkpointevery thins snapshots
 // to every N-th barrier.
 //
+// Distributed exploration shards the frontier across processes:
+//
+//	mcheck -peer -listen=host:7001                 # one per peer host
+//	mcheck -distributed -peers=host1:7001,host2:7001 -proto ... [flags]
+//
+// Each peer owns a contiguous range of the 64-way global fingerprint
+// partition space and runs the unmodified engine over it; the
+// coordinator relays successor batches between peers, runs the level
+// barriers (or async quiescence probes), applies the global
+// configuration budget, and merges the per-peer verdicts — which are
+// identical, visited set included, to a single-process run of the same
+// instance. The engine flags on the coordinator (-workers, -shards,
+// -store, -membudget, -reduce, -order) apply on every peer.
+//
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/ablation"
-	"repro/internal/baseline"
 	"repro/internal/check"
-	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/prof"
@@ -78,14 +92,21 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mcheck", flag.ContinueOnError)
-	proto := fs.String("proto", "algorithm1", "protocol: algorithm1|algorithm1-readable|racing|readable|pair|pairing|register-kset|toybit|ablation-margin1")
+	proto := fs.String("proto", "algorithm1", "protocol: "+harness.ProtocolNames)
 	inst := harness.RegisterInstanceFlags(fs, 3, 1, 2)
 	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: pid % m)")
 	limitFlags := harness.RegisterLimitFlags(fs, 200000, 0)
 	engFlags := harness.RegisterEngineFlags(fs, false)
+	distFlags := harness.RegisterDistFlags(fs)
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := distFlags.Validate(); err != nil {
+		return err
+	}
+	if distFlags.PeerMode() {
+		return runPeer(distFlags.Listen())
 	}
 
 	stopProf, err := profFlags.Start()
@@ -98,7 +119,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
-	p, err := buildProtocol(*proto, *inst.N, *inst.K, *inst.M)
+	p, err := harness.BuildProtocol(*proto, *inst.N, *inst.K, *inst.M)
 	if err != nil {
 		return err
 	}
@@ -141,7 +162,19 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
 	startT := time.Now()
-	res, err := check.ExploreOpts(p, c, all, *inst.K, opts)
+	var res *check.ExploreResult
+	if distFlags.Distributed() {
+		res, err = dist.Dial(context.Background(), p, distFlags.PeerAddrs(), dist.Spec{
+			Proto: *proto, N: *inst.N, K: *inst.K, M: *inst.M,
+			AgreeK: *inst.K, Inputs: inputs,
+			Limits:  limitFlags.ExploreLimits(),
+			Workers: engine.Workers, Shards: engine.Shards,
+			Store: engine.Store, MemBudget: engine.MemBudget,
+			Reduce: engine.Reduction, Order: engine.Order,
+		})
+	} else {
+		res, err = check.ExploreOpts(p, c, all, *inst.K, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -163,6 +196,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "order: async — %d steals, %d quiescence scans\n",
 			res.Async.Steals, res.Async.QuiescenceScans)
 	}
+	if res.Net.Peers > 0 {
+		fmt.Fprintf(out, "distributed: %d peers — %d batches (%s) sent, %d peer stalls\n",
+			res.Net.Peers, res.Net.BatchesSent, harness.FormatByteSize(res.Net.BytesSent), res.Net.PeerStalls)
+	}
 	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)
 	if res.AgreementViolation != nil {
@@ -171,6 +208,11 @@ func run(args []string, out io.Writer) error {
 		return errViolation
 	}
 	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *inst.K)
+	if distFlags.Distributed() {
+		// Valency classification needs witness provenance, which the
+		// sharded peers do not maintain; it stays a single-process question.
+		return nil
+	}
 
 	val, err := check.ClassifyValencyOpts(p, c, all, opts)
 	if err != nil {
@@ -181,27 +223,13 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func buildProtocol(name string, n, k, m int) (model.Protocol, error) {
-	switch name {
-	case "algorithm1":
-		return core.New(core.Params{N: n, K: k, M: m})
-	case "algorithm1-readable":
-		return core.New(core.Params{N: n, K: k, M: m, Readable: true})
-	case "racing":
-		return baseline.NewRacingCounters(n, m)
-	case "readable":
-		return baseline.NewReadableRace(n, m)
-	case "pair":
-		return baseline.NewPairConsensus(m).WithProcesses(n), nil
-	case "pairing":
-		return baseline.NewPairing(n, k, m)
-	case "register-kset":
-		return baseline.NewRegisterKSet(n, k, m)
-	case "toybit":
-		return baseline.NewToyBitRace(n, n)
-	case "ablation-margin1":
-		return ablation.New(n, k, m, ablation.Options{Margin: 1})
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", name)
+// runPeer serves distributed-exploration coordinator connections until
+// killed. The bound address goes to stderr (useful with ":0").
+func runPeer(listen string) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(os.Stderr, "mcheck: peer listening on %s\n", ln.Addr())
+	return dist.ServePeer(context.Background(), ln, harness.BuildProtocol)
 }

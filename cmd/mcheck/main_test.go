@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
 )
 
 func TestRunPairConsensusComplete(t *testing.T) {
@@ -135,8 +137,8 @@ func TestBuildProtocolAllNames(t *testing.T) {
 		if name == "pair" {
 			n, k = 2, 1
 		}
-		if _, err := buildProtocol(name, n, k, k+1); err != nil {
-			t.Errorf("buildProtocol(%q): %v", name, err)
+		if _, err := harness.BuildProtocol(name, n, k, k+1); err != nil {
+			t.Errorf("BuildProtocol(%q): %v", name, err)
 		}
 	}
 }

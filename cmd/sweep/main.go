@@ -349,7 +349,10 @@ func runBench(outFile, baseline string, progress bool, stdout io.Writer) error {
 	if baseline == "" {
 		return nil
 	}
-	regressions := bench.Compare(base, snap, 0.20)
+	regressions, skipped := bench.CompareHost(base, snap, 0.20, snap.NumCPU)
+	for _, s := range skipped {
+		fmt.Fprintln(os.Stderr, "sweep: bench: skip:", s)
+	}
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "sweep: bench:", r)
 	}

@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
 )
@@ -63,15 +65,29 @@ type Record struct {
 	// (successor folds + sleep skips); nonzero only for -reduce
 	// scenarios, and the CI bench job's sanity gate for them.
 	StatesPruned int64 `json:"states_pruned,omitempty"`
+	// Peers, NetBatches and NetBytesSent are the distributed scenarios'
+	// per-op network statistics (peer count, successor batches relayed,
+	// wire bytes written); zero for single-process scenarios.
+	Peers        int   `json:"peers,omitempty"`
+	NetBatches   int64 `json:"net_batches,omitempty"`
+	NetBytesSent int64 `json:"net_bytes_sent,omitempty"`
 }
 
 // Snapshot is the BENCH_<n>.json file content.
 type Snapshot struct {
-	Schema     string   `json:"schema"`
-	CreatedAt  string   `json:"created_at,omitempty"`
-	GoVersion  string   `json:"go_version"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Records    []Record `json:"benchmarks"`
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"`
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs is the process default; individual records may have run
+	// under a raised value (see Record.GoMaxProcs).
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU is the measuring host's logical core count
+	// (runtime.NumCPU). GOMAXPROCS can be raised past it, so this is the
+	// field that says whether a multi-worker record had real cores: a
+	// record with GoMaxProcs > NumCPU timeshared, and its throughput is
+	// not a scaling measurement.
+	NumCPU  int      `json:"num_cpu,omitempty"`
+	Records []Record `json:"benchmarks"`
 }
 
 // Outcome is one scenario iteration's result.
@@ -80,6 +96,9 @@ type Outcome struct {
 	Configs int
 	// StatesPruned is the reduction layer's pruning count (0 unreduced).
 	StatesPruned int64
+	// Net is the distributed scenarios' wire statistics (zero value for
+	// single-process scenarios).
+	Net check.NetStats
 }
 
 // Scenario is one explorer benchmark: a fixed state-space workload whose
@@ -300,6 +319,33 @@ func Suite() []Scenario {
 			},
 		},
 		{
+			// Two loopback peers behind the distributed coordinator: the
+			// same row-3 workload sharded across two in-process engines
+			// over the real wire protocol (net.Pipe instead of sockets).
+			// The gap to engine-1worker is the protocol's serialization +
+			// relay overhead; the record's net fields say how much of the
+			// frontier actually crossed the wire.
+			Name:    "explore/row3/dist-2peer-loopback",
+			Workers: 1,
+			Run: func() Outcome {
+				p, _, _, limits := row3Instance()
+				res, err := dist.LoopbackExplore(context.Background(), p,
+					[]int{0, 1, 2, 0}, 1,
+					check.ExploreOptions{
+						Limits: limits,
+						Engine: check.EngineOptions{Workers: 1},
+					}, 2)
+				if err != nil {
+					panic(err)
+				}
+				return Outcome{
+					Configs:      res.Visited,
+					StatesPruned: res.Reduction.StatesPruned,
+					Net:          res.Net,
+				}
+			},
+		},
+		{
 			// Provenance-tracking schedule search (lowerbound port): the
 			// witness-extracting consumer of the engine.
 			Name: "search/pair3-violation",
@@ -333,6 +379,7 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for _, sc := range scenarios {
 		// A scenario that asks for explicit parallelism must actually get
@@ -374,6 +421,9 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 			GoMaxProcs:   procs,
 			Workers:      workers,
 			StatesPruned: out.StatesPruned,
+			Peers:        out.Net.Peers,
+			NetBatches:   out.Net.BatchesSent,
+			NetBytesSent: out.Net.BytesSent,
 		}
 		if rec.NsPerOp > 0 {
 			rec.StatesPerSec = float64(out.Configs) / (rec.NsPerOp / 1e9)
@@ -436,7 +486,29 @@ const ReferenceScenario = "explore/row3/sequential-stringkey"
 // absolute-only. Scenarios present in only one snapshot are skipped:
 // the trajectory may add scenarios without invalidating older
 // baselines.
+//
+// Scenarios whose recorded per-record gomaxprocs (in either snapshot)
+// exceeds the comparing host's core count are also skipped: the
+// measurement harness raises GOMAXPROCS to the requested worker width
+// even when the host cannot grant it, so e.g. an engine-4worker record
+// on a 1-core runner timeshares one core and its throughput is noise,
+// not a regression signal. Compare resolves the core count from the
+// fresh snapshot's num_cpu field (falling back to runtime.NumCPU);
+// CompareHost takes it explicitly and additionally returns the skip
+// diagnostics.
 func Compare(baseline, fresh Snapshot, tolerance float64) []string {
+	cpus := fresh.NumCPU
+	if cpus <= 0 {
+		cpus = runtime.NumCPU()
+	}
+	regressions, _ := CompareHost(baseline, fresh, tolerance, cpus)
+	return regressions
+}
+
+// CompareHost is Compare with an explicit comparing-host core count
+// (0 disables the gomaxprocs gate). The second return value lists the
+// scenarios the gate skipped, for surfacing in CI logs.
+func CompareHost(baseline, fresh Snapshot, tolerance float64, hostCPUs int) (regressions, skipped []string) {
 	base := map[string]Record{}
 	for _, r := range baseline.Records {
 		base[r.Name] = r
@@ -452,10 +524,15 @@ func Compare(baseline, fresh Snapshot, tolerance float64) []string {
 	}
 	normalized := freshRef > 0 && baseRef > 0
 
-	var regressions []string
 	for _, r := range fresh.Records {
 		b, ok := base[r.Name]
 		if !ok || b.StatesPerSec <= 0 || r.Name == ReferenceScenario {
+			continue
+		}
+		if hostCPUs > 0 && (r.GoMaxProcs > hostCPUs || b.GoMaxProcs > hostCPUs) {
+			skipped = append(skipped, fmt.Sprintf(
+				"%s: not compared — recorded gomaxprocs %d (baseline %d) exceeds this host's %d core(s), so the measurement timeshared",
+				r.Name, r.GoMaxProcs, b.GoMaxProcs, hostCPUs))
 			continue
 		}
 		absRegressed := r.StatesPerSec < b.StatesPerSec*(1-tolerance)
@@ -476,7 +553,7 @@ func Compare(baseline, fresh Snapshot, tolerance float64) []string {
 				b.StatesPerSec, 100*(1-tolerance)))
 		}
 	}
-	return regressions
+	return regressions, skipped
 }
 
 var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)

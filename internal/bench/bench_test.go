@@ -57,6 +57,40 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareGomaxprocsGate: a scenario measured under a GOMAXPROCS the
+// comparing host cannot grant (either side of the comparison) is skipped
+// with a diagnostic instead of being flagged — a 4-worker record on a
+// 1-core runner timeshares one core and its throughput is not a
+// regression signal. Records within the host's width still gate.
+func TestCompareGomaxprocsGate(t *testing.T) {
+	baseline := Snapshot{Records: []Record{
+		{Name: "engine-1worker", StatesPerSec: 1000, GoMaxProcs: 1},
+		{Name: "engine-4worker", StatesPerSec: 4000, GoMaxProcs: 4},
+	}}
+	fresh := Snapshot{NumCPU: 1, Records: []Record{
+		{Name: "engine-1worker", StatesPerSec: 500, GoMaxProcs: 1}, // real regression
+		{Name: "engine-4worker", StatesPerSec: 900, GoMaxProcs: 4}, // timeshared: skip
+	}}
+	regs, skips := CompareHost(baseline, fresh, 0.20, 1)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly engine-1worker", regs)
+	}
+	if len(skips) != 1 {
+		t.Fatalf("skipped = %v, want exactly engine-4worker", skips)
+	}
+
+	// Compare resolves the host width from the fresh snapshot's num_cpu.
+	if regs := Compare(baseline, fresh, 0.20); len(regs) != 1 {
+		t.Fatalf("Compare via num_cpu = %v, want exactly engine-1worker", regs)
+	}
+
+	// On a 4-core host the same snapshots gate both scenarios.
+	regs, skips = CompareHost(baseline, fresh, 0.20, 4)
+	if len(regs) != 2 || len(skips) != 0 {
+		t.Fatalf("4-core host: regressions %v skips %v, want both gated", regs, skips)
+	}
+}
+
 // TestCompareNormalized: with the sequential reference in both snapshots,
 // a scenario must regress on BOTH absolute states/sec and its
 // speedup-over-reference ratio to be flagged, so a uniformly slower host

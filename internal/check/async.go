@@ -289,6 +289,9 @@ type asyncParams struct {
 	symFor     func(worker int) *symWorker
 	visit      func(worker int, n *Node) error
 	afterLevel func(depth, processed int) bool
+	// dec rematerializes remote successor records in distributed runs
+	// (nil otherwise). Used only by the link service goroutine.
+	dec *distDecoder
 }
 
 // asyncRun is the shared state of one async exploration.
@@ -371,22 +374,29 @@ func runAsync(run *engineRun, store StateStore, root *Node, c asyncParams) (RunS
 		a.owners[i] = o
 	}
 
-	// Seed: the root is one published unit in worker 0's deque.
-	rootPart := int(root.fp & run.ownerMask)
-	if _, err := as.AdmitAsync(rootPart, root); err != nil {
+	// Seed: the root is one published unit in worker 0's deque. On a
+	// distributed peer that does not own the root's partition the run
+	// starts idle — the owning peer (every peer computes the same root
+	// fingerprint) explores it and ships this peer its share.
+	if run.link != nil && !run.link.Owns(root.fp) {
 		run.recycleAlways(root)
-		return RunStats{}, err
+	} else {
+		rootPart := int(root.fp & run.ownerMask)
+		if _, err := as.AdmitAsync(rootPart, root); err != nil {
+			run.recycleAlways(root)
+			return RunStats{}, err
+		}
+		run.admitted.Store(1)
+		if o := a.owners[rootPart]; o.depth != nil {
+			o.depth[root.fp] = 0
+		}
+		if o := a.owners[rootPart]; o.asleep != nil {
+			o.asleep[root.fp] = 0
+		}
+		root.reexpand = asyncFresh
+		a.outstanding.Store(1)
+		a.workers[0].deque.push(root)
 	}
-	run.admitted.Store(1)
-	if o := a.owners[rootPart]; o.depth != nil {
-		o.depth[root.fp] = 0
-	}
-	if o := a.owners[rootPart]; o.asleep != nil {
-		o.asleep[root.fp] = 0
-	}
-	root.reexpand = asyncFresh
-	a.outstanding.Store(1)
-	a.workers[0].deque.push(root)
 
 	var ownerWG sync.WaitGroup
 	for _, o := range a.owners {
@@ -404,6 +414,21 @@ func runAsync(run *engineRun, store StateStore, root *Node, c asyncParams) (RunS
 			a.monitorLoop()
 		}()
 	}
+	// Distributed link service: one goroutine consumes the link's event
+	// stream — remote successor batches are decoded and injected as
+	// published units, quiescence probes are answered after everything
+	// delivered before them (records and probes share one FIFO, which is
+	// what makes the coordinator's counters sound), and close/done are
+	// applied. Workers never self-terminate in a distributed run; only
+	// the coordinator's DONE (or an error) ends it.
+	var distWG sync.WaitGroup
+	if run.link != nil {
+		distWG.Add(1)
+		go func() {
+			defer distWG.Done()
+			a.distService()
+		}()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -414,6 +439,10 @@ func runAsync(run *engineRun, store StateStore, root *Node, c asyncParams) (RunS
 	}
 	wg.Wait()
 	a.finish() // covers error/cancel exits; quiescence already called it
+	if run.link != nil {
+		run.link.Detach()
+	}
+	distWG.Wait()
 	ownerWG.Wait()
 	monWG.Wait()
 
@@ -607,6 +636,7 @@ func (a *asyncRun) workerLoop(w int) {
 	var localDelta int64
 	var sleepSkips, steals int64
 	var objs []int
+	var encScratch []byte
 	if run.sleepOn {
 		objs = make([]int, nProc)
 	}
@@ -651,6 +681,15 @@ func (a *asyncRun) workerLoop(w int) {
 		if localDelta != 0 {
 			a.outstanding.Add(localDelta)
 			localDelta = 0
+		}
+		if run.link != nil {
+			// Remote buffers ride the same flush discipline: a worker
+			// never parks with records a peer has not been sent (their
+			// sent-count is what keeps the coordinator's quiescence scan
+			// from declaring a false global zero).
+			if err := run.link.FlushWorker(w); err != nil {
+				a.fail(err)
+			}
 		}
 	}
 
@@ -716,6 +755,9 @@ func (a *asyncRun) workerLoop(w int) {
 			succ.Depth = n.Depth + 1
 			succ.Pid = pid
 			succ.parent = nil
+			if run.pathsOn {
+				succ.path = append(append(succ.path[:0], n.path...), byte(pid))
+			}
 			switch {
 			case a.c.opts.Canonical != nil:
 				succ.fp = a.c.opts.Canonical(succ.Cfg)
@@ -735,6 +777,19 @@ func (a *asyncRun) workerLoop(w int) {
 				}
 				succ.sleep = m
 			}
+			if run.link != nil && !run.link.Owns(succ.fp) {
+				// Remote-owned successor: ship it instead of admitting.
+				// Not a local published unit — the link's own sent
+				// counter carries it until the owning peer injects it.
+				var rec DistRecord
+				rec, encScratch = distRecordOf(succ, encScratch)
+				run.recycleAlways(succ)
+				if err := run.link.Send(w, rec); err != nil {
+					a.fail(err)
+					break
+				}
+				continue
+			}
 			deliver(succ)
 		}
 		localDelta--
@@ -750,8 +805,11 @@ func (a *asyncRun) workerLoop(w int) {
 			continue
 		}
 		flushAll()
-		if a.outstanding.Load() == 0 {
+		if run.link == nil && a.outstanding.Load() == 0 {
 			// First scan saw zero: run the validating sweep, then re-read.
+			// (Distributed peers skip this: local zero says nothing about
+			// records in flight to or from other peers — the coordinator's
+			// probe protocol owns termination, and workers just park.)
 			a.scans.Add(1)
 			if a.confirmQuiesce() {
 				a.finish()
@@ -836,4 +894,103 @@ func (a *asyncRun) confirmQuiesce() bool {
 		}
 	}
 	return a.outstanding.Load() == 0
+}
+
+// distService consumes the distributed link's event stream on its own
+// goroutine. The link delivers records and probes through one FIFO, so
+// by the time a probe is answered every record delivered before it has
+// been injected as a published unit — a probe can therefore never
+// observe "idle" while an already-delivered record is still invisible
+// to the outstanding counter, which is what makes the coordinator's
+// sent/delivered bookkeeping a sound global-quiescence test.
+func (a *asyncRun) distService() {
+	run := a.run
+	for {
+		ev, err := run.link.NextEvent()
+		if err != nil {
+			// Detach on shutdown surfaces as an error; a live run failing
+			// here is a lost link.
+			if !a.doneFlag.Load() {
+				a.fail(err)
+			}
+			return
+		}
+		switch ev.Kind {
+		case DistEvRecords:
+			if !a.injectRemote(ev.Records) {
+				return
+			}
+		case DistEvProbe:
+			idle := a.localQuiesce()
+			if idle {
+				a.scans.Add(1)
+			}
+			if err := run.link.ProbeReply(ev.Seq, idle, run.admitted.Load()); err != nil {
+				if !a.doneFlag.Load() {
+					a.fail(err)
+				}
+				return
+			}
+		case DistEvClose:
+			// Global budget overrun: close local admissions for good. The
+			// async order's truncation is coarse by design (see admitOne's
+			// admit-then-check), and the distributed close is the same
+			// verdict delivered by the coordinator.
+			run.closed.Store(true)
+			run.truncated.Store(true)
+		case DistEvDone:
+			a.finish()
+			return
+		}
+	}
+}
+
+// injectRemote decodes one delivered batch and publishes it to the
+// partition owners, counted before it becomes visible. Reports false
+// when the run is ending and injection stopped early.
+func (a *asyncRun) injectRemote(recs []DistRecord) bool {
+	run := a.run
+	buckets := make([][]*Node, len(a.owners))
+	for _, rec := range recs {
+		n, err := a.c.dec.decode(rec)
+		if err != nil {
+			a.fail(err)
+			return false
+		}
+		oi := int(n.fp & run.ownerMask)
+		buckets[oi] = append(buckets[oi], n)
+	}
+	from := 0
+	for oi, b := range buckets {
+		for off := 0; off < len(b); off += batchSize {
+			end := off + batchSize
+			if end > len(b) {
+				end = len(b)
+			}
+			chunk := (*run.batchPool.Get().(*[]*Node))[:0]
+			chunk = append(chunk, b[off:end]...)
+			a.outstanding.Add(int64(len(chunk)))
+			// Spread surviving admissions across the workers' inboxes.
+			from = (from + 1) % len(a.workers)
+			select {
+			case a.owners[oi].ch <- asyncBatch{from: from, nodes: chunk}:
+			case <-a.doneCh:
+				a.outstanding.Add(int64(-len(chunk)))
+				for _, n := range chunk {
+					run.recycleAlways(n)
+				}
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// localQuiesce is the distributed peer's probe answer: every deque and
+// inbox empty and the outstanding counter at zero. Workers flush their
+// deltas and remote buffers before parking, so "idle here" plus the
+// link's balanced sent/delivered counters across all peers is exactly
+// the in-process termination condition lifted to the cluster.
+func (a *asyncRun) localQuiesce() bool {
+	return a.confirmQuiesce()
 }

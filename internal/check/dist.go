@@ -1,0 +1,292 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file is the engine-side face of distributed frontier sharding
+// (internal/dist): the link interface a peer's engine drives, the wire
+// record it exchanges, and the decoder that rematerializes remote
+// successors. The design lifts the engine's single-process invariants to
+// process boundaries:
+//
+//   - Fingerprints hash to peers exactly as they hash to partitions: a
+//     fixed 64-way global partition space (the top six fingerprint bits,
+//     so local partition routing — low bits — stays independent) is split
+//     into contiguous ranges, one per peer. Every configuration has
+//     exactly one owning peer, so the visited set stays single-owner all
+//     the way across the wire.
+//
+//   - A successor owned by a remote peer is serialized as a DistRecord —
+//     the spill store's compact Config encoding plus the root-to-node pid
+//     path — and shipped instead of admitted. The receiving peer decodes
+//     via a model.SlotExchange fast path (canonical slots looked up by
+//     encoding span, slot hashes recomputed, exactly the spill store's
+//     rematerialization) and falls back to replaying the pid path through
+//     its own stepper for spans it has never seen, interning the result
+//     so the exchange warms up.
+//
+//   - Level barriers are a two-phase gather run by the coordinator;
+//     remote admissions are applied single-threaded between the owner
+//     goroutines joining and EndLevel, so partitions remain single-owner.
+//     Budget truncation stays globally deterministic: peers report their
+//     cumulative admissions, and on overshoot the coordinator gathers the
+//     per-peer sorted frontier fingerprints, computes the global
+//     sorted-fingerprint cutoff (the same order the store's EndLevel
+//     uses) and hands each peer its keep count.
+//
+//   - The async order's counter-based quiescence lifts to the wire: each
+//     link counts records sent and delivered, the coordinator probes all
+//     peers and declares termination only after two identical scans show
+//     every peer idle with sent and delivered balanced (the PR 6
+//     double-scan argument, with monotonic counters standing in for the
+//     in-process sweep).
+//
+// Distribution composes with the reduction stack (canonical fingerprints
+// and sleep masks are computed peer-side and intersected at the owning
+// peer, both commutative) and with either store backend. It is rejected
+// together with Provenance (parent chains cannot cross the wire),
+// StringKeys and a custom Canonical hook (both would ship full encodings
+// per admission probe), and Checkpoint (a multi-process snapshot needs a
+// coordinator-side protocol of its own).
+
+// DistNumParts is the size of the global partition space fingerprints
+// hash into before peer assignment: fixed so the fp -> peer routing is
+// independent of local worker/shard settings, and taken from the TOP
+// bits of the fingerprint so local partition routing (low bits) stays
+// uniform within each peer's range.
+const DistNumParts = 64
+
+// DistPart returns fp's global partition index in [0, DistNumParts).
+func DistPart(fp uint64) int { return int(fp >> 58) }
+
+// DistPeerOf returns the peer (of peerCount) owning global partition
+// part: contiguous ranges, the first (DistNumParts mod peerCount) peers
+// one partition larger.
+func DistPeerOf(part, peerCount int) int {
+	base := DistNumParts / peerCount
+	extra := DistNumParts % peerCount
+	// Peers [0, extra) own base+1 partitions each.
+	if wide := extra * (base + 1); part < wide {
+		return part / (base + 1)
+	} else {
+		return extra + (part-wide)/base
+	}
+}
+
+// NetStats reports a distributed run's wire activity. On a peer it
+// counts that peer's own link; the coordinator's merged result sums the
+// peers (each relayed record is counted once, at its sender).
+type NetStats struct {
+	// Peers is the number of peer processes that cooperated (0 for
+	// single-process runs).
+	Peers int `json:"peers,omitempty"`
+	// BatchesSent is the number of successor-batch frames sent.
+	BatchesSent int64 `json:"batches_sent,omitempty"`
+	// BytesSent is the total frame bytes sent (headers included).
+	BytesSent int64 `json:"bytes_sent,omitempty"`
+	// PeerStalls counts blocking waits on remote peers: level-barrier
+	// waits, plus idle quiescence-probe replies in the async order.
+	PeerStalls int64 `json:"peer_stalls,omitempty"`
+}
+
+// DistRecord is one successor shipped to its owning peer: enough to
+// rematerialize the node (Enc via the slot exchange, Path as the replay
+// fallback) and to admit it exactly as a local candidate (FP already
+// canonical under the run's reduction, Sleep the generator's mask).
+type DistRecord struct {
+	Pid    int
+	Depth  int
+	FP     uint64
+	SlotFP uint64
+	Sleep  uint64
+	Enc    []byte
+	Path   []byte
+}
+
+// DistBarrier is the coordinator's verdict at one level barrier.
+type DistBarrier struct {
+	// Keep, valid when Truncated, is how many of this peer's next-level
+	// nodes survive the global budget cutoff (the peer keeps its Keep
+	// smallest fingerprints — the global sorted order restricted to it).
+	Keep int
+	// Truncated reports that the global budget bound this level; every
+	// peer closes admissions in response.
+	Truncated bool
+	// Done ends the run after this barrier (global next frontier empty,
+	// or an early stop).
+	Done bool
+}
+
+// DistEventKind enumerates the async-order link events.
+type DistEventKind uint8
+
+const (
+	// DistEvRecords delivers decodable remote successor records.
+	DistEvRecords DistEventKind = iota
+	// DistEvProbe is a coordinator quiescence probe; the engine answers
+	// with DistLink.ProbeReply after everything delivered before the
+	// probe has been injected (the FIFO that makes the counters sound).
+	DistEvProbe
+	// DistEvClose closes admissions (global budget overrun, async order).
+	DistEvClose
+	// DistEvDone ends the run (global quiescence confirmed).
+	DistEvDone
+)
+
+// DistEvent is one async-order link event.
+type DistEvent struct {
+	Kind    DistEventKind
+	Records []DistRecord
+	Seq     uint64
+}
+
+// DistLink is the engine's handle on one peer's wire endpoint,
+// implemented by internal/dist. Send/FlushWorker are called by the
+// worker goroutine named; everything else by one engine/service
+// goroutine at a time.
+type DistLink interface {
+	// Peers is the cooperating peer count; Self this peer's index.
+	Peers() int
+	Self() int
+	// Start sizes the per-worker outgoing buffers; called once before
+	// any Send.
+	Start(workers int)
+	// Owns reports whether this peer owns fp's global partition.
+	Owns(fp uint64) bool
+	// Send buffers one record for its owning peer (batched per peer,
+	// mirroring the engine's in-process successor batches).
+	Send(worker int, rec DistRecord) error
+	// FlushWorker sends the worker's partial batches.
+	FlushWorker(worker int) error
+
+	// BarrierExpand flushes everything outstanding, announces that this
+	// peer finished expanding the level, and blocks until the
+	// coordinator's barrier — returning every remote record addressed to
+	// this peer for the level.
+	BarrierExpand(depth int) ([]DistRecord, error)
+	// BarrierLevel reports the post-EndLevel state (cumulative local
+	// admissions, next-frontier size, local early-stop request) and
+	// blocks for the coordinator's verdict. fps is called only if the
+	// global budget bound: it must return the next frontier's
+	// fingerprints in ascending order.
+	BarrierLevel(depth int, admitted int64, next int, stop bool, fps func() ([]uint64, error)) (DistBarrier, error)
+
+	// NextEvent blocks for the next async-order event (records, probe,
+	// close, done). It returns an error when the link is lost or
+	// detached.
+	NextEvent() (DistEvent, error)
+	// ProbeReply answers a DistEvProbe: whether this peer is locally
+	// quiescent, and its cumulative admission count (global budget).
+	ProbeReply(seq uint64, idle bool, admitted int64) error
+	// Detach unblocks NextEvent and stops the link's reader; the engine
+	// calls it on every exit path so no goroutine is left behind.
+	Detach()
+
+	// NetStats reports the link's cumulative wire activity.
+	NetStats() NetStats
+}
+
+// validateDist rejects the option combinations distribution cannot
+// honor, mirroring the reduction/order validations.
+func validateDist(opts EngineOptions, nProc int) error {
+	switch {
+	case opts.Provenance:
+		return fmt.Errorf("frontier engine: distributed runs are disabled for witness-producing (provenance) searches: parent chains are in-RAM pointers that cannot cross the wire")
+	case opts.StringKeys:
+		return fmt.Errorf("frontier engine: distributed runs require fingerprint keying: exact string keys would ship full encodings on every admission probe")
+	case opts.Canonical != nil:
+		return fmt.Errorf("frontier engine: distributed runs and a custom Canonical quotient are mutually exclusive (use Reduction, which peers recompute locally)")
+	case opts.Checkpoint != "":
+		return fmt.Errorf("frontier engine: distributed runs do not checkpoint: a multi-process snapshot needs coordinator-side generations (rerun from scratch instead — restart == resume for a deterministic run)")
+	}
+	if nProc > 255 {
+		return fmt.Errorf("frontier engine: distributed runs support at most 255 processes (wire records carry one pid byte per path step), protocol declares %d", nProc)
+	}
+	return nil
+}
+
+// distDecoder rematerializes remote successor records: slot-exchange
+// fast path, pid-path replay fallback (which interns the new spans, so
+// the exchange warms up to the hot slot population).
+type distDecoder struct {
+	run   *engineRun
+	st    *model.Stepper
+	exch  *model.SlotExchange
+	start *model.Config
+	nObj  int
+	nProc int
+	spans [][]byte
+}
+
+func newDistDecoder(run *engineRun, p model.Protocol, start *model.Config, nObj, nProc int) *distDecoder {
+	return &distDecoder{run: run, st: model.NewStepper(p), exch: model.NewSlotExchange(),
+		start: start, nObj: nObj, nProc: nProc}
+}
+
+// decode rebuilds one remote record as an admission-ready node.
+func (d *distDecoder) decode(rec DistRecord) (*Node, error) {
+	spans, err := model.SlotSpans(rec.Enc, d.nObj, d.nProc, d.spans)
+	if err != nil {
+		return nil, fmt.Errorf("dist: remote record encoding: %w", err)
+	}
+	d.spans = spans
+	n := d.run.newNode()
+	hit := true
+	for i := 0; i < d.nObj && hit; i++ {
+		if v, ok := d.exch.Value(spans[i]); ok {
+			n.Cfg.Objects[i] = v
+			n.slotH[i] = model.SlotContentHash(spans[i])
+		} else {
+			hit = false
+		}
+	}
+	for p := 0; p < d.nProc && hit; p++ {
+		if st, ok := d.exch.State(spans[d.nObj+p]); ok {
+			n.Cfg.States[p] = st
+			n.slotH[d.nObj+p] = model.SlotContentHash(spans[d.nObj+p])
+		} else {
+			hit = false
+		}
+	}
+	if hit {
+		n.slotFP = rec.SlotFP
+	} else {
+		// Replay fallback: some span has never been seen on this peer.
+		// The replayed configuration's slot fingerprint must match the
+		// sender's — a mismatch means the record does not belong to this
+		// run (wrong protocol build or corrupted-but-CRC-colliding frame).
+		d.run.recycleAlways(n)
+		if n, err = replayPath(d.run, d.st, d.start, rec.Path); err != nil {
+			return nil, fmt.Errorf("dist: remote record does not replay: %w", err)
+		}
+		if n.slotFP != rec.SlotFP {
+			d.run.recycleAlways(n)
+			return nil, fmt.Errorf("dist: remote record replays to fingerprint %#x, sender advertised %#x", n.slotFP, rec.SlotFP)
+		}
+		d.exch.Intern(n.Cfg, spans, d.nObj)
+	}
+	n.Depth, n.Pid = rec.Depth, rec.Pid
+	n.parent = nil
+	n.fp = rec.FP
+	n.sleep = rec.Sleep
+	n.key = ""
+	n.path = append(n.path[:0], rec.Path...)
+	return n, nil
+}
+
+// distRecordOf serializes a node for the wire; enc is the reusable
+// per-worker encoding scratch (returned for reuse). The record's Enc and
+// Path are copies owned by the link.
+func distRecordOf(n *Node, enc []byte) (DistRecord, []byte) {
+	enc = n.Cfg.AppendEncoding(enc[:0])
+	rec := DistRecord{
+		Pid: n.Pid, Depth: n.Depth,
+		FP: n.fp, SlotFP: n.slotFP, Sleep: n.sleep,
+		Enc:  append([]byte(nil), enc...),
+		Path: append([]byte(nil), n.path...),
+	}
+	return rec, enc
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -161,6 +162,15 @@ type EngineOptions struct {
 	// Progress, if non-nil, is invoked after every completed level with
 	// cumulative throughput statistics.
 	Progress func(Progress)
+	// Dist, if non-nil, attaches this engine to a distributed run as one
+	// peer: successors whose fingerprints hash to another peer's
+	// partition range are shipped over the link instead of admitted
+	// locally, remote successors delivered by the link are admitted as
+	// local candidates, and level barriers (or the async order's
+	// quiescence scans) are coordinated across the wire. dist.go states
+	// the routing and determinism contract. Incompatible with Provenance,
+	// StringKeys, Canonical and Checkpoint.
+	Dist DistLink
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -279,6 +289,9 @@ type RunStats struct {
 	// Async reports the exploration order that ran and, for async runs,
 	// the work-stealing and quiescence-detection activity.
 	Async AsyncStats
+	// Net reports the distributed link's wire activity; zero-valued for
+	// single-process runs.
+	Net NetStats
 }
 
 // batchSize is the successor-batch granularity: workers hand nodes to the
@@ -310,11 +323,18 @@ type engineRun struct {
 	stringKeys bool
 	provenance bool
 	sleepOn    bool
-	store      StateStore
-	owners     []*dedupOwner
-	ownerMask  uint64
-	nodePool   *sync.Pool
-	batchPool  *sync.Pool
+	// pathsOn maintains every node's root-to-node pid path: set for
+	// checkpointing runs (paths are how frontiers persist) and for
+	// distributed runs (paths are the wire records' replay fallback and
+	// how peers ship replayable violation witnesses to the coordinator).
+	pathsOn bool
+	// link is the distributed peer link (nil for single-process runs).
+	link      DistLink
+	store     StateStore
+	owners    []*dedupOwner
+	ownerMask uint64
+	nodePool  *sync.Pool
+	batchPool *sync.Pool
 	// prevSleep holds the previous level's finished per-partition sleep
 	// maps (read-only during a level; swapped at the barrier).
 	prevSleep []map[uint64]uint64
@@ -488,6 +508,11 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 	if ckptOn && nProc > 255 {
 		return RunStats{}, fmt.Errorf("frontier engine: checkpointing supports at most 255 processes (frontier paths store one pid byte per step), protocol declares %d", nProc)
 	}
+	if opts.Dist != nil {
+		if err := validateDist(opts, nProc); err != nil {
+			return RunStats{}, err
+		}
+	}
 	slots := nObj + nProc
 
 	allowed := make([]bool, nProc)
@@ -501,6 +526,8 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		stringKeys: opts.StringKeys && opts.Canonical == nil,
 		provenance: opts.Provenance,
 		sleepOn:    sleepOn,
+		pathsOn:    ckptOn || opts.Dist != nil,
+		link:       opts.Dist,
 		nodePool: &sync.Pool{New: func() any {
 			return &Node{
 				Cfg: &model.Config{
@@ -530,7 +557,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		nProc:      nProc,
 		stringKeys: run.stringKeys,
 		retain:     opts.Provenance,
-		paths:      ckptOn,
+		paths:      run.pathsOn,
 		newNode:    run.newNode,
 		recycle:    run.recycleAlways,
 	})
@@ -559,6 +586,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		rstats.Reduction.StatesPruned += rstats.Reduction.SleepSkipped
 		if rstats.Async.Order == "" {
 			rstats.Async.Order = OrderLevelSync
+		}
+		if run.link != nil {
+			rstats.Net = run.link.NetStats()
 		}
 	}()
 	run.store = store
@@ -634,11 +664,18 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			root.fp = sw.canonFP(root.slotFP, root.slotH)
 		}
 	}
+	if run.link != nil {
+		run.link.Start(opts.Workers)
+	}
 	if asyncOn {
 		// The async order (async.go) takes over from here: the root has
 		// its fingerprint and reduction keying applied but is not yet in
 		// the store. The deferred finalizer above still closes the store
 		// and folds the reduction counters.
+		var dec *distDecoder
+		if run.link != nil {
+			dec = newDistDecoder(run, p, start, nObj, nProc)
+		}
 		return runAsync(run, store, root, asyncParams{
 			opts:       opts,
 			limits:     limits,
@@ -649,6 +686,7 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			symFor:     symFor,
 			visit:      visit,
 			afterLevel: afterLevel,
+			dec:        dec,
 		})
 	}
 
@@ -688,6 +726,10 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			return RunStats{}, err
 		}
 		ckpt.dump = cs.DumpVisited
+	}
+	var dec *distDecoder
+	if run.link != nil {
+		dec = newDistDecoder(run, p, start, nObj, nProc)
 	}
 
 	var (
@@ -736,17 +778,27 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		}
 		startDepth = resumed.man.NextDepth
 	} else {
-		if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
+		if run.link != nil && !run.link.Owns(root.fp) {
+			// Another peer owns the root; this peer starts with an empty
+			// level-0 frontier and joins the run at the first barrier.
 			run.recycleAlways(root)
+		} else {
+			if _, retained := store.Admit(int(root.fp&run.ownerMask), root); !retained {
+				run.recycleAlways(root)
+			}
+			run.admitted.Store(1)
 		}
-		run.admitted.Store(1)
 		seed, err := store.EndLevel(limits.MaxConfigs)
 		if err != nil {
 			return RunStats{}, err
 		}
 		frontier = seed.Frontier
 	}
-	for depth := startDepth; frontier.Size() > 0; depth++ {
+	// A distributed peer enters every level in lockstep with its peers —
+	// even with an empty local frontier it must run the expand and level
+	// barriers — and leaves when the coordinator declares the global
+	// frontier empty.
+	for depth := startDepth; run.link != nil || frontier.Size() > 0; depth++ {
 		stats.Levels++
 		levelSize := frontier.Size()
 		admittedBefore := int(run.admitted.Load())
@@ -756,6 +808,10 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		if nw > levelSize {
 			nw = levelSize // never more goroutines than nodes; visits
 			// may be expensive (solo runs), so do not serialize further
+		}
+		if nw < 1 {
+			nw = 1 // empty local level on a distributed peer: one worker
+			// still runs (and immediately finishes) so the barriers fire
 		}
 		inline := nw <= 1
 		// pull is the per-claim batch the workers draw from the frontier
@@ -863,11 +919,12 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 						if run.provenance {
 							succ.parent = n
 						}
-						if ckptOn {
+						if run.pathsOn {
 							// Root-to-node pid path: the only protocol-
 							// independent serialization of a frontier node
-							// (configs are opaque; a resumed process replays
-							// the path through its own stepper).
+							// (configs are opaque; a resumed or remote
+							// process replays the path through its own
+							// stepper).
 							succ.path = append(append(succ.path[:0], n.path...), byte(pid))
 						}
 						switch {
@@ -897,6 +954,20 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 							}
 							succ.sleep = m
 						}
+						if run.link != nil && !run.link.Owns(succ.fp) {
+							// Remote-owned successor: ship it over the link
+							// instead of admitting. The owning peer dedups
+							// and (in sleep mode) intersects masks exactly
+							// as a local partition owner would.
+							var rec DistRecord
+							rec, scratch = distRecordOf(succ, scratch)
+							run.recycleAlways(succ)
+							if err := run.link.Send(worker, rec); err != nil {
+								fail(err)
+								break // stop expanding; fall through to the flush
+							}
+							continue
+						}
 						deliver(succ.fp&run.ownerMask, succ)
 					}
 					run.recycle(n)
@@ -907,6 +978,11 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			for oi, b := range buckets {
 				if len(b) > 0 {
 					run.owners[oi].ch <- b
+				}
+			}
+			if run.link != nil {
+				if err := run.link.FlushWorker(worker); err != nil {
+					fail(err)
 				}
 			}
 			if sleepSkips > 0 {
@@ -953,12 +1029,40 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		stats.Processed += levelSize
 		if atDepthCap {
 			stats.Complete = false
-			if opts.Progress != nil {
-				opts.Progress(Progress{Depth: depth, FrontierSize: levelSize,
-					Processed: stats.Processed, Admitted: int(run.admitted.Load()),
-					Elapsed: time.Since(startTime)})
+			if run.link == nil {
+				if opts.Progress != nil {
+					opts.Progress(Progress{Depth: depth, FrontierSize: levelSize,
+						Processed: stats.Processed, Admitted: int(run.admitted.Load()),
+						Elapsed: time.Since(startTime)})
+				}
+				break
 			}
-			break
+			// Distributed peers stay in lockstep instead of breaking: no
+			// successors were generated (every peer is at the same depth),
+			// so the barriers below see an empty global next frontier and
+			// the coordinator ends the run.
+		}
+
+		// Distributed expand barrier: flush, announce this peer's level
+		// complete, wait for every peer to finish expanding, then admit
+		// the remote successors addressed here. Admission is
+		// single-threaded at this point (the owner goroutines have
+		// joined) and sleep-mask intersection is commutative, so remote
+		// arrival order cannot leak into the result.
+		if run.link != nil {
+			recs, lerr := run.link.BarrierExpand(depth)
+			if lerr != nil {
+				stats.Complete = false
+				return stats, lerr
+			}
+			for _, rec := range recs {
+				n, derr := dec.decode(rec)
+				if derr != nil {
+					stats.Complete = false
+					return stats, derr
+				}
+				run.owners[n.fp&run.ownerMask].admit(run, n)
+			}
 		}
 
 		// Barrier: the store resolves delayed duplicates, applies the
@@ -977,6 +1081,13 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			// and the clamp keeps the store contract ("at most maxNext")
 			// meaningful under any future admission-accounting change.
 			maxNext = 0
+		}
+		if run.link != nil {
+			// Budget truncation is a global decision in a distributed run:
+			// the store never truncates locally; the coordinator compares
+			// the summed per-peer admissions against MaxConfigs at the
+			// level barrier below and hands back per-peer keep counts.
+			maxNext = int(^uint(0) >> 1)
 		}
 		lvl, err := store.EndLevel(maxNext)
 		if err != nil {
@@ -1006,13 +1117,74 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 		if run.truncated.Load() {
 			stats.Complete = false
 		}
+		stop := afterLevel != nil && afterLevel(depth, stats.Processed)
+
+		// Distributed level barrier: report cumulative admissions and the
+		// next local frontier, and receive the global verdict — a keep
+		// count when the summed admissions overshot MaxConfigs (the
+		// coordinator merges the per-peer sorted fingerprints and cuts at
+		// the same global sorted order the store's own truncation uses,
+		// so the surviving set is peer-count-independent), and Done when
+		// the global next frontier is empty or a peer stopped early.
+		distDone := false
+		if run.link != nil {
+			var drained []*Node
+			sortedNext := func() ([]*Node, error) {
+				if drained != nil {
+					return drained, nil
+				}
+				nodes, derr := drainFrontier(lvl.Frontier)
+				if derr != nil {
+					return nil, derr
+				}
+				sort.Slice(nodes, func(i, j int) bool { return nodes[i].fp < nodes[j].fp })
+				drained = nodes
+				lvl.Frontier = &memSource{nodes: nodes}
+				return nodes, nil
+			}
+			fps := func() ([]uint64, error) {
+				nodes, derr := sortedNext()
+				if derr != nil {
+					return nil, derr
+				}
+				out := make([]uint64, len(nodes))
+				for i, n := range nodes {
+					out[i] = n.fp
+				}
+				return out, nil
+			}
+			db, lerr := run.link.BarrierLevel(depth, run.admitted.Load(), lvl.Frontier.Size(), stop, fps)
+			if lerr != nil {
+				stats.Complete = false
+				return stats, lerr
+			}
+			if db.Truncated {
+				nodes, derr := sortedNext()
+				if derr != nil {
+					stats.Complete = false
+					return stats, derr
+				}
+				if db.Keep < 0 || db.Keep > len(nodes) {
+					stats.Complete = false
+					return stats, fmt.Errorf("dist: coordinator keep count %d outside [0, %d]", db.Keep, len(nodes))
+				}
+				for _, n := range nodes[db.Keep:] {
+					run.recycleAlways(n)
+				}
+				run.admitted.Add(int64(-(len(nodes) - db.Keep)))
+				run.closed.Store(true)
+				run.truncated.Store(true)
+				stats.Complete = false
+				lvl.Frontier = &memSource{nodes: nodes[:db.Keep]}
+			}
+			distDone = db.Done
+		}
 
 		// Checkpoint barrier: snapshot visited + frontier + search-layer
 		// accumulators when a generation is due or the run is ending (early
 		// stop or empty frontier — a Finished manifest lets a resume return
 		// the verdict without re-exploring). The early-stop decision is
 		// taken BEFORE the snapshot so Finished is recorded truthfully.
-		stop := afterLevel != nil && afterLevel(depth, stats.Processed)
 		if ckpt != nil && (stop || lvl.Frontier.Size() == 0 || ckpt.due(depth)) {
 			nodes, derr := drainFrontier(lvl.Frontier)
 			if derr != nil {
@@ -1061,6 +1233,9 @@ func RunFrontier(p model.Protocol, start *model.Config, pids []int, limits Explo
 			return stats, nil
 		}
 		frontier = lvl.Frontier
+		if distDone {
+			break
+		}
 	}
 	if run.truncated.Load() {
 		stats.Complete = false

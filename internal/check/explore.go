@@ -56,6 +56,16 @@ type ExploreResult struct {
 	// smallest one (minimum BFS depth, then fingerprint), so parallel
 	// runs report the same witness as sequential ones.
 	AgreementViolation *model.Config
+	// ViolationDepth and ViolationFP identify the witness when
+	// AgreementViolation is set: its BFS depth and dedup fingerprint (the
+	// ordering key parallel runs agree on).
+	ViolationDepth int
+	ViolationFP    uint64
+	// ViolationPath is the witness's root-to-node pid schedule, populated
+	// only on runs that maintain paths (checkpointing or distributed) —
+	// it is how a distributed peer ships a replayable witness to the
+	// coordinator.
+	ViolationPath []byte
 	// MaxDecidedTogether is the largest number of distinct values decided
 	// within a single visited configuration.
 	MaxDecidedTogether int
@@ -69,6 +79,10 @@ type ExploreResult struct {
 	// runs, the work-stealing and quiescence-detection activity. The
 	// Order field is always set ("levelsync" or "async").
 	Async AsyncStats
+	// Net reports a distributed run's wire activity (peer side: this
+	// peer's link; coordinator side: the peers summed). Zero-valued for
+	// single-process runs.
+	Net NetStats
 }
 
 // ExploreOptions bundles the limits with the engine knobs for the
@@ -229,6 +243,7 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res.Store = stats.Store
 	res.Reduction = stats.Reduction
 	res.Async = stats.Async
+	res.Net = stats.Net
 	res.DecidedValues = sortedValueSet(decided)
 	if violation != nil {
 		if violation.cfg == nil {
@@ -243,6 +258,9 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 			violation.cfg = cfg
 		}
 		res.AgreementViolation = violation.cfg
+		res.ViolationDepth = violation.depth
+		res.ViolationFP = violation.fp
+		res.ViolationPath = violation.path
 	}
 	return res, nil
 }

@@ -86,7 +86,7 @@ type spillStore struct {
 	partBudget int64
 	seq        int // depth of the frontier currently being admitted
 	parts      []spillPart
-	exch       slotExchange
+	exch       *model.SlotExchange
 	source     *spillSource // last handed-out streaming source (for Close)
 
 	// Counters mutated by spillDelta/compact are atomic: the async order
@@ -193,8 +193,7 @@ func newSpillStore(ctx storeCtx, budget int64, dir string) (*spillStore, error) 
 	if s.partBudget < 8<<10 {
 		s.partBudget = 8 << 10
 	}
-	s.exch.vals = map[string]model.Value{}
-	s.exch.sts = map[string]model.State{}
+	s.exch = model.NewSlotExchange()
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.id = i
@@ -377,7 +376,7 @@ func (s *spillStore) spoolNode(p *spillPart, n *Node) error {
 		return fmt.Errorf("spill store: %w", err)
 	}
 	p.spans = spans
-	s.exch.intern(n.Cfg, spans, s.ctx.nObj)
+	s.exch.Intern(n.Cfg, spans, s.ctx.nObj)
 	var pth []byte
 	if s.ctx.paths {
 		pth = n.path
@@ -828,63 +827,9 @@ func (s *spillStore) Close() error {
 	return cleanupErr
 }
 
-// slotExchange interns slot encodings <-> canonical Values/States. States
-// are protocol-defined and cannot be decoded from bytes, so every slot
-// the store spools registers its canonical object here first; decoding
-// looks the encoding back up. Read-mostly after warmup.
-type slotExchange struct {
-	mu   sync.RWMutex
-	vals map[string]model.Value
-	sts  map[string]model.State
-}
-
-// intern registers every slot of c (whose slot spans are given) that the
-// exchange has not seen yet.
-func (e *slotExchange) intern(c *model.Config, spans [][]byte, nObj int) {
-	e.mu.RLock()
-	missing := false
-	for i, span := range spans {
-		var ok bool
-		if i < nObj {
-			_, ok = e.vals[string(span)]
-		} else {
-			_, ok = e.sts[string(span)]
-		}
-		if !ok {
-			missing = true
-			break
-		}
-	}
-	e.mu.RUnlock()
-	if !missing {
-		return
-	}
-	e.mu.Lock()
-	for i, span := range spans {
-		if i < nObj {
-			if _, ok := e.vals[string(span)]; !ok {
-				e.vals[string(span)] = c.Objects[i]
-			}
-		} else if _, ok := e.sts[string(span)]; !ok {
-			e.sts[string(span)] = c.States[i-nObj]
-		}
-	}
-	e.mu.Unlock()
-}
-
-func (e *slotExchange) value(span []byte) (model.Value, bool) {
-	e.mu.RLock()
-	v, ok := e.vals[string(span)]
-	e.mu.RUnlock()
-	return v, ok
-}
-
-func (e *slotExchange) state(span []byte) (model.State, bool) {
-	e.mu.RLock()
-	st, ok := e.sts[string(span)]
-	e.mu.RUnlock()
-	return st, ok
-}
+// The slot-encoding exchange the store interns into lives in
+// internal/model (model.SlotExchange) so the distributed-frontier peers
+// can reuse the same rematerialization path for wire records.
 
 // ---- segment (frontier spool) I/O ----
 
@@ -1266,7 +1211,7 @@ func (s *spillStore) decode(rec rawRec, data []byte, depth int, spans [][]byte) 
 	}
 	n := s.ctx.newNode()
 	for i := 0; i < s.ctx.nObj; i++ {
-		v, ok := s.exch.value(spans[i])
+		v, ok := s.exch.Value(spans[i])
 		if !ok {
 			s.ctx.recycle(n)
 			return nil, spans, fmt.Errorf("spill store: object slot %d encoding not interned", i)
@@ -1276,7 +1221,7 @@ func (s *spillStore) decode(rec rawRec, data []byte, depth int, spans [][]byte) 
 	}
 	for p := 0; p < s.ctx.nProc; p++ {
 		span := spans[s.ctx.nObj+p]
-		st, ok := s.exch.state(span)
+		st, ok := s.exch.State(span)
 		if !ok {
 			s.ctx.recycle(n)
 			return nil, spans, fmt.Errorf("spill store: state slot %d encoding not interned", p)

@@ -1,0 +1,655 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/model"
+)
+
+// PeerLostError reports a peer connection failing (or misbehaving)
+// mid-run. The coordinator fails fast — it closes every peer link and
+// returns one of these instead of hanging on a barrier a dead peer can
+// never reach.
+type PeerLostError struct {
+	Peer int
+	Addr string
+	Err  error
+}
+
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("dist: peer %d (%s) lost: %v", e.Peer, e.Addr, e.Err)
+}
+
+func (e *PeerLostError) Unwrap() error { return e.Err }
+
+// Spec is the run a coordinator drives: the protocol instance (by
+// registry name plus parameters, so every peer builds the same one),
+// the start configuration's inputs, and the engine knobs each peer
+// applies locally.
+type Spec struct {
+	Proto   string
+	N, K, M int
+	AgreeK  int
+	Inputs  []int
+
+	Limits check.ExploreLimits
+
+	Workers   int
+	Shards    int
+	Store     string
+	MemBudget int64
+	Reduce    string
+	Order     string
+}
+
+// asyncProbeEvery is the coordinator's quiescence-probe period. Probes
+// are cheap (one tiny frame per peer each way), so this leans brisk:
+// termination latency is ~2 probe rounds past actual quiescence.
+const asyncProbeEvery = 2 * time.Millisecond
+
+// coordPeer is the coordinator's per-peer connection state.
+type coordPeer struct {
+	conn net.Conn
+	br   *bufio.Reader
+	addr string
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+func (cp *coordPeer) writeFrame(t frameType, payload []byte) error {
+	cp.wmu.Lock()
+	defer cp.wmu.Unlock()
+	cp.wbuf = appendFrame(cp.wbuf[:0], t, payload)
+	_, err := cp.conn.Write(cp.wbuf)
+	return err
+}
+
+// ctrlMsg is one control frame routed from a peer reader to the
+// coordinator's state machine.
+type ctrlMsg struct {
+	peer    int
+	kind    frameType
+	payload []byte
+}
+
+// Dial connects to each peer address and runs spec across them,
+// returning the merged result.
+func Dial(ctx context.Context, p model.Protocol, addrs []string, spec Spec) (*check.ExploreResult, error) {
+	conns := make([]net.Conn, len(addrs))
+	var d net.Dialer
+	for i, addr := range addrs {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return nil, &PeerLostError{Peer: i, Addr: addr, Err: err}
+		}
+		conns[i] = conn
+	}
+	return Run(ctx, p, conns, addrs, spec)
+}
+
+// Run drives one distributed exploration over established peer
+// connections (one per peer, in peer-index order; addrs are labels for
+// errors). It owns the conns and closes them before returning. p is
+// used coordinator-side only to replay the merged violation witness.
+//
+// The verdict contract is the heart of the protocol: for any peer
+// count, Run's result has the same Visited count, Complete flag,
+// decided-value set and violation identity (depth, fingerprint) as the
+// single-process engine with the same spec — the differential suite in
+// dist_test.go pins this per protocol, order and reduction.
+func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string, spec Spec) (*check.ExploreResult, error) {
+	peers := len(conns)
+	if peers < 1 || peers > check.DistNumParts {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, fmt.Errorf("dist: peer count %d outside [1, %d]", peers, check.DistNumParts)
+	}
+	spec.Limits = withLimitDefaults(spec.Limits)
+
+	cps := make([]*coordPeer, peers)
+	for i, conn := range conns {
+		addr := ""
+		if i < len(addrs) {
+			addr = addrs[i]
+		} else if ra := conn.RemoteAddr(); ra != nil {
+			addr = ra.String()
+		}
+		cps[i] = &coordPeer{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), addr: addr}
+	}
+	var closeOnce sync.Once
+	shutdown := func() {
+		closeOnce.Do(func() {
+			for _, cp := range cps {
+				cp.conn.Close()
+			}
+		})
+	}
+	defer shutdown()
+
+	// Handshake: HELLO out, HELLOACK back, synchronously per peer. After
+	// this every peer is running its engine against the same pinned spec.
+	for i, cp := range cps {
+		hello := helloMsg{
+			Proto: spec.Proto, N: spec.N, K: spec.K, M: spec.M,
+			AgreeK: spec.AgreeK, Inputs: spec.Inputs,
+			MaxConfigs: spec.Limits.MaxConfigs, MaxDepth: spec.Limits.MaxDepth,
+			Workers: spec.Workers, Shards: spec.Shards,
+			Store: spec.Store, MemBudget: spec.MemBudget,
+			Reduce: spec.Reduce, Order: spec.Order,
+			PeerIndex: i, PeerCount: peers,
+		}
+		if err := cp.writeFrame(frameHello, marshalCtrl(hello)); err != nil {
+			return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+		}
+	}
+	for i, cp := range cps {
+		t, payload, _, err := readFrame(cp.br, nil)
+		if err != nil {
+			return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+		}
+		switch t {
+		case frameHelloAck:
+		case frameError:
+			var m errorMsg
+			unmarshalCtrl(payload, &m)
+			return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: fmt.Errorf("peer rejected spec: %s", m.Msg)}
+		default:
+			return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: fmt.Sprintf("expected hello ack, got frame type %d", t)}}
+		}
+	}
+
+	// Cancellation: closing the conns fails every blocked read and write,
+	// which collapses the run into a PeerLostError path.
+	if ctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				shutdown()
+			case <-watchDone:
+			}
+		}()
+	}
+
+	// Per-peer readers: relay successor batches straight to their
+	// destination conn (raw payload re-framed, one write mutex per dest)
+	// and route control frames to the state machine. The relay is what
+	// gives the expand barrier its ordering guarantee: a peer's batches
+	// are written into each destination conn before the peer's EXPANDED
+	// reaches the control loop, and BARRIER is broadcast only after every
+	// EXPANDED — so on each destination conn, every batch of the level
+	// happens-before the BARRIER frame.
+	ctrl := make(chan ctrlMsg, 4*peers)
+	errc := make(chan error, peers)
+	var readerWG sync.WaitGroup
+	for i, cp := range cps {
+		readerWG.Add(1)
+		go func(i int, cp *coordPeer) {
+			defer readerWG.Done()
+			var buf []byte
+			for {
+				var (
+					t       frameType
+					payload []byte
+					err     error
+				)
+				t, payload, buf, err = readFrame(cp.br, buf)
+				if err != nil {
+					errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+					return
+				}
+				switch t {
+				case frameBatch:
+					if len(payload) < batchHeaderLen {
+						errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: "batch payload shorter than its header"}}
+						return
+					}
+					dest := int(payload[0])
+					if dest >= peers || dest == i {
+						errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: fmt.Sprintf("batch addressed to peer %d", dest)}}
+						return
+					}
+					if werr := cps[dest].writeFrame(frameBatch, payload); werr != nil {
+						errc <- &PeerLostError{Peer: dest, Addr: cps[dest].addr, Err: werr}
+						return
+					}
+				case frameExpanded, frameLevel, frameFPs, frameProbeReply, frameResult, frameError:
+					ctrl <- ctrlMsg{peer: i, kind: t, payload: append([]byte(nil), payload...)}
+				default:
+					errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: fmt.Sprintf("unexpected frame type %d from peer", t)}}
+					return
+				}
+			}
+		}(i, cp)
+	}
+	// The readers hold conn references only; once the conns close they
+	// all fail out. Collect them before returning so none outlives Run.
+	defer readerWG.Wait()
+	defer shutdown()
+
+	next := func() (ctrlMsg, error) {
+		// Prefer queued control frames: a peer that sends a typed ERROR
+		// and then hits EOF has both waiting, and the ERROR (pushed first,
+		// same reader goroutine) is the informative one.
+		select {
+		case m := <-ctrl:
+			return m, nil
+		default:
+		}
+		select {
+		case m := <-ctrl:
+			return m, nil
+		case err := <-errc:
+			shutdown()
+			return ctrlMsg{}, err
+		}
+	}
+
+	async := spec.Order == check.OrderAsync
+	var loopErr error
+	if async {
+		loopErr = runAsyncControl(cps, spec, next)
+	} else {
+		loopErr = runLevelControl(cps, spec, next)
+	}
+	if loopErr != nil {
+		shutdown()
+		return nil, loopErr
+	}
+
+	// Gather the per-peer results and merge. A peer closes its conn right
+	// after its RESULT, so an EOF from a peer whose result is already in
+	// is the normal end of its stream, not a loss — only fail on errors
+	// from peers still owing a result.
+	results := make([]*resultMsg, peers)
+	for got := 0; got < peers; {
+		var m ctrlMsg
+		select {
+		case m = <-ctrl:
+		default:
+			var rerr error
+			select {
+			case m = <-ctrl:
+			case rerr = <-errc:
+			}
+			if rerr != nil {
+				var pl *PeerLostError
+				if errors.As(rerr, &pl) && pl.Peer < peers && results[pl.Peer] != nil {
+					continue
+				}
+				shutdown()
+				return nil, rerr
+			}
+		}
+		switch m.kind {
+		case frameResult:
+			var r resultMsg
+			if err := unmarshalCtrl(m.payload, &r); err != nil {
+				return nil, &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: err}
+			}
+			if results[m.peer] == nil {
+				got++
+			}
+			results[m.peer] = &r
+		case frameError:
+			var em errorMsg
+			unmarshalCtrl(m.payload, &em)
+			return nil, &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: fmt.Errorf("peer run failed: %s", em.Msg)}
+		case frameProbeReply:
+			// A stale probe answer racing the DONE broadcast; ignore.
+		default:
+			return nil, &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("expected result, got frame type %d", m.kind)}}
+		}
+	}
+	return mergeResults(p, spec, results)
+}
+
+// runLevelControl is the levelsync barrier state machine: per depth,
+// gather EXPANDED from every peer, broadcast BARRIER, gather LEVEL
+// reports, apply the global budget, broadcast CONT.
+func runLevelControl(cps []*coordPeer, spec Spec, next func() (ctrlMsg, error)) error {
+	peers := len(cps)
+	broadcast := func(t frameType, payload []byte) error {
+		for i, cp := range cps {
+			if err := cp.writeFrame(t, payload); err != nil {
+				return &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+			}
+		}
+		return nil
+	}
+	truncated := false
+	for depth := 0; ; depth++ {
+		// Phase 1: every peer finished expanding the level (its batches
+		// are already relayed — conn FIFO order guarantees that).
+		for seen := 0; seen < peers; {
+			m, err := next()
+			if err != nil {
+				return err
+			}
+			if m.kind != frameExpanded {
+				return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("expected expanded, got frame type %d", m.kind)}}
+			}
+			var dm depthMsg
+			if err := unmarshalCtrl(m.payload, &dm); err != nil {
+				return err
+			}
+			if dm.Depth != depth {
+				return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("peer expanded depth %d at barrier %d", dm.Depth, depth)}}
+			}
+			seen++
+		}
+		if err := broadcast(frameBarrier, marshalCtrl(depthMsg{Depth: depth})); err != nil {
+			return err
+		}
+
+		// Phase 2: post-EndLevel reports.
+		var (
+			totalAdmitted int64
+			totalNext     int
+			stop          bool
+			nextSize      = make([]int, peers)
+		)
+		for seen := 0; seen < peers; {
+			m, err := next()
+			if err != nil {
+				return err
+			}
+			if m.kind != frameLevel {
+				return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("expected level report, got frame type %d", m.kind)}}
+			}
+			var lm levelMsg
+			if err := unmarshalCtrl(m.payload, &lm); err != nil {
+				return err
+			}
+			totalAdmitted += lm.Admitted
+			totalNext += lm.Next
+			nextSize[m.peer] = lm.Next
+			stop = stop || lm.Stop
+			seen++
+		}
+
+		// Global budget: when the summed admissions overshoot, gather the
+		// per-peer sorted next-frontier fingerprints and keep the globally
+		// smallest keepTotal — the same sorted-fingerprint cutoff the
+		// store's own EndLevel applies, so the surviving set (and hence
+		// every later verdict) is independent of the peer count.
+		keep := make([]int, peers)
+		willTruncate := !truncated && int(totalAdmitted) > spec.Limits.MaxConfigs
+		if willTruncate {
+			truncated = true
+			keepTotal := totalNext - (int(totalAdmitted) - spec.Limits.MaxConfigs)
+			if keepTotal < 0 {
+				keepTotal = 0
+			}
+			if err := broadcast(frameNeedFPs, marshalCtrl(depthMsg{Depth: depth})); err != nil {
+				return err
+			}
+			peerFPs := make([][]uint64, peers)
+			for done := 0; done < peers; {
+				m, err := next()
+				if err != nil {
+					return err
+				}
+				if m.kind != frameFPs {
+					return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("expected fingerprints, got frame type %d", m.kind)}}
+				}
+				fps, last, err := decodeFPChunk(m.payload)
+				if err != nil {
+					return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: err}
+				}
+				peerFPs[m.peer] = append(peerFPs[m.peer], fps...)
+				if last {
+					done++
+				}
+			}
+			var merged []uint64
+			for i, fps := range peerFPs {
+				if len(fps) != nextSize[i] {
+					return &PeerLostError{Peer: i, Addr: cps[i].addr, Err: &FrameError{Reason: fmt.Sprintf("peer reported %d next nodes but sent %d fingerprints", nextSize[i], len(fps))}}
+				}
+				merged = append(merged, fps...)
+			}
+			sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+			if keepTotal > len(merged) {
+				keepTotal = len(merged)
+			}
+			if keepTotal == 0 {
+				// Everything next is cut.
+			} else {
+				// Fingerprints are globally distinct (one owning peer per
+				// fingerprint, deduped there), so the cutoff is exact: peer
+				// i keeps its fingerprints <= the keepTotal-th smallest.
+				threshold := merged[keepTotal-1]
+				for i, fps := range peerFPs {
+					keep[i] = sort.Search(len(fps), func(j int) bool { return fps[j] > threshold })
+				}
+			}
+			totalNext = keepTotal
+		}
+
+		done := totalNext == 0 || stop
+		for i, cp := range cps {
+			cm := contMsg{Depth: depth, Keep: keep[i], Truncated: willTruncate, Done: done}
+			if err := cp.writeFrame(frameCont, marshalCtrl(cm)); err != nil {
+				return &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// runAsyncControl lifts the async order's double-scan quiescence across
+// the wire: probe every peer, and declare termination only after two
+// consecutive complete scans in which every peer is idle, the summed
+// sent and delivered record counters balance, and nothing moved between
+// the scans (all counters monotonic, so equality means no record was in
+// flight anywhere when either scan ran).
+func runAsyncControl(cps []*coordPeer, spec Spec, next func() (ctrlMsg, error)) error {
+	peers := len(cps)
+	type scan struct {
+		replies int
+		vec     []probeReplyMsg
+	}
+	var (
+		seq       uint64
+		cur       scan
+		prev      []probeReplyMsg
+		prevOK    bool
+		closeSent bool
+	)
+	probe := func() error {
+		seq++
+		cur = scan{vec: make([]probeReplyMsg, peers)}
+		for i, cp := range cps {
+			if err := cp.writeFrame(frameProbe, marshalCtrl(probeMsg{Seq: seq})); err != nil {
+				return &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+			}
+		}
+		return nil
+	}
+	if err := probe(); err != nil {
+		return err
+	}
+	timer := time.NewTimer(asyncProbeEvery)
+	defer timer.Stop()
+
+	// next() blocks on the control channel; fold the probe ticker in by
+	// running reads on a goroutine-free select via a small adapter: the
+	// readers already push into ctrl, so we only need a timeout wait.
+	// ctrlMsg arrival drives everything; the timer only launches the next
+	// probe round once the previous round completed.
+	roundDone := false
+	for {
+		if roundDone {
+			roundDone = false
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(asyncProbeEvery)
+			<-timer.C
+			if err := probe(); err != nil {
+				return err
+			}
+		}
+		m, err := next()
+		if err != nil {
+			return err
+		}
+		switch m.kind {
+		case frameProbeReply:
+			var pr probeReplyMsg
+			if err := unmarshalCtrl(m.payload, &pr); err != nil {
+				return err
+			}
+			if pr.Seq != seq {
+				continue // stale round
+			}
+			if cur.vec[m.peer].Seq == 0 {
+				cur.replies++
+			}
+			cur.vec[m.peer] = pr
+			if cur.replies < peers {
+				continue
+			}
+			// Round complete: budget first, then the double scan.
+			var totalAdmitted, totalSent, totalDelivered int64
+			allIdle := true
+			for _, pr := range cur.vec {
+				totalAdmitted += pr.Admitted
+				totalSent += pr.Sent
+				totalDelivered += pr.Delivered
+				allIdle = allIdle && pr.Idle
+			}
+			if !closeSent && int(totalAdmitted) > spec.Limits.MaxConfigs {
+				closeSent = true
+				for i, cp := range cps {
+					if err := cp.writeFrame(frameClose, nil); err != nil {
+						return &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+					}
+				}
+			}
+			quiet := allIdle && totalSent == totalDelivered
+			if quiet && prevOK && sameScan(prev, cur.vec) {
+				for i, cp := range cps {
+					if err := cp.writeFrame(frameDone, nil); err != nil {
+						return &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+					}
+				}
+				return nil
+			}
+			prev, prevOK = cur.vec, quiet
+			roundDone = true
+		case frameError:
+			var em errorMsg
+			unmarshalCtrl(m.payload, &em)
+			return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: fmt.Errorf("peer run failed: %s", em.Msg)}
+		default:
+			return &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("unexpected frame type %d during async run", m.kind)}}
+		}
+	}
+}
+
+func sameScan(a, b []probeReplyMsg) bool {
+	for i := range a {
+		if a[i].Sent != b[i].Sent || a[i].Delivered != b[i].Delivered || !a[i].Idle || !b[i].Idle {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeResults folds the per-peer shares into one ExploreResult: counts
+// sum, completeness ANDs, decided values union, and the violation
+// witness is the global (depth, fingerprint) minimum replayed from its
+// pid path — the same representative the single-process engine reports.
+func mergeResults(p model.Protocol, spec Spec, results []*resultMsg) (*check.ExploreResult, error) {
+	out := &check.ExploreResult{Complete: true}
+	decided := map[int]bool{}
+	var viol *resultMsg
+	for _, r := range results {
+		out.Visited += r.Visited
+		out.Complete = out.Complete && r.Complete
+		for _, v := range r.Decided {
+			decided[v] = true
+		}
+		if r.MaxTogether > out.MaxDecidedTogether {
+			out.MaxDecidedTogether = r.MaxTogether
+		}
+		if r.HasViol {
+			if viol == nil || r.ViolDepth < viol.ViolDepth ||
+				(r.ViolDepth == viol.ViolDepth && r.ViolFP < viol.ViolFP) {
+				viol = r
+			}
+		}
+
+		out.Store.Kind = r.Store.Kind
+		out.Store.BytesSpilled += r.Store.BytesSpilled
+		out.Store.RunsWritten += r.Store.RunsWritten
+		out.Store.RunsMerged += r.Store.RunsMerged
+		out.Store.PeakResidentBytes += r.Store.PeakResidentBytes
+		out.Store.PrefilterHits += r.Store.PrefilterHits
+
+		out.Reduction.Reduce = r.Reduction.Reduce
+		out.Reduction.StatesPruned += r.Reduction.StatesPruned
+		out.Reduction.OrbitHits += r.Reduction.OrbitHits
+		out.Reduction.SleepSkipped += r.Reduction.SleepSkipped
+
+		out.Async.Order = r.Async.Order
+		out.Async.Steals += r.Async.Steals
+		out.Async.QuiescenceScans += r.Async.QuiescenceScans
+
+		// Each relayed record is counted once, at its sender.
+		out.Net.BatchesSent += r.Net.BatchesSent
+		out.Net.BytesSent += r.Net.BytesSent
+		out.Net.PeerStalls += r.Net.PeerStalls
+	}
+	out.Net.Peers = len(results)
+	for v := range decided {
+		out.DecidedValues = append(out.DecidedValues, v)
+	}
+	sort.Ints(out.DecidedValues)
+	if viol != nil {
+		cfg, err := model.NewConfig(p, spec.Inputs)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rebuilding start configuration for witness replay: %w", err)
+		}
+		for _, pb := range viol.ViolPath {
+			if _, err := model.Apply(p, cfg, int(pb)); err != nil {
+				return nil, fmt.Errorf("dist: replaying violation witness: %w", err)
+			}
+		}
+		out.AgreementViolation = cfg
+		out.ViolationDepth = viol.ViolDepth
+		out.ViolationFP = viol.ViolFP
+		out.ViolationPath = append([]byte(nil), viol.ViolPath...)
+	}
+	return out, nil
+}
+
+// withLimitDefaults mirrors check.ExploreLimits.withDefaults so the
+// coordinator's budget math and the peers' agree on MaxConfigs.
+func withLimitDefaults(l check.ExploreLimits) check.ExploreLimits {
+	if l.MaxConfigs <= 0 {
+		l.MaxConfigs = check.DefaultMaxConfigs
+	}
+	return l
+}

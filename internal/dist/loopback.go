@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/model"
+)
+
+// LoopbackExplore runs a distributed exploration entirely in-process:
+// one ServePeerConn goroutine per peer over a net.Pipe, driven by the
+// normal coordinator. It is the sweep/bench integration point (engine
+// spec `peers=N`) and the backbone of the differential parity suite —
+// same wire protocol as TCP, zero sockets.
+func LoopbackExplore(ctx context.Context, p model.Protocol, inputs []int, agreeK int, opts check.ExploreOptions, peers int) (*check.ExploreResult, error) {
+	if peers < 1 {
+		return nil, fmt.Errorf("dist: loopback peer count %d", peers)
+	}
+	conns := make([]net.Conn, peers)
+	addrs := make([]string, peers)
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		c, s := net.Pipe()
+		conns[i] = c
+		addrs[i] = fmt.Sprintf("loopback-%d", i)
+		wg.Add(1)
+		go func(s net.Conn) {
+			defer wg.Done()
+			ServePeerConn(ctx, s, func(string, int, int, int) (model.Protocol, error) {
+				return p, nil
+			})
+		}(s)
+	}
+	spec := Spec{
+		Proto:     p.Name(),
+		AgreeK:    agreeK,
+		Inputs:    inputs,
+		Limits:    opts.Limits,
+		Workers:   opts.Engine.Workers,
+		Shards:    opts.Engine.Shards,
+		Store:     opts.Engine.Store,
+		MemBudget: opts.Engine.MemBudget,
+		Reduce:    opts.Engine.Reduction,
+		Order:     opts.Engine.Order,
+	}
+	res, err := Run(ctx, p, conns, addrs, spec)
+	// Run closes every conn on all paths, so the servers always exit.
+	wg.Wait()
+	return res, err
+}

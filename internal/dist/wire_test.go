@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// --- Frame codec: the corruption contract ---
+//
+// The wire layer's promise (the distributed analogue of the spill
+// store's RAF1 discipline) is that corrupt bytes can never decode into
+// a wrong admit: every truncation, bit flip, or length overflow
+// surfaces as a typed *FrameError (or a short-read io error at the
+// stream layer), never as a panic and never as a frame with different
+// contents. FuzzWireFrame drives arbitrary bytes through the pure
+// decoder; the deterministic tests below pin the specific corruption
+// classes the issue names.
+
+func testRecords() []check.DistRecord {
+	return []check.DistRecord{
+		{Pid: 0, Depth: 1, FP: 0xdeadbeefcafe, SlotFP: 7, Sleep: 0, Enc: []byte{1}, Path: []byte{0}},
+		{Pid: 3, Depth: 12, FP: ^uint64(0), SlotFP: ^uint64(1), Sleep: 0b1011, Enc: []byte("compact-config-encoding"), Path: []byte{0, 1, 2, 3, 2, 1}},
+		{Pid: 255, Depth: 0, FP: 1, SlotFP: 2, Sleep: 3, Enc: []byte{0}, Path: []byte{9}},
+	}
+}
+
+func seedFrames() [][]byte {
+	batch := appendBatchHeader(nil, 1, 0, len(testRecords()))
+	for _, rec := range testRecords() {
+		batch = appendRecord(batch, rec)
+	}
+	return [][]byte{
+		appendFrame(nil, frameHello, marshalCtrl(helloMsg{Proto: "algorithm1", N: 4, K: 1, M: 2, Inputs: []int{0, 1, 1, 0}, PeerCount: 2})),
+		appendFrame(nil, frameHelloAck, marshalCtrl(helloAckMsg{PeerIndex: 1})),
+		appendFrame(nil, frameBatch, batch),
+		appendFrame(nil, frameExpanded, marshalCtrl(depthMsg{Depth: 3})),
+		appendFrame(nil, frameLevel, marshalCtrl(levelMsg{Depth: 3, Admitted: 512, Next: 40})),
+		appendFrame(nil, frameFPs, appendFPChunk(nil, []uint64{1, 2, 3, ^uint64(0)}, true)),
+		appendFrame(nil, frameCont, marshalCtrl(contMsg{Depth: 3, Keep: 17, Truncated: true})),
+		appendFrame(nil, frameProbeReply, marshalCtrl(probeReplyMsg{Seq: 9, Sent: 100, Delivered: 100, Idle: true})),
+		appendFrame(nil, frameDone, nil),
+		appendFrame(nil, frameError, marshalCtrl(errorMsg{Msg: "boom"})),
+	}
+}
+
+// FuzzWireFrame: arbitrary bytes through decodeFrame never panic; a
+// failure is always a typed *FrameError; a success re-encodes to a
+// frame that decodes to the identical type and payload. When the frame
+// carries a binary sub-payload (batch, fingerprint chunk), that decoder
+// is held to the same contract.
+func FuzzWireFrame(f *testing.F) {
+	for _, fr := range seedFrames() {
+		f.Add(fr)
+		// Truncations and single-byte corruption of valid frames as
+		// explicit seeds so the corpus starts on the interesting edges.
+		f.Add(fr[:len(fr)-1])
+		f.Add(fr[:frameHeaderLen/2])
+		flipped := append([]byte(nil), fr...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+	over := append([]byte(frameMagic), byte(frameBatch), 0, 0, 0)
+	over = binary.LittleEndian.AppendUint32(over, maxFramePayload+1)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ft, payload, rest, err := decodeFrame(b)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decodeFrame error is %T (%v), want *FrameError", err, err)
+			}
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatalf("decodeFrame returned more rest (%d) than input (%d)", len(rest), len(b))
+		}
+		re := appendFrame(nil, ft, payload)
+		rt, rp, rr, rerr := decodeFrame(re)
+		if rerr != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", rerr)
+		}
+		if rt != ft || !bytes.Equal(rp, payload) || len(rr) != 0 {
+			t.Fatalf("re-encode round trip mismatch: type %d/%d, payload %d/%d bytes", ft, rt, len(payload), len(rp))
+		}
+		switch ft {
+		case frameBatch:
+			if _, _, _, berr := decodeBatch(payload); berr != nil {
+				var fe *FrameError
+				if !errors.As(berr, &fe) {
+					t.Fatalf("decodeBatch error is %T, want *FrameError", berr)
+				}
+			}
+		case frameFPs:
+			if _, _, cerr := decodeFPChunk(payload); cerr != nil {
+				var fe *FrameError
+				if !errors.As(cerr, &fe) {
+					t.Fatalf("decodeFPChunk error is %T, want *FrameError", cerr)
+				}
+			}
+		}
+	})
+}
+
+// TestWireFrameBitFlips: flipping any single bit of a valid frame must
+// be detected (CRC32 catches all burst errors up to 32 bits, so a
+// single flip can never survive). This is exhaustive over every bit of
+// every seed frame.
+func TestWireFrameBitFlips(t *testing.T) {
+	for fi, fr := range seedFrames() {
+		for i := range fr {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), fr...)
+				mut[i] ^= 1 << bit
+				_, _, _, err := decodeFrame(mut)
+				if err == nil {
+					t.Fatalf("seed %d: flipping bit %d of byte %d went undetected", fi, bit, i)
+				}
+				var fe *FrameError
+				if !errors.As(err, &fe) {
+					t.Fatalf("seed %d: bit flip error is %T, want *FrameError", fi, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWireFrameTruncation: every proper prefix of a valid frame fails
+// typed, through both the pure decoder and the stream reader (where a
+// clean header-boundary cut is the io.EOF a closed connection shows).
+func TestWireFrameTruncation(t *testing.T) {
+	for fi, fr := range seedFrames() {
+		for n := 0; n < len(fr); n++ {
+			_, _, _, err := decodeFrame(fr[:n])
+			if err == nil {
+				t.Fatalf("seed %d: %d-byte prefix decoded", fi, n)
+			}
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("seed %d truncated to %d: error is %T, want *FrameError", fi, n, err)
+			}
+
+			_, _, _, rerr := readFrame(bytes.NewReader(fr[:n]), nil)
+			if rerr == nil {
+				t.Fatalf("seed %d: readFrame accepted %d-byte prefix", fi, n)
+			}
+			if !errors.As(rerr, &fe) && !errors.Is(rerr, io.EOF) && !errors.Is(rerr, io.ErrUnexpectedEOF) {
+				t.Fatalf("seed %d truncated to %d: readFrame error is %T (%v)", fi, n, rerr, rerr)
+			}
+		}
+	}
+}
+
+// TestWireFrameLengthOverflow: a length field past the frame cap is
+// rejected before any allocation, by both decoders.
+func TestWireFrameLengthOverflow(t *testing.T) {
+	hdr := append([]byte(frameMagic), byte(frameBatch), 0, 0, 0)
+	for _, n := range []uint32{maxFramePayload + 1, 1 << 30, ^uint32(0)} {
+		b := binary.LittleEndian.AppendUint32(append([]byte(nil), hdr...), n)
+		b = append(b, make([]byte, 64)...) // some trailing junk
+		var fe *FrameError
+		if _, _, _, err := decodeFrame(b); !errors.As(err, &fe) {
+			t.Fatalf("length %d: decodeFrame error %v, want *FrameError", n, err)
+		}
+		if _, _, _, err := readFrame(bytes.NewReader(b), nil); !errors.As(err, &fe) {
+			t.Fatalf("length %d: readFrame error %v, want *FrameError", n, err)
+		}
+	}
+}
+
+// TestWireBatchCountOverflow: a batch claiming more records than its
+// payload could hold is rejected without sizing an allocation from the
+// corrupt count.
+func TestWireBatchCountOverflow(t *testing.T) {
+	b := appendBatchHeader(nil, 1, 0, 1<<30)
+	b = append(b, make([]byte, 100)...)
+	var fe *FrameError
+	if _, _, _, err := decodeBatch(b); !errors.As(err, &fe) {
+		t.Fatalf("decodeBatch error %v, want *FrameError", err)
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	want := testRecords()
+	b := appendBatchHeader(nil, 2, 1, len(want))
+	for _, rec := range want {
+		b = appendRecord(b, rec)
+	}
+	dest, src, got, err := decodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest != 2 || src != 1 {
+		t.Fatalf("dest/src = %d/%d, want 2/1", dest, src)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, _, _, err := decodeBatch(append(b, 0)); err == nil {
+		t.Fatal("trailing byte after records went undetected")
+	}
+}
+
+func TestWireFPChunkRoundTrip(t *testing.T) {
+	want := []uint64{0, 1, 0xdead, ^uint64(0)}
+	for _, last := range []bool{false, true} {
+		b := appendFPChunk(nil, want, last)
+		got, gl, err := decodeFPChunk(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gl != last || !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk round trip: last %v/%v, fps %v/%v", gl, last, got, want)
+		}
+		if _, _, err := decodeFPChunk(b[:len(b)-1]); err == nil {
+			t.Fatal("short fingerprint chunk went undetected")
+		}
+	}
+}
+
+// TestWireStreamReuse: readFrame's buffer-reuse path decodes a back-to-
+// back stream of differently-sized frames correctly.
+func TestWireStreamReuse(t *testing.T) {
+	frames := seedFrames()
+	var stream []byte
+	for _, fr := range frames {
+		stream = append(stream, fr...)
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := range frames {
+		var (
+			ft      frameType
+			payload []byte
+			err     error
+		)
+		ft, payload, buf, err = readFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		wt, wp, _, _ := decodeFrame(frames[i])
+		if ft != wt || !bytes.Equal(payload, wp) {
+			t.Fatalf("frame %d: type %d/%d, payload mismatch", i, ft, wt)
+		}
+	}
+	if _, _, _, err := readFrame(r, buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+}

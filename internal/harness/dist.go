@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// DistFlags are the distributed-exploration mode flags: a process is
+// either a peer (`-peer -listen=<addr>`, owning a partition range and
+// serving coordinator connections) or a coordinator (`-distributed
+// -peers=a,b,c`, driving the run over established peers) — or neither,
+// the ordinary single-process mode.
+type DistFlags struct {
+	peer        *bool
+	listen      *string
+	distributed *bool
+	peers       *string
+}
+
+// RegisterDistFlags declares -peer/-listen/-distributed/-peers on fs.
+func RegisterDistFlags(fs *flag.FlagSet) *DistFlags {
+	return &DistFlags{
+		peer:        fs.Bool("peer", false, "run as a distributed-exploration peer: serve coordinator connections on -listen and explore the partition range each run assigns"),
+		listen:      fs.String("listen", "127.0.0.1:0", "peer listen address (with -peer)"),
+		distributed: fs.Bool("distributed", false, "run as a distributed-exploration coordinator over the -peers processes"),
+		peers:       fs.String("peers", "", "comma-separated peer addresses (with -distributed), e.g. host1:7001,host2:7001"),
+	}
+}
+
+// PeerMode reports whether -peer was set.
+func (f *DistFlags) PeerMode() bool { return *f.peer }
+
+// Listen returns the -listen address.
+func (f *DistFlags) Listen() string { return *f.listen }
+
+// Distributed reports whether -distributed was set.
+func (f *DistFlags) Distributed() bool { return *f.distributed }
+
+// PeerAddrs returns the parsed -peers list.
+func (f *DistFlags) PeerAddrs() []string {
+	if *f.peers == "" {
+		return nil
+	}
+	parts := strings.Split(*f.peers, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	return addrs
+}
+
+// Validate checks the mode selection as a whole.
+func (f *DistFlags) Validate() error {
+	if *f.peer && *f.distributed {
+		return fmt.Errorf("-peer and -distributed are mutually exclusive (a process is a peer or a coordinator, not both)")
+	}
+	if *f.distributed && len(f.PeerAddrs()) == 0 {
+		return fmt.Errorf("-distributed requires -peers with at least one address")
+	}
+	if !f.Distributed() && !f.PeerMode() && *f.peers != "" {
+		return fmt.Errorf("-peers requires -distributed")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package model
+
+import "sync"
+
+// SlotExchange interns slot encodings <-> canonical Values/States. States
+// (and opaque Values) are protocol-defined and cannot be decoded from
+// their compact-encoding bytes alone, so every subsystem that
+// rematerializes configurations from encodings — the disk-spilling state
+// store reloading spooled frontier segments, and the distributed-frontier
+// peers decoding successor batches off the wire — registers each slot's
+// canonical object here first and looks the encoding back up on decode.
+// A decoder that misses (an encoding first seen on another process) falls
+// back to replaying the node's pid path and then interns the result, so
+// the exchange warms up to the hot slot population. Read-mostly after
+// warmup; safe for concurrent use.
+type SlotExchange struct {
+	mu   sync.RWMutex
+	vals map[string]Value
+	sts  map[string]State
+}
+
+// NewSlotExchange returns an empty exchange.
+func NewSlotExchange() *SlotExchange {
+	return &SlotExchange{vals: map[string]Value{}, sts: map[string]State{}}
+}
+
+// Intern registers every slot of c (whose slot spans are given — a
+// SlotSpans split of c's compact encoding) that the exchange has not seen
+// yet. spans[0:nObj] are object-value encodings, the rest state encodings.
+func (e *SlotExchange) Intern(c *Config, spans [][]byte, nObj int) {
+	e.mu.RLock()
+	missing := false
+	for i, span := range spans {
+		var ok bool
+		if i < nObj {
+			_, ok = e.vals[string(span)]
+		} else {
+			_, ok = e.sts[string(span)]
+		}
+		if !ok {
+			missing = true
+			break
+		}
+	}
+	e.mu.RUnlock()
+	if !missing {
+		return
+	}
+	e.mu.Lock()
+	for i, span := range spans {
+		if i < nObj {
+			if _, ok := e.vals[string(span)]; !ok {
+				e.vals[string(span)] = c.Objects[i]
+			}
+		} else if _, ok := e.sts[string(span)]; !ok {
+			e.sts[string(span)] = c.States[i-nObj]
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Value looks up the canonical Value for one object-slot encoding span.
+func (e *SlotExchange) Value(span []byte) (Value, bool) {
+	e.mu.RLock()
+	v, ok := e.vals[string(span)]
+	e.mu.RUnlock()
+	return v, ok
+}
+
+// State looks up the canonical State for one state-slot encoding span.
+func (e *SlotExchange) State(span []byte) (State, bool) {
+	e.mu.RLock()
+	st, ok := e.sts[string(span)]
+	e.mu.RUnlock()
+	return st, ok
+}

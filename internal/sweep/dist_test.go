@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// --- The peers axis ---
+
+// TestPeersAxisOnViolationRows is the regression test for network
+// statistics on violation-bearing records: a distributed explore-anon
+// cell (a negative control — it finds an agreement violation) must
+// still carry the peers/net_bytes_sent/net_batches fields in its JSONL
+// record. Net stats must never be an ok-rows-only privilege.
+func TestPeersAxisOnViolationRows(t *testing.T) {
+	rec := RunCellRecord(Cell{
+		Row: "explore-anon", N: 4, K: 1,
+		Engine:     EngineSpec{Peers: 2},
+		MaxConfigs: 30000,
+	})
+	if rec.Status != StatusOK {
+		t.Fatalf("status %q (%s), want ok (violation expected and found)", rec.Status, rec.Error)
+	}
+	if rec.Violation == nil {
+		t.Fatal("no witness schedule on the negative control")
+	}
+	if rec.Peers != 2 {
+		t.Errorf("record carries peers=%d, want 2", rec.Peers)
+	}
+	if rec.NetBytesSent == 0 || rec.NetBatches == 0 {
+		t.Errorf("net counters missing from violation record: bytes=%d batches=%d", rec.NetBytesSent, rec.NetBatches)
+	}
+
+	// The JSONL encoding itself must expose the documented field names —
+	// downstream consumers grep the raw lines.
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"peers", "net_bytes_sent", "net_batches"} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("JSONL record missing %q: %s", field, b)
+		}
+	}
+}
+
+// TestPeersAxisParity: a distributed cell reports the same states,
+// decided set and completeness as its single-process twin, and the cell
+// ID carries the peer count (distinct experiments, distinct identity).
+func TestPeersAxisParity(t *testing.T) {
+	single := RunCellRecord(Cell{Row: "explore", N: 4, K: 1, MaxConfigs: 30000})
+	distCell := Cell{Row: "explore", N: 4, K: 1, MaxConfigs: 30000, Engine: EngineSpec{Peers: 2}}
+	distRec := RunCellRecord(distCell)
+	if single.Status != StatusOK || distRec.Status != StatusOK {
+		t.Fatalf("statuses %q / %q, want ok", single.Status, distRec.Status)
+	}
+	if single.States != distRec.States {
+		t.Errorf("distributed cell visited %d states, single-process %d", distRec.States, single.States)
+	}
+	if single.Complete != distRec.Complete {
+		t.Errorf("completeness differs: single %v, distributed %v", single.Complete, distRec.Complete)
+	}
+	if distRec.Peers != 2 {
+		t.Errorf("peers = %d, want 2", distRec.Peers)
+	}
+	if id := distCell.ID(); id == (Cell{Row: "explore", N: 4, K: 1, MaxConfigs: 30000}).ID() {
+		t.Errorf("distributed cell ID %q does not differ from the single-process cell", id)
+	}
+}

@@ -1,12 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
@@ -53,6 +55,11 @@ type Outcome struct {
 	// quiescence activity. Like Reduction it is set unconditionally on
 	// explorer outcomes, violation rows included.
 	Async *check.AsyncStats
+	// Net, when the scenario ran the explorer, reports distributed wire
+	// activity (peer count, batches and bytes sent). Set unconditionally
+	// on explorer outcomes — violation rows included — and zero-valued
+	// for single-process cells.
+	Net *check.NetStats
 }
 
 // RowSpec is one declarative experiment scenario: the unit shared by
@@ -463,14 +470,25 @@ func exploreOutcome(p model.Protocol, inputs []int, k int, cell Cell) (*Outcome,
 	for i := range pids {
 		pids[i] = i
 	}
-	res, err := check.ExploreOpts(p, c, pids, k, cell.ExploreOptions())
+	var res *check.ExploreResult
+	if cell.Engine.Peers > 0 {
+		// Distributed cell: the same exploration sharded over loopback
+		// peer engines behind the real coordinator/peer wire protocol.
+		ctx := cell.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		res, err = dist.LoopbackExplore(ctx, p, inputs, k, cell.ExploreOptions(), cell.Engine.Peers)
+	} else {
+		res, err = check.ExploreOpts(p, c, pids, k, cell.ExploreOptions())
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := &Outcome{
 		Measured: -1, Certified: -1,
 		States: res.Visited, Decided: res.DecidedValues, Complete: res.Complete,
-		Store: &res.Store, Reduction: &res.Reduction, Async: &res.Async,
+		Store: &res.Store, Reduction: &res.Reduction, Async: &res.Async, Net: &res.Net,
 	}
 	if res.AgreementViolation != nil {
 		out.Violated = true

@@ -89,6 +89,13 @@ type Result struct {
 	Steals          int64  `json:"steals,omitempty"`
 	QuiescenceScans int64  `json:"quiescence_scans,omitempty"`
 
+	// Peers and the net counters record distributed cells' wire activity
+	// (zero for single-process cells). Like the other explorer blocks
+	// they ride on every explorer record, violation rows included.
+	Peers        int   `json:"peers,omitempty"`
+	NetBytesSent int64 `json:"net_bytes_sent,omitempty"`
+	NetBatches   int64 `json:"net_batches,omitempty"`
+
 	States        int        `json:"states,omitempty"`
 	Measured      int        `json:"measured"`
 	Certified     int        `json:"certified"`
@@ -372,6 +379,11 @@ func RunCellRecordCtx(ctx context.Context, cell Cell) Result {
 		rec.Order = out.Async.Order
 		rec.Steals = out.Async.Steals
 		rec.QuiescenceScans = out.Async.QuiescenceScans
+	}
+	if out.Net != nil {
+		rec.Peers = out.Net.Peers
+		rec.NetBytesSent = out.Net.BytesSent
+		rec.NetBatches = out.Net.BatchesSent
 	}
 	rec.States = out.States
 	rec.Measured = out.Measured

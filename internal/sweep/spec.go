@@ -56,6 +56,13 @@ type EngineSpec struct {
 	// — witness extraction needs provenance chains, which async cannot
 	// maintain — and ignore this axis the same way they ignore Reduce.
 	Order string `json:"order,omitempty"`
+	// Peers, when positive, runs exploration scenarios distributed over
+	// that many loopback peer processes (in-process engines behind the
+	// real coordinator/peer wire protocol): the frontier shards across
+	// peers by fingerprint partition, and the verdict is identical to
+	// the single-process run. Certificate searches ignore this axis like
+	// Reduce and Order.
+	Peers int `json:"peers,omitempty"`
 }
 
 // label is the engine's contribution to a cell ID. Cells on the default
@@ -78,6 +85,9 @@ func (e EngineSpec) label() string {
 	}
 	if e.Order != "" && e.Order != check.OrderLevelSync {
 		l += "-" + e.Order
+	}
+	if e.Peers > 0 {
+		l += fmt.Sprintf("-dist%d", e.Peers)
 	}
 	return l
 }
@@ -107,6 +117,12 @@ func (e EngineSpec) validate() error {
 	}
 	if e.Order == check.OrderAsync && e.Keys == "string" {
 		return fmt.Errorf("sweep: order %q requires fingerprint keying (single-owner partition tables admit by fingerprint)", e.Order)
+	}
+	if e.Peers < 0 || e.Peers > check.DistNumParts {
+		return fmt.Errorf("sweep: peers %d outside [0, %d]", e.Peers, check.DistNumParts)
+	}
+	if e.Peers > 0 && e.Keys == "string" {
+		return fmt.Errorf("sweep: peers requires fingerprint keying (frontier shards route by fingerprint partition)")
 	}
 	return nil
 }
