@@ -41,6 +41,7 @@
 //
 //	mcheck -peer -listen=host:7001                 # one per peer host
 //	mcheck -distributed -peers=host1:7001,host2:7001 -proto ... [flags]
+//	       [-failover] [-heartbeat 1s] [-peer-retries 3]
 //
 // Each peer owns a contiguous range of the 64-way global fingerprint
 // partition space and runs the unmodified engine over it; the
@@ -48,8 +49,19 @@
 // barriers (or async quiescence probes), applies the global
 // configuration budget, and merges the per-peer verdicts — which are
 // identical, visited set included, to a single-process run of the same
-// instance. The engine flags on the coordinator (-workers, -shards,
-// -store, -membudget, -reduce, -order) apply on every peer.
+// instance (valency too: peers ship replayable decided-value witnesses
+// with their results). The engine flags on the coordinator (-workers,
+// -shards, -store, -membudget, -reduce, -order) apply on every peer.
+// -failover turns confirmed peer death from a fatal error into a
+// re-seed: the coordinator redials every peer with jittered backoff
+// (-peer-retries attempts each), drops the unreachable ones, and
+// restarts the run on the survivors — the verdict is identical because
+// verdicts are peer-count-invariant; only capacity degrades. -heartbeat
+// sets the liveness-probe period that detects silently wedged peers.
+//
+// -json replaces the prose report with one JSON line carrying the
+// verdict, valency and every stats block — the machine-readable form
+// CI and tooling consume.
 //
 // Protocols: algorithm1, algorithm1-readable, racing, readable, pair,
 // pairing, register-kset, toybit, ablation-margin1.
@@ -57,6 +69,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -98,6 +111,7 @@ func run(args []string, out io.Writer) error {
 	limitFlags := harness.RegisterLimitFlags(fs, 200000, 0)
 	engFlags := harness.RegisterEngineFlags(fs, false)
 	distFlags := harness.RegisterDistFlags(fs)
+	jsonOut := fs.Bool("json", false, "emit one JSON line (verdict, valency, stats) instead of the prose report")
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,7 +174,13 @@ func run(args []string, out io.Writer) error {
 	}
 	opts := check.ExploreOptions{Limits: limitFlags.ExploreLimits(), Engine: engine}
 
-	fmt.Fprintf(out, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
+	// With -json the prose goes nowhere; one structured line replaces it.
+	prose := out
+	if *jsonOut {
+		prose = io.Discard
+	}
+
+	fmt.Fprintf(prose, "protocol: %s, %d objects, inputs %v\n", p.Name(), len(p.Objects()), inputs)
 	startT := time.Now()
 	var res *check.ExploreResult
 	if distFlags.Distributed() {
@@ -171,6 +191,12 @@ func run(args []string, out io.Writer) error {
 			Workers: engine.Workers, Shards: engine.Shards,
 			Store: engine.Store, MemBudget: engine.MemBudget,
 			Reduce: engine.Reduction, Order: engine.Order,
+			Failover:    distFlags.Failover(),
+			Heartbeat:   distFlags.Heartbeat(),
+			PeerRetries: distFlags.PeerRetries(),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "mcheck: "+format+"\n", args...)
+			},
 		})
 	} else {
 		res, err = check.ExploreOpts(p, c, all, *inst.K, opts)
@@ -179,48 +205,103 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	elapsed := time.Since(startT)
-	fmt.Fprintf(out, "explored %d configurations in %v (%.0f configs/s, complete: %v)\n",
+	fmt.Fprintf(prose, "explored %d configurations in %v (%.0f configs/s, complete: %v)\n",
 		res.Visited, elapsed.Round(time.Millisecond), float64(res.Visited)/elapsed.Seconds(), res.Complete)
 	if res.Store.Kind == check.StoreSpill {
-		fmt.Fprintf(out, "store: spill — %s spilled (%d runs written, %d merged), peak resident %s, %d prefilter hits\n",
+		fmt.Fprintf(prose, "store: spill — %s spilled (%d runs written, %d merged), peak resident %s, %d prefilter hits\n",
 			harness.FormatByteSize(res.Store.BytesSpilled), res.Store.RunsWritten,
 			res.Store.RunsMerged, harness.FormatByteSize(res.Store.PeakResidentBytes),
 			res.Store.PrefilterHits)
 	}
 	if res.Reduction.Reduce != "" {
-		fmt.Fprintf(out, "reduction: %s — %d states pruned (%d orbit-memo hits, %d sleep skips)\n",
+		fmt.Fprintf(prose, "reduction: %s — %d states pruned (%d orbit-memo hits, %d sleep skips)\n",
 			res.Reduction.Reduce, res.Reduction.StatesPruned,
 			res.Reduction.OrbitHits, res.Reduction.SleepSkipped)
 	}
 	if res.Async.Order == check.OrderAsync {
-		fmt.Fprintf(out, "order: async — %d steals, %d quiescence scans\n",
+		fmt.Fprintf(prose, "order: async — %d steals, %d quiescence scans\n",
 			res.Async.Steals, res.Async.QuiescenceScans)
 	}
 	if res.Net.Peers > 0 {
-		fmt.Fprintf(out, "distributed: %d peers — %d batches (%s) sent, %d peer stalls\n",
+		fmt.Fprintf(prose, "distributed: %d peers — %d batches (%s) sent, %d peer stalls\n",
 			res.Net.Peers, res.Net.BatchesSent, harness.FormatByteSize(res.Net.BytesSent), res.Net.PeerStalls)
+		if res.Net.PeersLost > 0 || res.Net.Retries > 0 {
+			fmt.Fprintf(prose, "failover: %d peers lost, %d partitions re-seeded, %d retries\n",
+				res.Net.PeersLost, res.Net.ReseededPartitions, res.Net.Retries)
+		}
 	}
-	fmt.Fprintf(out, "decided values reachable: %v; max distinct decided together: %d\n",
+	fmt.Fprintf(prose, "decided values reachable: %v; max distinct decided together: %d\n",
 		res.DecidedValues, res.MaxDecidedTogether)
-	if res.AgreementViolation != nil {
-		fmt.Fprintf(out, "AGREEMENT VIOLATION: configuration with decided %v\n",
-			res.AgreementViolation.DecidedValues(p))
-		return errViolation
-	}
-	fmt.Fprintf(out, "k-agreement (k=%d) holds on every visited configuration\n", *inst.K)
-	if distFlags.Distributed() {
-		// Valency classification needs witness provenance, which the
-		// sharded peers do not maintain; it stays a single-process question.
-		return nil
-	}
 
-	val, err := check.ClassifyValencyOpts(p, c, all, opts)
-	if err != nil {
+	emitJSON := func(violation bool, val *check.ValencyResult) error {
+		if !*jsonOut {
+			return nil
+		}
+		rec := mcheckRecord{
+			Proto: p.Name(), N: *inst.N, K: *inst.K, M: *inst.M, Inputs: inputs,
+			Visited: res.Visited, Complete: res.Complete,
+			Decided: res.DecidedValues, MaxTogether: res.MaxDecidedTogether,
+			Violation: violation, ElapsedMS: elapsed.Milliseconds(),
+			Store: res.Store, Reduction: res.Reduction, Async: res.Async, Net: res.Net,
+		}
+		if val != nil {
+			rec.Valency = val.Class.String()
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(b))
 		return err
 	}
-	fmt.Fprintf(out, "initial configuration valency (all processes): %s (values %v, complete %v)\n",
+
+	if res.AgreementViolation != nil {
+		fmt.Fprintf(prose, "AGREEMENT VIOLATION: configuration with decided %v\n",
+			res.AgreementViolation.DecidedValues(p))
+		if err := emitJSON(true, nil); err != nil {
+			return err
+		}
+		return errViolation
+	}
+	fmt.Fprintf(prose, "k-agreement (k=%d) holds on every visited configuration\n", *inst.K)
+
+	var val *check.ValencyResult
+	if distFlags.Distributed() {
+		// The merged result carries the decided-value union with
+		// replay-validated witnesses from the peers, which is exactly the
+		// evidence the local classifier gathers — no re-exploration.
+		val = check.ValencyFromResult(res)
+	} else {
+		val, err = check.ClassifyValencyOpts(p, c, all, opts)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(prose, "initial configuration valency (all processes): %s (values %v, complete %v)\n",
 		val.Class, val.Values, val.Complete)
-	return nil
+	return emitJSON(false, val)
+}
+
+// mcheckRecord is the -json output: one line, the whole verdict.
+type mcheckRecord struct {
+	Proto  string `json:"proto"`
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+	M      int    `json:"m"`
+	Inputs []int  `json:"inputs"`
+
+	Visited     int    `json:"visited"`
+	Complete    bool   `json:"complete"`
+	Decided     []int  `json:"decided"`
+	MaxTogether int    `json:"max_together"`
+	Violation   bool   `json:"violation"`
+	Valency     string `json:"valency,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+
+	Store     check.StoreStats     `json:"store"`
+	Reduction check.ReductionStats `json:"reduction"`
+	Async     check.AsyncStats     `json:"async"`
+	Net       check.NetStats       `json:"net"`
 }
 
 // runPeer serves distributed-exploration coordinator connections until

@@ -71,6 +71,10 @@ type Record struct {
 	Peers        int   `json:"peers,omitempty"`
 	NetBatches   int64 `json:"net_batches,omitempty"`
 	NetBytesSent int64 `json:"net_bytes_sent,omitempty"`
+	// PeersLost and ReseededPartitions prove a fail-over scenario's
+	// scripted death actually fired (and measure what moved).
+	PeersLost          int64 `json:"peers_lost,omitempty"`
+	ReseededPartitions int64 `json:"reseeded_partitions,omitempty"`
 }
 
 // Snapshot is the BENCH_<n>.json file content.
@@ -346,6 +350,39 @@ func Suite() []Scenario {
 			},
 		},
 		{
+			// The loopback pair with one scripted peer death mid-run:
+			// fail-over aborts the epoch, respawns the slot and re-runs
+			// from the initial configuration. The gap to
+			// dist-2peer-loopback is the recovery overhead — detection
+			// plus one wasted partial epoch.
+			Name:    "explore/row3/dist-2peer-failover",
+			Workers: 1,
+			Run: func() Outcome {
+				p, _, _, limits := row3Instance()
+				res, err := dist.LoopbackExploreOpts(context.Background(), p,
+					[]int{0, 1, 2, 0}, 1,
+					check.ExploreOptions{
+						Limits: limits,
+						Engine: check.EngineOptions{Workers: 1},
+					}, dist.LoopbackOptions{
+						Peers: 2, Failover: true, PeerRetries: 1,
+						// ~mid-run: the victim has received its hello, a
+						// few dozen relayed batches and several level
+						// frames, so the aborted epoch has done real work.
+						Kill: true, KillPeer: 1, KillAfterWrites: 40,
+						Respawn: true,
+					})
+				if err != nil {
+					panic(err)
+				}
+				return Outcome{
+					Configs:      res.Visited,
+					StatesPruned: res.Reduction.StatesPruned,
+					Net:          res.Net,
+				}
+			},
+		},
+		{
 			// Provenance-tracking schedule search (lowerbound port): the
 			// witness-extracting consumer of the engine.
 			Name: "search/pair3-violation",
@@ -424,6 +461,9 @@ func measureScenarios(scenarios []Scenario, progress func(string)) Snapshot {
 			Peers:        out.Net.Peers,
 			NetBatches:   out.Net.BatchesSent,
 			NetBytesSent: out.Net.BytesSent,
+
+			PeersLost:          out.Net.PeersLost,
+			ReseededPartitions: out.Net.ReseededPartitions,
 		}
 		if rec.NsPerOp > 0 {
 			rec.StatesPerSec = float64(out.Configs) / (rec.NsPerOp / 1e9)

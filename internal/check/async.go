@@ -313,11 +313,16 @@ type asyncRun struct {
 	doneFlag atomic.Bool
 	doneCh   chan struct{}
 	stopped  atomic.Bool // afterLevel requested an early stop
-	runErr   atomic.Value
+	// runErr boxes the first failure: atomic.Value demands one concrete
+	// type across stores, and concurrent failures (a severed link racing
+	// an engine error) carry different ones.
+	runErr atomic.Pointer[asyncErr]
 }
 
+type asyncErr struct{ err error }
+
 func (a *asyncRun) fail(err error) {
-	if err != nil && a.runErr.CompareAndSwap(nil, err) {
+	if err != nil && a.runErr.CompareAndSwap(nil, &asyncErr{err: err}) {
 		a.finish()
 	}
 }
@@ -451,8 +456,8 @@ func runAsync(run *engineRun, store StateStore, root *Node, c asyncParams) (RunS
 		stats.Processed += int(wk.processed.Load())
 	}
 	stats.Async = AsyncStats{Order: OrderAsync, Steals: a.steals.Load(), QuiescenceScans: a.scans.Load()}
-	if err, _ := a.runErr.Load().(error); err != nil {
-		return stats, err
+	if box := a.runErr.Load(); box != nil {
+		return stats, box.err
 	}
 	stats.Complete = !run.truncated.Load()
 	if c.limits.MaxDepth > 0 && !a.stopped.Load() {

@@ -90,6 +90,17 @@ type NetStats struct {
 	// PeerStalls counts blocking waits on remote peers: level-barrier
 	// waits, plus idle quiescence-probe replies in the async order.
 	PeerStalls int64 `json:"peer_stalls,omitempty"`
+	// PeersLost counts peer sessions confirmed dead mid-run. Without
+	// fail-over any loss is fatal, so a result can only carry a nonzero
+	// count when fail-over re-seeded the lost ranges and recovered.
+	PeersLost int64 `json:"peers_lost,omitempty"`
+	// ReseededPartitions is the total number of global partitions whose
+	// owning peer index was re-seeded onto a replacement session (the
+	// lost contiguous range, summed over fail-overs).
+	ReseededPartitions int64 `json:"reseeded_partitions,omitempty"`
+	// Retries counts reconnect attempts made while establishing
+	// replacement sessions (successful and not).
+	Retries int64 `json:"retries,omitempty"`
 }
 
 // DistRecord is one successor shipped to its owning peer: enough to

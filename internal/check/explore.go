@@ -69,6 +69,13 @@ type ExploreResult struct {
 	// MaxDecidedTogether is the largest number of distinct values decided
 	// within a single visited configuration.
 	MaxDecidedTogether int
+	// ValueWitnesses, populated only on distributed runs (which maintain
+	// root-to-node paths anyway), carries one replayable witness schedule
+	// per decided value: the deterministically smallest configuration
+	// (minimum BFS depth, then fingerprint) observed deciding it. It is
+	// how a peer ships valency evidence to the coordinator, which can
+	// then classify valency without re-exploring locally.
+	ValueWitnesses []ValueWitness
 	// Store reports the state store's activity over the exploration
 	// (backend kind, bytes spilled, peak resident bytes).
 	Store StoreStats
@@ -83,6 +90,16 @@ type ExploreResult struct {
 	// peer's link; coordinator side: the peers summed). Zero-valued for
 	// single-process runs.
 	Net NetStats
+}
+
+// ValueWitness is a replayable decided-value witness: applying Path
+// from the start configuration reaches a configuration of depth Depth
+// and fingerprint FP in which some explored process has decided Value.
+type ValueWitness struct {
+	Value int
+	Depth int
+	FP    uint64
+	Path  []byte
 }
 
 // ExploreOptions bundles the limits with the engine knobs for the
@@ -152,7 +169,13 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 		mu        sync.Mutex
 		decided   = map[int]bool{}
 		violation *witness
+		// valWits (distributed runs only): minimal witness per decided
+		// value, shipped to the coordinator for valency classification.
+		valWits map[int]*witness
 	)
+	if opts.Engine.Dist != nil {
+		valWits = map[int]*witness{}
+	}
 	visit := func(_ int, n *Node) error {
 		// Only count decisions by members of P; a process outside P that
 		// is decided in c decided before the exploration began and is
@@ -173,6 +196,13 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 		mu.Lock()
 		for v := range distinct {
 			decided[v] = true
+			if valWits != nil {
+				w := &witness{depth: n.Depth, fp: n.Fingerprint(), key: n.Cfg.Key()}
+				if lessWitness(w, valWits[v]) {
+					w.path = append([]byte(nil), n.Path()...)
+					valWits[v] = w
+				}
+			}
 		}
 		if len(distinct) > res.MaxDecidedTogether {
 			res.MaxDecidedTogether = len(distinct)
@@ -245,6 +275,13 @@ func ExploreOpts(p model.Protocol, c *model.Config, pids []int, k int, opts Expl
 	res.Async = stats.Async
 	res.Net = stats.Net
 	res.DecidedValues = sortedValueSet(decided)
+	for _, v := range res.DecidedValues {
+		if w := valWits[v]; w != nil {
+			res.ValueWitnesses = append(res.ValueWitnesses, ValueWitness{
+				Value: v, Depth: w.depth, FP: w.fp, Path: w.path,
+			})
+		}
+	}
 	if violation != nil {
 		if violation.cfg == nil {
 			// Restored from a checkpoint: rebuild the witness configuration
@@ -457,15 +494,37 @@ func ClassifyValencyOpts(p model.Protocol, c *model.Config, pids []int, opts Exp
 	}
 
 	out := &ValencyResult{Values: sortedValueSet(decided), Complete: stats.Complete}
-	switch {
-	case len(out.Values) >= 2:
-		out.Class = Bivalent
-	case out.Complete && len(out.Values) == 1:
-		out.Class = Univalent
-	case out.Complete:
-		out.Class = Undecidable
-	default:
-		out.Class = Unknown
-	}
+	out.Class = classifyValency(out.Values, out.Complete)
 	return out, nil
+}
+
+// classifyValency is the classification switch shared by the local
+// explorer and the distributed merge path.
+func classifyValency(values []int, complete bool) Valency {
+	switch {
+	case len(values) >= 2:
+		return Bivalent
+	case complete && len(values) == 1:
+		return Univalent
+	case complete:
+		return Undecidable
+	default:
+		return Unknown
+	}
+}
+
+// ValencyFromResult classifies the initial configuration's valency from
+// a finished exploration over the full process set — the distributed
+// path, where the coordinator's merged result (decided-value union with
+// replay-validated witnesses, ANDed completeness) carries exactly the
+// evidence ClassifyValencyOpts gathers in-process. The classification
+// is identical to the single-process one: bivalence needs two decided
+// values (each backed by a ValueWitness), univalence and undecidability
+// additionally need completeness, and anything else is Unknown.
+func ValencyFromResult(res *ExploreResult) *ValencyResult {
+	return &ValencyResult{
+		Class:    classifyValency(res.DecidedValues, res.Complete),
+		Values:   append([]int(nil), res.DecidedValues...),
+		Complete: res.Complete,
+	}
 }

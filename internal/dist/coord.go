@@ -8,16 +8,20 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/retry"
 )
 
 // PeerLostError reports a peer connection failing (or misbehaving)
-// mid-run. The coordinator fails fast — it closes every peer link and
-// returns one of these instead of hanging on a barrier a dead peer can
-// never reach.
+// mid-run. Without fail-over the coordinator fails fast — it closes
+// every peer link and returns one of these instead of hanging on a
+// barrier a dead peer can never reach. With Spec.Failover set, the
+// error becomes the trigger for a re-seed instead of the verdict.
 type PeerLostError struct {
 	Peer int
 	Addr string
@@ -48,7 +52,73 @@ type Spec struct {
 	MemBudget int64
 	Reduce    string
 	Order     string
+
+	// Failover enables degraded-mode recovery: on confirmed peer death
+	// the coordinator re-seeds the run onto fresh sessions (redialing
+	// every slot with backoff, dropping the unreachable ones) instead
+	// of failing fast. Soundness is never traded for availability — the
+	// re-seeded run restarts exploration from the initial configuration
+	// on the surviving peers, and the engine's verdict and visited set
+	// are invariant under peer count, so the recovered result is
+	// byte-identical to an uninterrupted run.
+	Failover bool
+
+	// Heartbeat is the liveness-probe period. 0 means heartbeats are
+	// off unless Failover is set, in which case they default to 1s. A
+	// peer whose link answers no ping for 4 consecutive periods is
+	// declared dead (its conn is closed, which funnels the loss through
+	// the normal detection path). Links answer pings from a dedicated
+	// reader, so a busy — even a compute-saturated — peer is never
+	// declared dead by mistake; only a vanished or wedged process is.
+	Heartbeat time.Duration
+
+	// PeerRetries caps connection attempts per peer slot per dial or
+	// re-seed round (0 = 3 with Failover, else 1). Attempts beyond the
+	// first wait out a shared jittered-exponential backoff schedule.
+	PeerRetries int
+
+	// NewSession, when set, acquires a replacement connection for a
+	// peer slot during a re-seed instead of redialing its address —
+	// the loopback harness uses it to respawn in-process peers. The
+	// argument is the slot's original peer index. Returning an error
+	// (after PeerRetries attempts) drops the slot for good.
+	NewSession func(ctx context.Context, origIndex int) (net.Conn, error)
+
+	// Logf, when set, receives fail-over progress lines (peer losses,
+	// re-seed outcomes) — recovery should be visible, not silent.
+	Logf func(format string, args ...any)
 }
+
+func (s Spec) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// peerAttempts resolves PeerRetries to an attempt count.
+func (s Spec) peerAttempts() int {
+	if s.PeerRetries >= 1 {
+		return s.PeerRetries
+	}
+	if s.Failover {
+		return 3
+	}
+	return 1
+}
+
+// heartbeatEvery resolves the probe period (0 = heartbeats off).
+func (s Spec) heartbeatEvery() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	if s.Failover {
+		return time.Second
+	}
+	return 0
+}
+
+// hbDeadlineFactor: a peer is dead after this many silent periods.
+const hbDeadlineFactor = 4
 
 // asyncProbeEvery is the coordinator's quiescence-probe period. Probes
 // are cheap (one tiny frame per peer each way), so this leans brisk:
@@ -63,6 +133,9 @@ type coordPeer struct {
 
 	wmu  sync.Mutex
 	wbuf []byte
+
+	lastPong  atomic.Int64 // UnixNano of the latest PONG (or link creation)
+	hbExpired atomic.Bool  // the heartbeat monitor closed this conn
 }
 
 func (cp *coordPeer) writeFrame(t frameType, payload []byte) error {
@@ -81,16 +154,38 @@ type ctrlMsg struct {
 	payload []byte
 }
 
+// slotInfo tracks one peer slot across re-seeds: its dial address and
+// the peer index it held in the original (epoch-0) session set, which
+// is how the loopback harness and RANGE announcements name it even
+// after surviving slots have been re-indexed.
+type slotInfo struct {
+	addr string
+	orig int
+}
+
+// failState accumulates fail-over bookkeeping across epochs.
+type failState struct {
+	rounds      int   // completed fail-over rounds
+	peersLost   int64 // slots dropped for good
+	reseeded    int64 // partitions re-seeded (whole map per round)
+	retries     int64 // re-seed connection attempts beyond the first
+	lastDepth   int64 // deepest level the aborted epoch had entered
+	droppedLast []int // original indexes dropped in the latest round
+}
+
 // Dial connects to each peer address and runs spec across them,
-// returning the merged result.
+// returning the merged result. With Failover (or PeerRetries > 1) each
+// dial retries with jittered-exponential backoff before giving up.
 func Dial(ctx context.Context, p model.Protocol, addrs []string, spec Spec) (*check.ExploreResult, error) {
+	pol := retry.Policy{MaxAttempts: spec.peerAttempts()}
 	conns := make([]net.Conn, len(addrs))
-	var d net.Dialer
 	for i, addr := range addrs {
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		conn, err := dialRetry(ctx, addr, pol, nil)
 		if err != nil {
 			for _, c := range conns[:i] {
-				c.Close()
+				if c != nil {
+					c.Close()
+				}
 			}
 			return nil, &PeerLostError{Peer: i, Addr: addr, Err: err}
 		}
@@ -99,16 +194,64 @@ func Dial(ctx context.Context, p model.Protocol, addrs []string, spec Spec) (*ch
 	return Run(ctx, p, conns, addrs, spec)
 }
 
+// dialRetry dials addr up to pol.Attempts() times, waiting out the
+// policy's backoff between attempts. retries, when non-nil, counts the
+// attempts beyond the first.
+func dialRetry(ctx context.Context, addr string, pol retry.Policy, retries *int64) (net.Conn, error) {
+	var d net.Dialer
+	var lastErr error
+	for a := 0; a < pol.Attempts(); a++ {
+		if a > 0 {
+			if retries != nil {
+				*retries++
+			}
+			if err := sleepCtx(ctx, pol.Backoff(a-1)); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Run drives one distributed exploration over established peer
 // connections (one per peer, in peer-index order; addrs are labels for
 // errors). It owns the conns and closes them before returning. p is
-// used coordinator-side only to replay the merged violation witness.
+// used coordinator-side only to replay the merged violation and value
+// witnesses.
 //
 // The verdict contract is the heart of the protocol: for any peer
 // count, Run's result has the same Visited count, Complete flag,
 // decided-value set and violation identity (depth, fingerprint) as the
 // single-process engine with the same spec — the differential suite in
 // dist_test.go pins this per protocol, order and reduction.
+//
+// With spec.Failover, that same invariance is what makes recovery
+// sound: a confirmed peer death aborts the epoch, the coordinator
+// re-acquires a session per reachable slot (dropping the rest), and
+// the exploration restarts from the initial configuration on the
+// survivors. No partial state crosses epochs, so nothing lost in
+// flight can corrupt the verdict — the recovered run is the
+// uninterrupted run with a smaller peer count.
 func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string, spec Spec) (*check.ExploreResult, error) {
 	peers := len(conns)
 	if peers < 1 || peers > check.DistNumParts {
@@ -119,7 +262,7 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 	}
 	spec.Limits = withLimitDefaults(spec.Limits)
 
-	cps := make([]*coordPeer, peers)
+	slots := make([]slotInfo, peers)
 	for i, conn := range conns {
 		addr := ""
 		if i < len(addrs) {
@@ -127,7 +270,106 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 		} else if ra := conn.RemoteAddr(); ra != nil {
 			addr = ra.String()
 		}
-		cps[i] = &coordPeer{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), addr: addr}
+		slots[i] = slotInfo{addr: addr, orig: i}
+	}
+
+	st := &failState{}
+	// Each round either drops a slot or burns one of a flapping slot's
+	// rounds; this bound keeps a pathological network from re-seeding
+	// forever while allowing every slot its full retry allowance.
+	maxRounds := peers * spec.peerAttempts()
+	for {
+		res, err := runEpoch(ctx, p, conns, slots, spec, st)
+		if err == nil {
+			return res, nil
+		}
+		var pl *PeerLostError
+		if !spec.Failover || !errors.As(err, &pl) {
+			return nil, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, err
+		}
+		if st.rounds >= maxRounds {
+			return nil, fmt.Errorf("dist: giving up after %d fail-overs: %w", st.rounds, err)
+		}
+		st.rounds++
+		spec.logf("%v; re-seeding (round %d)", pl, st.rounds)
+		fault.Crash(fault.CrashDistReseed)
+		conns, slots, err = reseed(ctx, spec, slots, st)
+		if err != nil {
+			return nil, fmt.Errorf("dist: fail-over after %v: %w", pl, err)
+		}
+		spec.logf("dist: re-seeded onto %d peers (%d dropped)", len(conns), len(st.droppedLast))
+	}
+}
+
+// reseed acquires a fresh session per slot — via spec.NewSession when
+// set, else by redialing the slot's address — with the shared backoff
+// policy. Slots that stay unreachable are dropped (their partitions
+// re-spread over the survivors by the pinned fingerprint->peer map at
+// the new peer count). At least one slot must survive.
+func reseed(ctx context.Context, spec Spec, slots []slotInfo, st *failState) ([]net.Conn, []slotInfo, error) {
+	pol := retry.Policy{MaxAttempts: spec.peerAttempts()}
+	var (
+		conns []net.Conn
+		kept  []slotInfo
+	)
+	st.droppedLast = st.droppedLast[:0]
+	for _, sl := range slots {
+		var (
+			conn net.Conn
+			err  error
+		)
+		if spec.NewSession != nil {
+			for a := 0; a < pol.Attempts(); a++ {
+				if a > 0 {
+					st.retries++
+					if serr := sleepCtx(ctx, pol.Backoff(a-1)); serr != nil {
+						return closeAll(conns, serr)
+					}
+				}
+				conn, err = spec.NewSession(ctx, sl.orig)
+				if err == nil {
+					break
+				}
+			}
+		} else {
+			conn, err = dialRetry(ctx, sl.addr, pol, &st.retries)
+		}
+		if err != nil || conn == nil {
+			st.peersLost++
+			st.droppedLast = append(st.droppedLast, sl.orig)
+			continue
+		}
+		conns = append(conns, conn)
+		kept = append(kept, sl)
+	}
+	if len(conns) == 0 {
+		return nil, nil, errors.New("no peer reachable")
+	}
+	// The whole partition map lands on fresh sessions each round.
+	st.reseeded += int64(check.DistNumParts)
+	return conns, kept, nil
+}
+
+func closeAll(conns []net.Conn, err error) ([]net.Conn, []slotInfo, error) {
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil, nil, err
+}
+
+// runEpoch drives one exploration attempt over one session set. It
+// owns the conns for the epoch and closes them on every path; a
+// *PeerLostError return is what the fail-over loop in Run reacts to.
+func runEpoch(ctx context.Context, p model.Protocol, conns []net.Conn, slots []slotInfo, spec Spec, st *failState) (*check.ExploreResult, error) {
+	peers := len(conns)
+	now := time.Now().UnixNano()
+	cps := make([]*coordPeer, peers)
+	for i, conn := range conns {
+		cps[i] = &coordPeer{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), addr: slots[i].addr}
+		cps[i].lastPong.Store(now)
 	}
 	var closeOnce sync.Once
 	shutdown := func() {
@@ -171,6 +413,23 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 		}
 	}
 
+	// Re-seeded epochs announce themselves: RESEED tags the session set
+	// with the fail-over round, RANGE names each slot whose partition
+	// range was re-spread. Both are observability — exploration restarts
+	// from the initial configuration, so no state is grafted.
+	if st.rounds > 0 {
+		for i, cp := range cps {
+			if err := cp.writeFrame(frameReseed, marshalCtrl(reseedMsg{Epoch: st.rounds, Depth: int(st.lastDepth)})); err != nil {
+				return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+			}
+			for _, orig := range st.droppedLast {
+				if err := cp.writeFrame(frameRange, marshalCtrl(rangeMsg{Epoch: st.rounds, Peer: orig, Depth: int(st.lastDepth)})); err != nil {
+					return nil, &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+				}
+			}
+		}
+	}
+
 	// Cancellation: closing the conns fails every blocked read and write,
 	// which collapses the run into a PeerLostError path.
 	if ctx != nil {
@@ -194,13 +453,20 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 	// EXPANDED — so on each destination conn, every batch of the level
 	// happens-before the BARRIER frame.
 	ctrl := make(chan ctrlMsg, 4*peers)
-	errc := make(chan error, peers)
+	errc := make(chan error, 2*peers)
 	var readerWG sync.WaitGroup
+	hbWindow := hbDeadlineFactor * spec.heartbeatEvery()
 	for i, cp := range cps {
 		readerWG.Add(1)
 		go func(i int, cp *coordPeer) {
 			defer readerWG.Done()
 			var buf []byte
+			fail := func(err error) {
+				if cp.hbExpired.Load() {
+					err = fmt.Errorf("no heartbeat answer within %v: %w", hbWindow, err)
+				}
+				errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+			}
 			for {
 				var (
 					t       frameType
@@ -209,37 +475,77 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 				)
 				t, payload, buf, err = readFrame(cp.br, buf)
 				if err != nil {
-					errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: err}
+					fail(err)
 					return
 				}
+				// Any frame proves liveness, not just pongs: a peer
+				// streaming batches may answer pings arbitrarily late
+				// (the pong queues behind large in-band frames), and
+				// declaring a visibly-talking peer dead is exactly the
+				// false positive the deadline must not produce.
+				cp.lastPong.Store(time.Now().UnixNano())
 				switch t {
 				case frameBatch:
 					if len(payload) < batchHeaderLen {
-						errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: "batch payload shorter than its header"}}
+						fail(&FrameError{Reason: "batch payload shorter than its header"})
 						return
 					}
 					dest := int(payload[0])
 					if dest >= peers || dest == i {
-						errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: fmt.Sprintf("batch addressed to peer %d", dest)}}
+						fail(&FrameError{Reason: fmt.Sprintf("batch addressed to peer %d", dest)})
 						return
 					}
 					if werr := cps[dest].writeFrame(frameBatch, payload); werr != nil {
 						errc <- &PeerLostError{Peer: dest, Addr: cps[dest].addr, Err: werr}
 						return
 					}
+				case framePong:
+					cp.lastPong.Store(time.Now().UnixNano())
 				case frameExpanded, frameLevel, frameFPs, frameProbeReply, frameResult, frameError:
 					ctrl <- ctrlMsg{peer: i, kind: t, payload: append([]byte(nil), payload...)}
 				default:
-					errc <- &PeerLostError{Peer: i, Addr: cp.addr, Err: &FrameError{Reason: fmt.Sprintf("unexpected frame type %d from peer", t)}}
+					fail(&FrameError{Reason: fmt.Sprintf("unexpected frame type %d from peer", t)})
 					return
 				}
 			}
 		}(i, cp)
 	}
 	// The readers hold conn references only; once the conns close they
-	// all fail out. Collect them before returning so none outlives Run.
+	// all fail out. Collect them before returning so none outlives the
+	// epoch.
 	defer readerWG.Wait()
 	defer shutdown()
+
+	// Heartbeat monitor: ping every period; a peer whose reader has seen
+	// no pong for the full window gets its conn closed, which surfaces
+	// the loss through the reader's error path with the heartbeat cause
+	// attached. Ping writes share the per-peer write mutex with relays,
+	// so frames never interleave.
+	if hb := spec.heartbeatEvery(); hb > 0 {
+		stopHB := make(chan struct{})
+		defer close(stopHB)
+		go func() {
+			tick := time.NewTicker(hb)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-tick.C:
+					now := time.Now().UnixNano()
+					for _, cp := range cps {
+						if now-cp.lastPong.Load() > int64(hbWindow) {
+							if !cp.hbExpired.Swap(true) {
+								cp.conn.Close()
+							}
+							continue
+						}
+						cp.writeFrame(framePing, nil) // a failed write surfaces via the reader
+					}
+				}
+			}
+		}()
+	}
 
 	next := func() (ctrlMsg, error) {
 		// Prefer queued control frames: a peer that sends a typed ERROR
@@ -264,7 +570,7 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 	if async {
 		loopErr = runAsyncControl(cps, spec, next)
 	} else {
-		loopErr = runLevelControl(cps, spec, next)
+		loopErr = runLevelControl(cps, spec, st, next)
 	}
 	if loopErr != nil {
 		shutdown()
@@ -315,13 +621,13 @@ func Run(ctx context.Context, p model.Protocol, conns []net.Conn, addrs []string
 			return nil, &PeerLostError{Peer: m.peer, Addr: cps[m.peer].addr, Err: &FrameError{Reason: fmt.Sprintf("expected result, got frame type %d", m.kind)}}
 		}
 	}
-	return mergeResults(p, spec, results)
+	return mergeResults(p, spec, results, st)
 }
 
 // runLevelControl is the levelsync barrier state machine: per depth,
 // gather EXPANDED from every peer, broadcast BARRIER, gather LEVEL
 // reports, apply the global budget, broadcast CONT.
-func runLevelControl(cps []*coordPeer, spec Spec, next func() (ctrlMsg, error)) error {
+func runLevelControl(cps []*coordPeer, spec Spec, st *failState, next func() (ctrlMsg, error)) error {
 	peers := len(cps)
 	broadcast := func(t frameType, payload []byte) error {
 		for i, cp := range cps {
@@ -333,6 +639,9 @@ func runLevelControl(cps []*coordPeer, spec Spec, next func() (ctrlMsg, error)) 
 	}
 	truncated := false
 	for depth := 0; ; depth++ {
+		if st != nil {
+			st.lastDepth = int64(depth)
+		}
 		// Phase 1: every peer finished expanding the level (its batches
 		// are already relayed — conn FIFO order guarantees that).
 		for seen := 0; seen < peers; {
@@ -581,9 +890,12 @@ func sameScan(a, b []probeReplyMsg) bool {
 // sum, completeness ANDs, decided values union, and the violation
 // witness is the global (depth, fingerprint) minimum replayed from its
 // pid path — the same representative the single-process engine reports.
-func mergeResults(p model.Protocol, spec Spec, results []*resultMsg) (*check.ExploreResult, error) {
+// Per-value witnesses merge the same way (global minimum per value),
+// each validated by replaying its path from the start configuration.
+func mergeResults(p model.Protocol, spec Spec, results []*resultMsg, st *failState) (*check.ExploreResult, error) {
 	out := &check.ExploreResult{Complete: true}
 	decided := map[int]bool{}
+	bestWit := map[int]*valWitnessMsg{}
 	var viol *resultMsg
 	for _, r := range results {
 		out.Visited += r.Visited
@@ -598,6 +910,13 @@ func mergeResults(p model.Protocol, spec Spec, results []*resultMsg) (*check.Exp
 			if viol == nil || r.ViolDepth < viol.ViolDepth ||
 				(r.ViolDepth == viol.ViolDepth && r.ViolFP < viol.ViolFP) {
 				viol = r
+			}
+		}
+		for i := range r.ValWits {
+			w := &r.ValWits[i]
+			b := bestWit[w.Value]
+			if b == nil || w.Depth < b.Depth || (w.Depth == b.Depth && w.FP < b.FP) {
+				bestWit[w.Value] = w
 			}
 		}
 
@@ -617,25 +936,39 @@ func mergeResults(p model.Protocol, spec Spec, results []*resultMsg) (*check.Exp
 		out.Async.Steals += r.Async.Steals
 		out.Async.QuiescenceScans += r.Async.QuiescenceScans
 
-		// Each relayed record is counted once, at its sender.
+		// Each relayed record is counted once, at its sender. Traffic
+		// counters reflect the verdict-producing epoch; aborted epochs'
+		// traffic is not part of the result it reports.
 		out.Net.BatchesSent += r.Net.BatchesSent
 		out.Net.BytesSent += r.Net.BytesSent
 		out.Net.PeerStalls += r.Net.PeerStalls
 	}
 	out.Net.Peers = len(results)
+	if st != nil {
+		out.Net.PeersLost = st.peersLost
+		out.Net.ReseededPartitions = st.reseeded
+		out.Net.Retries = st.retries
+	}
 	for v := range decided {
 		out.DecidedValues = append(out.DecidedValues, v)
 	}
 	sort.Ints(out.DecidedValues)
-	if viol != nil {
-		cfg, err := model.NewConfig(p, spec.Inputs)
-		if err != nil {
-			return nil, fmt.Errorf("dist: rebuilding start configuration for witness replay: %w", err)
+	for _, v := range out.DecidedValues {
+		w := bestWit[v]
+		if w == nil {
+			continue
 		}
-		for _, pb := range viol.ViolPath {
-			if _, err := model.Apply(p, cfg, int(pb)); err != nil {
-				return nil, fmt.Errorf("dist: replaying violation witness: %w", err)
-			}
+		if _, err := replayPath(p, spec.Inputs, w.Path); err != nil {
+			return nil, fmt.Errorf("dist: replaying witness for value %d: %w", v, err)
+		}
+		out.ValueWitnesses = append(out.ValueWitnesses, check.ValueWitness{
+			Value: w.Value, Depth: w.Depth, FP: w.FP, Path: append([]byte(nil), w.Path...),
+		})
+	}
+	if viol != nil {
+		cfg, err := replayPath(p, spec.Inputs, viol.ViolPath)
+		if err != nil {
+			return nil, fmt.Errorf("dist: replaying violation witness: %w", err)
 		}
 		out.AgreementViolation = cfg
 		out.ViolationDepth = viol.ViolDepth
@@ -643,6 +976,21 @@ func mergeResults(p model.Protocol, spec Spec, results []*resultMsg) (*check.Exp
 		out.ViolationPath = append([]byte(nil), viol.ViolPath...)
 	}
 	return out, nil
+}
+
+// replayPath rebuilds the start configuration and applies a pid path,
+// validating every transition exists in the model.
+func replayPath(p model.Protocol, inputs []int, path []byte) (*model.Config, error) {
+	cfg, err := model.NewConfig(p, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding start configuration: %w", err)
+	}
+	for _, pb := range path {
+		if _, err := model.Apply(p, cfg, int(pb)); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
 }
 
 // withLimitDefaults mirrors check.ExploreLimits.withDefaults so the

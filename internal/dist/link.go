@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/check"
+	"repro/internal/fault"
 )
 
 // recordBatchSize mirrors the engine's in-process successor batches: a
@@ -117,8 +118,23 @@ type peerLink struct {
 	bytes     atomic.Int64
 	stalls    atomic.Int64
 
+	// Fail-over observability: the re-seed epoch this session was
+	// established under (0 = original run) and RANGE announcements seen.
+	reseedEpoch atomic.Int64
+	rangesSeen  atomic.Int64
+
 	evq      *eventQueue
 	readerWG sync.WaitGroup
+
+	// pongCh hands ping answers from the reader to a dedicated writer
+	// goroutine. The reader must NEVER take the write mutex itself: a
+	// worker holding it mid-batch can be blocked on the coordinator,
+	// whose relay write in turn waits for this reader to keep draining
+	// the conn — a reader parked on wmu closes that cycle into a
+	// four-party deadlock. Capacity 1 with a non-blocking send coalesces
+	// bursts; the deadline is several periods, so a dropped ping is
+	// answered by the next one.
+	pongCh chan struct{}
 
 	// pending holds batches that arrived during a level barrier: once the
 	// coordinator releases the first peer with CONT, that peer starts
@@ -132,16 +148,30 @@ type peerLink struct {
 // newPeerLink wraps conn (whose HELLO has already been consumed from r)
 // and starts the reader.
 func newPeerLink(conn net.Conn, r io.Reader, self, peerCount int) *peerLink {
-	l := &peerLink{conn: conn, self: self, n: peerCount, evq: newEventQueue()}
-	l.readerWG.Add(1)
+	l := &peerLink{conn: conn, self: self, n: peerCount, evq: newEventQueue(), pongCh: make(chan struct{}, 1)}
+	l.readerWG.Add(2)
 	go func() {
 		defer l.readerWG.Done()
 		l.readLoop(r)
+	}()
+	go func() {
+		defer l.readerWG.Done()
+		for range l.pongCh {
+			if err := l.writeFrame(framePong, nil); err != nil {
+				// The link is dead; the engine's own writes (or the
+				// reader) surface it. Drain remaining ticks so the
+				// reader's sends keep falling through.
+				for range l.pongCh {
+				}
+				return
+			}
+		}
 	}()
 	return l
 }
 
 func (l *peerLink) readLoop(r io.Reader) {
+	defer close(l.pongCh) // sole sender; the pong writer exits with us
 	var buf []byte
 	for {
 		var (
@@ -192,6 +222,29 @@ func (l *peerLink) readLoop(r io.Reader) {
 			if t == frameDone {
 				return
 			}
+		case framePing:
+			// Answered via the pong writer, not the engine, so liveness
+			// probes get through even while every worker is compute-bound:
+			// a slow peer is never mistaken for a dead one. The send must
+			// not block (see pongCh).
+			select {
+			case l.pongCh <- struct{}{}:
+			default:
+			}
+		case frameReseed:
+			var m reseedMsg
+			if derr := unmarshalCtrl(payload, &m); derr != nil {
+				l.evq.push(linkEvent{kind: frameError, err: derr})
+				return
+			}
+			l.reseedEpoch.Store(int64(m.Epoch))
+		case frameRange:
+			var m rangeMsg
+			if derr := unmarshalCtrl(payload, &m); derr != nil {
+				l.evq.push(linkEvent{kind: frameError, err: derr})
+				return
+			}
+			l.rangesSeen.Add(1)
 		default:
 			l.evq.push(linkEvent{kind: frameError, err: &FrameError{Reason: fmt.Sprintf("unexpected frame type %d on peer link", t)}})
 			return
@@ -245,6 +298,7 @@ func (l *peerLink) Send(worker int, rec check.DistRecord) error {
 }
 
 func (l *peerLink) flushBuf(dest int, b *outBuf) error {
+	fault.Crash(fault.CrashDistBatchSend)
 	payload := appendBatchHeader(make([]byte, 0, batchHeaderLen+len(b.buf)), dest, l.self, b.count)
 	payload = append(payload, b.buf...)
 	b.buf = b.buf[:0]

@@ -132,6 +132,10 @@ func ServePeerConn(ctx context.Context, conn net.Conn, build ProtocolBuilder) {
 		sendErr(err)
 		return
 	}
+	wits := make([]valWitnessMsg, 0, len(res.ValueWitnesses))
+	for _, w := range res.ValueWitnesses {
+		wits = append(wits, valWitnessMsg{Value: w.Value, Depth: w.Depth, FP: w.FP, Path: w.Path})
+	}
 	link.writeFrame(frameResult, marshalCtrl(resultMsg{
 		Visited:     res.Visited,
 		Complete:    res.Complete,
@@ -141,6 +145,7 @@ func ServePeerConn(ctx context.Context, conn net.Conn, build ProtocolBuilder) {
 		ViolDepth:   res.ViolationDepth,
 		ViolFP:      res.ViolationFP,
 		ViolPath:    res.ViolationPath,
+		ValWits:     wits,
 		Store:       res.Store,
 		Reduction:   res.Reduction,
 		Async:       res.Async,

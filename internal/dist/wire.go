@@ -66,9 +66,13 @@ const (
 	frameDone       frameType = 13 // coordinator -> peer: run over (empty)
 	frameResult     frameType = 14 // peer -> coordinator: final result (JSON resultMsg)
 	frameError      frameType = 15 // peer -> coordinator: run failed (JSON errorMsg)
+	framePing       frameType = 16 // coordinator -> peer: liveness probe (empty)
+	framePong       frameType = 17 // peer -> coordinator: liveness answer (empty)
+	frameReseed     frameType = 18 // coordinator -> peer: this session re-seeds a lost index (JSON reseedMsg)
+	frameRange      frameType = 19 // coordinator -> peer: a partition range is being re-seeded (JSON rangeMsg)
 )
 
-const frameTypeMax = frameError
+const frameTypeMax = frameRange
 
 // FrameError is the typed failure for anything wrong at the framing
 // layer: bad magic, an unknown type, an oversized or truncated frame,
@@ -368,6 +372,29 @@ type probeMsg struct {
 	Seq uint64 `json:"seq"`
 }
 
+// reseedMsg tags a freshly-helloed session as part of a re-seeded
+// epoch: a fail-over aborted the previous session set and the run is
+// restarting from the initial configuration on this one. Observability
+// only — no state is grafted across epochs, which is exactly why the
+// recovery is sound (the engine's verdict and visited set are
+// invariant under peer count, so the restarted run reproduces the
+// uninterrupted one).
+type reseedMsg struct {
+	Epoch int `json:"epoch"` // fail-over round (1 = first re-seed)
+	Depth int `json:"depth"` // deepest level the aborted epoch had entered
+}
+
+// rangeMsg announces, per lost peer, that its contiguous partition
+// range was re-spread over the surviving sessions: the pinned
+// fingerprint->peer map applied at the new peer count re-seeds every
+// partition the dead peer owned. Broadcast alongside reseedMsg, one
+// per dropped slot; observability only.
+type rangeMsg struct {
+	Epoch int `json:"epoch"`
+	Peer  int `json:"peer"`  // the lost slot's original peer index
+	Depth int `json:"depth"` // deepest level the aborted epoch had entered
+}
+
 // probeReplyMsg carries a peer's quiescence snapshot: the link's
 // monotonic sent/delivered record counters plus local idleness. The
 // coordinator declares termination after two consecutive identical
@@ -392,10 +419,24 @@ type resultMsg struct {
 	ViolFP    uint64 `json:"viol_fp,omitempty"`
 	ViolPath  []byte `json:"viol_path,omitempty"`
 
+	// ValWits carries one replayable witness per decided value (the
+	// peer's local minimum by depth then fingerprint) — the provenance
+	// the coordinator needs to classify valency without re-exploring.
+	ValWits []valWitnessMsg `json:"val_wits,omitempty"`
+
 	Store     check.StoreStats     `json:"store"`
 	Reduction check.ReductionStats `json:"reduction"`
 	Async     check.AsyncStats     `json:"async"`
 	Net       check.NetStats       `json:"net"`
+}
+
+// valWitnessMsg is the wire form of check.ValueWitness: a replayable
+// minimal path deciding the named value.
+type valWitnessMsg struct {
+	Value int    `json:"value"`
+	Depth int    `json:"depth"`
+	FP    uint64 `json:"fp"`
+	Path  []byte `json:"path,omitempty"`
 }
 
 type errorMsg struct {

@@ -46,6 +46,12 @@ func seedFrames() [][]byte {
 		appendFrame(nil, frameProbeReply, marshalCtrl(probeReplyMsg{Seq: 9, Sent: 100, Delivered: 100, Idle: true})),
 		appendFrame(nil, frameDone, nil),
 		appendFrame(nil, frameError, marshalCtrl(errorMsg{Msg: "boom"})),
+		appendFrame(nil, framePing, nil),
+		appendFrame(nil, framePong, nil),
+		appendFrame(nil, frameReseed, marshalCtrl(reseedMsg{Epoch: 1, Depth: 4})),
+		appendFrame(nil, frameRange, marshalCtrl(rangeMsg{Epoch: 1, Peer: 2, Depth: 4})),
+		appendFrame(nil, frameResult, marshalCtrl(resultMsg{Visited: 99, Complete: true, Decided: []int{0, 1},
+			ValWits: []valWitnessMsg{{Value: 0, Depth: 2, FP: 0xbeef, Path: []byte{0, 1}}, {Value: 1, Depth: 3, FP: 0xcafe, Path: []byte{1, 0, 1}}}})),
 	}
 }
 

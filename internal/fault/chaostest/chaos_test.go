@@ -4,10 +4,12 @@ package chaostest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -142,6 +145,32 @@ func runServeScenario(dir string) (chaosVerdict, error) {
 		Complete: cr.Result.Complete}, nil
 }
 
+// runDistScenario is a loopback fail-over run with a scripted peer kill
+// mid-level: coordinator, both peers and the re-seed loop all live in
+// this one child process, so an armed dist.batch.send (first peer batch)
+// or dist.reseed (start of recovery) kills it mid-run. The dist layer
+// keeps no on-disk state — a restart re-runs from the initial
+// configuration, which is exactly the fail-over soundness claim.
+func runDistScenario(string) (chaosVerdict, error) {
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 3})
+	res, err := dist.LoopbackExploreOpts(context.Background(), p, []int{0, 1, 2, 0}, 1, check.ExploreOptions{
+		Limits: check.ExploreLimits{MaxConfigs: 20000},
+		Engine: check.EngineOptions{Workers: 2, Shards: 4},
+	}, dist.LoopbackOptions{
+		Peers: 2, Failover: true, PeerRetries: 1,
+		Kill: true, KillPeer: 1, KillAfterWrites: 6,
+		Respawn: true,
+	})
+	if err != nil {
+		return chaosVerdict{}, err
+	}
+	return chaosVerdict{
+		Visited: res.Visited, Complete: res.Complete,
+		Decided: res.DecidedValues, MaxTogether: res.MaxDecidedTogether,
+		Violation: res.AgreementViolation != nil,
+	}, nil
+}
+
 func runScenario(name, dir string) (chaosVerdict, error) {
 	switch name {
 	case "explore":
@@ -150,6 +179,8 @@ func runScenario(name, dir string) (chaosVerdict, error) {
 		return runCacheScenario(dir)
 	case "serve":
 		return runServeScenario(dir)
+	case "dist":
+		return runDistScenario(dir)
 	}
 	return chaosVerdict{}, fmt.Errorf("unknown chaos scenario %q", name)
 }
@@ -160,6 +191,22 @@ func TestChaosChild(t *testing.T) {
 	scenario := os.Getenv(childEnv)
 	if scenario == "" {
 		t.Skip("not a chaos child")
+	}
+	if scenario == "peer" {
+		// Long-running distributed-exploration peer: publish the listen
+		// address through the out file, then serve until killed (by the
+		// parent or by an armed crash point firing mid-run).
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(os.Getenv(childOutEnv), []byte(ln.Addr().String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dist.ServePeer(context.Background(), ln, func(_ string, n, k, m int) (model.Protocol, error) {
+			return core.New(core.Params{N: n, K: k, M: m})
+		})
+		return
 	}
 	v, err := runScenario(scenario, os.Getenv(childDirEnv))
 	if err != nil {
@@ -265,6 +312,8 @@ func TestChaosKillRestartMatrix(t *testing.T) {
 		{fault.CrashCacheStore, "cache"},
 		{fault.CrashJournalAppend, "serve"},
 		{fault.CrashJournalAppend + ":2", "serve"},
+		{fault.CrashDistBatchSend, "dist"},
+		{fault.CrashDistReseed, "dist"},
 	}
 	// Every registered site must appear in the matrix: a new crash point
 	// without a chaos cell is not covered.
@@ -281,7 +330,7 @@ func TestChaosKillRestartMatrix(t *testing.T) {
 	}
 
 	clean := map[string]chaosVerdict{}
-	for _, scenario := range []string{"explore", "cache", "serve"} {
+	for _, scenario := range []string{"explore", "cache", "serve", "dist"} {
 		clean[scenario] = cleanVerdict(t, scenario)
 	}
 
@@ -371,6 +420,93 @@ func TestChaosInjectedIO(t *testing.T) {
 			assertNoTempFiles(t, dir)
 			waitNoLeak(t, before)
 		})
+	}
+}
+
+// startPeerChild launches a real `dist.ServePeer` process (a re-exec of
+// this binary), optionally armed with a crash point, and returns its
+// published listen address.
+func startPeerChild(t *testing.T, crash string) (string, *exec.Cmd) {
+	t.Helper()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		childEnv+"=peer",
+		childDirEnv+"="+dir,
+		childOutEnv+"="+out,
+		fault.CrashEnv+"="+crash,
+	)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(out); err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data)), cmd
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer child never published an address:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosDistPeerKillFailover is the cross-process fail-over
+// differential: two real peer processes over TCP, one armed to die at
+// its first batch send. The coordinator (this process, fail-over on)
+// must detect the death, fail to re-dial the dead slot, degrade onto the
+// survivor, and still produce the single-process verdict.
+func TestChaosDistPeerKillFailover(t *testing.T) {
+	p := core.MustNew(core.Params{N: 4, K: 1, M: 3})
+	inputs := []int{0, 1, 2, 0}
+	c := model.MustNewConfig(p, inputs)
+	limits := check.ExploreLimits{MaxConfigs: 20000}
+	oracle, err := check.ExploreOpts(p, c, []int{0, 1, 2, 3}, 1, check.ExploreOptions{Limits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrA, _ := startPeerChild(t, "")
+	addrB, cmdB := startPeerChild(t, fault.CrashDistBatchSend)
+
+	res, err := dist.Dial(context.Background(), p, []string{addrA, addrB}, dist.Spec{
+		Proto: p.Name(), N: 4, K: 1, M: 3, AgreeK: 1, Inputs: inputs,
+		Limits:   limits,
+		Failover: true, PeerRetries: 2, Heartbeat: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fail-over coordinator: %v", err)
+	}
+
+	// The armed peer must have died at the crash point, not survived.
+	werr := cmdB.Wait()
+	var ee *exec.ExitError
+	if !errors.As(werr, &ee) || ee.ExitCode() != fault.CrashExitCode {
+		t.Fatalf("armed peer exit = %v, want crash exit code %d", werr, fault.CrashExitCode)
+	}
+
+	if res.Visited != oracle.Visited || res.Complete != oracle.Complete ||
+		fmt.Sprint(res.DecidedValues) != fmt.Sprint(oracle.DecidedValues) ||
+		(res.AgreementViolation != nil) != (oracle.AgreementViolation != nil) {
+		t.Errorf("degraded verdict diverged: visited=%d/%d complete=%v/%v decided=%v/%v",
+			res.Visited, oracle.Visited, res.Complete, oracle.Complete,
+			res.DecidedValues, oracle.DecidedValues)
+	}
+	if res.Net.PeersLost != 1 {
+		t.Errorf("peers_lost = %d, want 1", res.Net.PeersLost)
+	}
+	if res.Net.Peers != 1 {
+		t.Errorf("verdict epoch ran on %d peers, want the 1 survivor", res.Net.Peers)
+	}
+	if res.Net.ReseededPartitions < int64(check.DistNumParts) {
+		t.Errorf("reseeded_partitions = %d, want >= %d", res.Net.ReseededPartitions, check.DistNumParts)
 	}
 }
 

@@ -19,6 +19,8 @@ const (
 	CrashCheckpointManifest = "checkpoint.manifest"  // before MANIFEST.json is renamed over the old generation
 	CrashCacheStore         = "cache.store"          // before a serve cache entry is renamed into place
 	CrashJournalAppend      = "serve.journal.append" // before a job-journal line is appended
+	CrashDistBatchSend      = "dist.batch.send"      // before a peer flushes a successor batch onto the wire
+	CrashDistReseed         = "dist.reseed"          // before the coordinator re-seeds a run after a peer loss
 )
 
 // Sites lists every registered crash point, in a fixed order, for the
@@ -30,6 +32,8 @@ func Sites() []string {
 		CrashCheckpointManifest,
 		CrashCacheStore,
 		CrashJournalAppend,
+		CrashDistBatchSend,
+		CrashDistReseed,
 	}
 }
 

@@ -140,6 +140,7 @@ func TestSitesCatalogStable(t *testing.T) {
 	want := []string{
 		CrashSpillRunWrite, CrashSpillRunMerge, CrashCheckpointManifest,
 		CrashCacheStore, CrashJournalAppend,
+		CrashDistBatchSend, CrashDistReseed,
 	}
 	got := Sites()
 	if len(got) != len(want) {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // DistFlags are the distributed-exploration mode flags: a process is
@@ -16,15 +17,22 @@ type DistFlags struct {
 	listen      *string
 	distributed *bool
 	peers       *string
+	failover    *bool
+	heartbeat   *time.Duration
+	peerRetries *int
 }
 
-// RegisterDistFlags declares -peer/-listen/-distributed/-peers on fs.
+// RegisterDistFlags declares -peer/-listen/-distributed/-peers plus the
+// fail-over knobs -failover/-heartbeat/-peer-retries on fs.
 func RegisterDistFlags(fs *flag.FlagSet) *DistFlags {
 	return &DistFlags{
 		peer:        fs.Bool("peer", false, "run as a distributed-exploration peer: serve coordinator connections on -listen and explore the partition range each run assigns"),
 		listen:      fs.String("listen", "127.0.0.1:0", "peer listen address (with -peer)"),
 		distributed: fs.Bool("distributed", false, "run as a distributed-exploration coordinator over the -peers processes"),
 		peers:       fs.String("peers", "", "comma-separated peer addresses (with -distributed), e.g. host1:7001,host2:7001"),
+		failover:    fs.Bool("failover", false, "survive peer loss (with -distributed): redial lost peers with backoff and re-seed the run onto the reachable ones — same verdict, degraded capacity"),
+		heartbeat:   fs.Duration("heartbeat", 0, "peer liveness probe period (with -distributed; 0 = 1s when -failover, else off)"),
+		peerRetries: fs.Int("peer-retries", 0, "connection attempts per peer per (re)dial round (0 = 3 with -failover, else 1)"),
 	}
 }
 
@@ -52,6 +60,15 @@ func (f *DistFlags) PeerAddrs() []string {
 	return addrs
 }
 
+// Failover reports whether -failover was set.
+func (f *DistFlags) Failover() bool { return *f.failover }
+
+// Heartbeat returns the -heartbeat period (0 = default).
+func (f *DistFlags) Heartbeat() time.Duration { return *f.heartbeat }
+
+// PeerRetries returns the -peer-retries attempt cap (0 = default).
+func (f *DistFlags) PeerRetries() int { return *f.peerRetries }
+
 // Validate checks the mode selection as a whole.
 func (f *DistFlags) Validate() error {
 	if *f.peer && *f.distributed {
@@ -62,6 +79,23 @@ func (f *DistFlags) Validate() error {
 	}
 	if !f.Distributed() && !f.PeerMode() && *f.peers != "" {
 		return fmt.Errorf("-peers requires -distributed")
+	}
+	if !*f.distributed {
+		if *f.failover {
+			return fmt.Errorf("-failover requires -distributed")
+		}
+		if *f.heartbeat != 0 {
+			return fmt.Errorf("-heartbeat requires -distributed")
+		}
+		if *f.peerRetries != 0 {
+			return fmt.Errorf("-peer-retries requires -distributed")
+		}
+	}
+	if *f.heartbeat < 0 {
+		return fmt.Errorf("-heartbeat must be positive")
+	}
+	if *f.peerRetries < 0 {
+		return fmt.Errorf("-peer-retries must be positive")
 	}
 	return nil
 }

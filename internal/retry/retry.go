@@ -1,0 +1,58 @@
+// Package retry is the shared jittered-exponential backoff policy:
+// one definition of "how long to wait before trying again" used by the
+// serving layer's daemon client and the distributed coordinator's
+// dial/redial paths. Centralizing it keeps the retry behavior of every
+// wire-facing component identical and identically testable.
+package retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes a bounded retry schedule. The zero value is usable:
+// it means one attempt (no retries) with the default delays.
+type Policy struct {
+	// MaxAttempts caps tries (0 or 1 = a single attempt, no retries).
+	MaxAttempts int
+	// Base is the first backoff delay (0 = DefaultBase). Delays grow
+	// exponentially with equal jitter.
+	Base time.Duration
+	// Cap bounds a single wait (0 = DefaultCap).
+	Cap time.Duration
+}
+
+// Default backoff parameters: the values the serving layer has always
+// used, now shared by every retrying component.
+const (
+	DefaultBase = 200 * time.Millisecond
+	DefaultCap  = 5 * time.Second
+)
+
+// Attempts returns the number of tries the policy allows (at least 1).
+func (p Policy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff computes the wait before retrying after attempt i (0-based):
+// exponential growth from Base, capped at Cap, with equal jitter — half
+// the delay deterministic, half uniform — so retries from many workers
+// spread out instead of thundering back together.
+func (p Policy) Backoff(attempt int) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = DefaultBase
+	}
+	cap := p.Cap
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}

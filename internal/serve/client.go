@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/sweep"
 )
 
@@ -45,7 +45,7 @@ func NewRetryingClient(baseURL string) *Client {
 }
 
 // retryMaxDelay caps a single backoff wait.
-const retryMaxDelay = 5 * time.Second
+const retryMaxDelay = retry.DefaultCap
 
 // retryableStatus reports whether an HTTP status is worth retrying:
 // the gateway-flavored 5xx family a restarting or saturated daemon
@@ -59,7 +59,8 @@ func retryableStatus(code int) bool {
 }
 
 // backoff computes the wait before attempt i (0-based), honoring a
-// Retry-After value when the daemon supplied one.
+// Retry-After value when the daemon supplied one; the schedule itself
+// is the shared retry.Policy (equal-jittered exponential growth).
 func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
 	if retryAfter != "" {
 		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
@@ -70,17 +71,7 @@ func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
 			return d
 		}
 	}
-	base := c.RetryBase
-	if base <= 0 {
-		base = 200 * time.Millisecond
-	}
-	d := base << uint(attempt)
-	if d > retryMaxDelay || d <= 0 {
-		d = retryMaxDelay
-	}
-	// Equal jitter: half deterministic, half uniform — retries from many
-	// workers spread out instead of thundering back together.
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return retry.Policy{Base: c.RetryBase}.Backoff(attempt)
 }
 
 // RequestForCell translates a sweep cell into the wire request that

@@ -96,6 +96,12 @@ type Result struct {
 	NetBytesSent int64 `json:"net_bytes_sent,omitempty"`
 	NetBatches   int64 `json:"net_batches,omitempty"`
 
+	// Fail-over accounting: slots permanently dropped, partitions moved
+	// across re-seed rounds, and extra dial attempts during recovery.
+	PeersLost          int64 `json:"peers_lost,omitempty"`
+	ReseededPartitions int64 `json:"reseeded_partitions,omitempty"`
+	PeerRetries        int64 `json:"peer_retries,omitempty"`
+
 	States        int        `json:"states,omitempty"`
 	Measured      int        `json:"measured"`
 	Certified     int        `json:"certified"`
@@ -384,6 +390,9 @@ func RunCellRecordCtx(ctx context.Context, cell Cell) Result {
 		rec.Peers = out.Net.Peers
 		rec.NetBytesSent = out.Net.BytesSent
 		rec.NetBatches = out.Net.BatchesSent
+		rec.PeersLost = out.Net.PeersLost
+		rec.ReseededPartitions = out.Net.ReseededPartitions
+		rec.PeerRetries = out.Net.Retries
 	}
 	rec.States = out.States
 	rec.Measured = out.Measured
